@@ -1,0 +1,48 @@
+//! Scheduler-policy ablation (DESIGN.md §5): the filter technique
+//! assumes "any competent scheduler"; this measures the cost of the
+//! selection policies themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wts_ir::BasicBlock;
+use wts_jit::Suite;
+use wts_machine::MachineConfig;
+use wts_sched::{ListScheduler, SchedulePolicy};
+
+fn fp_blocks(n: usize) -> Vec<BasicBlock> {
+    let suite = Suite::fp(0.03);
+    suite
+        .benchmarks()
+        .iter()
+        .flat_map(|b| b.program().iter_blocks().map(|(_, blk)| blk.clone()).collect::<Vec<_>>())
+        .take(n)
+        .collect()
+}
+
+fn policies(c: &mut Criterion) {
+    let machine = MachineConfig::ppc7410();
+    let blocks = fp_blocks(300);
+    let mut group = c.benchmark_group("ablation_policy");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for policy in [
+        SchedulePolicy::CriticalPath,
+        SchedulePolicy::EarliestStart,
+        SchedulePolicy::CriticalPathOnly,
+        SchedulePolicy::Random(7),
+    ] {
+        let scheduler = ListScheduler::with_policy(&machine, policy);
+        group.bench_function(format!("{policy}/300-blocks"), |b| {
+            b.iter(|| {
+                let total: u64 = blocks.iter().map(|blk| scheduler.schedule_block(black_box(blk)).cycles_after).sum();
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policies);
+criterion_main!(benches);

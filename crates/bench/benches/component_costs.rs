@@ -1,0 +1,60 @@
+//! Component-cost ablation (DESIGN.md §5, "features without the DAG"):
+//! per-block cost of feature extraction versus dependence-DAG
+//! construction versus full list scheduling, by block size.
+//!
+//! This substantiates the paper's §2.1 design choice — features must be
+//! much cheaper than the DAG, which "can sometimes dominate the overall
+//! running time of the scheduling algorithm".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wts_deps::DepGraph;
+use wts_features::FeatureVector;
+use wts_ir::BasicBlock;
+use wts_jit::Suite;
+use wts_machine::MachineConfig;
+use wts_sched::ListScheduler;
+
+/// Picks one representative block of roughly each size from the corpus.
+fn blocks_by_size() -> Vec<(usize, BasicBlock)> {
+    let suite = Suite::fp(0.05);
+    let mut picks: Vec<(usize, BasicBlock)> = Vec::new();
+    for want in [4usize, 8, 16, 32] {
+        let mut best: Option<&BasicBlock> = None;
+        for b in suite.benchmarks() {
+            for (_, blk) in b.program().iter_blocks() {
+                if best.is_none_or(|cur| blk.len().abs_diff(want) < cur.len().abs_diff(want)) {
+                    best = Some(blk);
+                }
+            }
+        }
+        let blk = best.expect("corpus non-empty").clone();
+        picks.push((want, blk));
+    }
+    picks
+}
+
+fn components(c: &mut Criterion) {
+    let machine = MachineConfig::ppc7410();
+    let scheduler = ListScheduler::new(&machine);
+    let mut group = c.benchmark_group("component_costs");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for (size, block) in blocks_by_size() {
+        group.bench_with_input(BenchmarkId::new("features", size), &block, |b, blk| {
+            b.iter(|| black_box(FeatureVector::extract(black_box(blk))));
+        });
+        group.bench_with_input(BenchmarkId::new("dag", size), &block, |b, blk| {
+            b.iter(|| black_box(DepGraph::build(black_box(blk.insts()))));
+        });
+        group.bench_with_input(BenchmarkId::new("schedule", size), &block, |b, blk| {
+            b.iter(|| black_box(scheduler.schedule_block(black_box(blk))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, components);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 1(a): scheduling time of the L/N filter versus always
+//! scheduling (LS), per SPECjvm98 benchmark, at threshold t=0.
+//!
+//! The timed region is the JIT's whole scheduling pass — feature
+//! extraction + filter evaluation + (selected) scheduling — exactly the
+//! quantity the paper charges to "scheduling time" (§3.1). Expect L/N to
+//! come in well under LS, reproducing the ~38% geometric mean.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wts_bench::BenchSetup;
+use wts_core::AlwaysSchedule;
+use wts_jit::CompileSession;
+
+fn fig1a(c: &mut Criterion) {
+    let setup = BenchSetup::jvm98(0);
+    let session = CompileSession::new(&setup.machine);
+    let mut group = c.benchmark_group("fig1a_sched_time");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for bench in setup.suite.benchmarks() {
+        let name = bench.name().to_string();
+        group.bench_function(format!("{name}/LS"), |b| {
+            b.iter(|| {
+                let (out, stats) = session.compile(black_box(bench.program()), &AlwaysSchedule);
+                black_box((out.block_count(), stats.pass_ns()))
+            });
+        });
+        let filter = setup.filter_for(&name).clone();
+        group.bench_function(format!("{name}/LN_t0"), |b| {
+            b.iter(|| {
+                let (out, stats) = session.compile(black_box(bench.program()), &filter);
+                black_box((out.block_count(), stats.pass_ns()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1a);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Throughput of the two machine simulators: the cheap in-order
+//! estimator must be fast enough to run inside the scheduler, while the
+//! detailed pipeline model is only used offline as the hardware stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wts_ir::BasicBlock;
+use wts_jit::Suite;
+use wts_machine::{CostModel, MachineConfig, PipelineSim};
+
+fn corpus_blocks(n: usize) -> Vec<BasicBlock> {
+    let suite = Suite::specjvm98(0.03);
+    suite
+        .benchmarks()
+        .iter()
+        .flat_map(|b| b.program().iter_blocks().map(|(_, blk)| blk.clone()).collect::<Vec<_>>())
+        .take(n)
+        .collect()
+}
+
+fn simulators(c: &mut Criterion) {
+    let machine = MachineConfig::ppc7410();
+    let blocks = corpus_blocks(500);
+    let cost = CostModel::new(&machine);
+    let pipe = PipelineSim::new(&machine);
+
+    let mut group = c.benchmark_group("simulators");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("cost_model/500-blocks", |b| {
+        b.iter(|| {
+            let total: u64 = blocks.iter().map(|blk| cost.block_cycles(black_box(blk))).sum();
+            black_box(total)
+        });
+    });
+    group.bench_function("pipeline_sim/500-blocks", |b| {
+        b.iter(|| {
+            let total: u64 = blocks.iter().map(|blk| pipe.block_cycles(black_box(blk))).sum();
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulators);
+criterion_main!(benches);

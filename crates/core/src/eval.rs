@@ -1,0 +1,261 @@
+//! Evaluation of filters along the paper's three axes: classification
+//! accuracy, scheduling (compile) time and application running time.
+
+use crate::{Filter, LabelConfig, TraceRecord};
+use std::time::Instant;
+use wts_ripper::ConfusionMatrix;
+
+/// Run-time classification counts (Table 6): how many blocks the filter
+/// sends to the scheduler (`ls`) versus skips (`ns`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounts {
+    /// Blocks predicted "schedule".
+    pub ls: usize,
+    /// Blocks predicted "don't schedule".
+    pub ns: usize,
+}
+
+impl ClassCounts {
+    /// Total blocks classified.
+    pub fn total(&self) -> usize {
+        self.ls + self.ns
+    }
+}
+
+/// Scheduling-time measurement for a filter over a benchmark's blocks
+/// (Figures 1a/2a/3a).
+///
+/// Per the paper (§3.1), filter cost — feature extraction plus heuristic
+/// evaluation — is charged to scheduling time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalTimes {
+    /// Wall-clock ns under the filter policy: features + filter for every
+    /// block, plus scheduling for the selected blocks.
+    pub filtered_ns: u64,
+    /// Wall-clock ns of scheduling every block (the LS strategy).
+    pub always_ns: u64,
+    /// Deterministic work-unit analogue of `filtered_ns` (stable across
+    /// runs; used by tests).
+    pub filtered_work: u64,
+    /// Deterministic work-unit analogue of `always_ns`.
+    pub always_work: u64,
+    /// Blocks the filter selected for scheduling.
+    pub scheduled_blocks: usize,
+    /// Total blocks.
+    pub total_blocks: usize,
+}
+
+/// Work units charged for evaluating a rule-set filter on one block; a
+/// handful of comparisons, tiny next to DAG construction.
+const FILTER_EVAL_WORK: u64 = 4;
+
+impl EvalTimes {
+    /// Measured scheduling-time ratio `filtered / always` (the paper's
+    /// Figure 1(a) bars; LS = 1.0, NS would be the pure filtering cost).
+    pub fn measured_ratio(&self) -> f64 {
+        if self.always_ns == 0 {
+            return 0.0;
+        }
+        self.filtered_ns as f64 / self.always_ns as f64
+    }
+
+    /// Deterministic work-unit ratio (same quantity, stable across runs).
+    pub fn work_ratio(&self) -> f64 {
+        if self.always_work == 0 {
+            return 0.0;
+        }
+        self.filtered_work as f64 / self.always_work as f64
+    }
+}
+
+/// Classification confusion of `filter` against the threshold-`t` labels
+/// of `traces` (Table 3). Dropped instances (benefit within `(0, t]`) are
+/// excluded, exactly as they are excluded from the paper's test sets.
+pub fn classification_matrix(traces: &[TraceRecord], filter: &dyn Filter, label: LabelConfig) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::default();
+    for r in traces {
+        if let Some(actual) = label.label(r) {
+            m.record(actual, filter.should_schedule(&r.features));
+        }
+    }
+    m
+}
+
+/// Run-time classification counts over *all* blocks (Table 6).
+pub fn runtime_classification(traces: &[TraceRecord], filter: &dyn Filter) -> ClassCounts {
+    let mut c = ClassCounts::default();
+    for r in traces {
+        if filter.should_schedule(&r.features) {
+            c.ls += 1;
+        } else {
+            c.ns += 1;
+        }
+    }
+    c
+}
+
+/// Predicted (cheap-estimator) execution time under `filter`, as a
+/// percentage of the never-schedule time (Table 4: smaller is better,
+/// 100 = no change).
+pub fn predicted_time_ratio(traces: &[TraceRecord], filter: &dyn Filter) -> f64 {
+    time_ratio(traces, filter, |r| (r.est_unsched, r.est_sched)) * 100.0
+}
+
+/// "Measured" (detailed-simulator) application running time under
+/// `filter`, as a fraction of the never-schedule time (Figures 1b/2b/3b:
+/// smaller than 1 is an improvement).
+pub fn app_time_ratio(traces: &[TraceRecord], filter: &dyn Filter) -> f64 {
+    time_ratio(traces, filter, |r| (r.hw_unsched, r.hw_sched))
+}
+
+fn time_ratio(traces: &[TraceRecord], filter: &dyn Filter, cycles: impl Fn(&TraceRecord) -> (u64, u64)) -> f64 {
+    let mut base = 0.0;
+    let mut with = 0.0;
+    for r in traces {
+        let (unsched, sched) = cycles(r);
+        let w = r.exec_count as f64;
+        base += w * unsched as f64;
+        with += w * if filter.should_schedule(&r.features) { sched as f64 } else { unsched as f64 };
+    }
+    if base == 0.0 {
+        return 1.0;
+    }
+    with / base
+}
+
+/// Scheduling-time cost of `filter` over a benchmark's trace
+/// (Figures 1a/2a/3a). The filter's own evaluation is timed here and
+/// charged to the filtered strategy, as the paper charges it (§3.1).
+pub fn sched_time_ratio(traces: &[TraceRecord], filter: &dyn Filter) -> EvalTimes {
+    let mut out = EvalTimes {
+        filtered_ns: 0,
+        always_ns: 0,
+        filtered_work: 0,
+        always_work: 0,
+        scheduled_blocks: 0,
+        total_blocks: traces.len(),
+    };
+    for r in traces {
+        let t0 = Instant::now();
+        let decision = filter.should_schedule(&r.features);
+        let filter_ns = t0.elapsed().as_nanos() as u64;
+
+        out.always_ns += r.sched_ns;
+        out.always_work += r.sched_work;
+        out.filtered_ns += r.feature_ns + filter_ns;
+        out.filtered_work += r.feature_work + FILTER_EVAL_WORK;
+        if decision {
+            out.scheduled_blocks += 1;
+            out.filtered_ns += r.sched_ns;
+            out.filtered_work += r.sched_work;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlwaysSchedule, NeverSchedule, SizeThresholdFilter};
+    use wts_features::{FeatureKind, FeatureVector};
+    use wts_ir::{BlockId, MethodId};
+
+    fn rec(bb_len: f64, exec: u64, est: (u64, u64), hw: (u64, u64)) -> TraceRecord {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = bb_len;
+        TraceRecord {
+            benchmark: "b".into(),
+            method: MethodId(0),
+            block: BlockId(0),
+            exec_count: exec,
+            features: FeatureVector::from_values(v),
+            est_unsched: est.0,
+            est_sched: est.1,
+            hw_unsched: hw.0,
+            hw_sched: hw.1,
+            sched_ns: 1000,
+            feature_ns: 100,
+            sched_work: 50,
+            feature_work: 10,
+        }
+    }
+
+    fn traces() -> Vec<TraceRecord> {
+        vec![
+            rec(10.0, 100, (100, 80), (100, 95)), // big block, benefits
+            rec(2.0, 100, (10, 10), (10, 10)),    // small block, no benefit
+            rec(12.0, 1, (50, 40), (50, 48)),     // big but cold
+        ]
+    }
+
+    #[test]
+    fn classification_against_labels() {
+        let t = traces();
+        let m = classification_matrix(&t, &SizeThresholdFilter::new(5), LabelConfig::new(0));
+        // labels: LS, NS, LS; filter predicts: LS, NS, LS.
+        assert_eq!((m.tp, m.tn, m.fp, m.fn_), (2, 1, 0, 0));
+        let bad = classification_matrix(&t, &NeverSchedule, LabelConfig::new(0));
+        assert_eq!(bad.fn_, 2);
+    }
+
+    #[test]
+    fn dropped_instances_are_excluded() {
+        // 10% improvement at t=20 is dropped.
+        let t = vec![rec(8.0, 1, (100, 90), (100, 95))];
+        let m = classification_matrix(&t, &AlwaysSchedule, LabelConfig::new(20));
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn runtime_counts_cover_all_blocks() {
+        let c = runtime_classification(&traces(), &SizeThresholdFilter::new(5));
+        assert_eq!(c.ls, 2);
+        assert_eq!(c.ns, 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn predicted_ratio_bounds() {
+        let t = traces();
+        let ls = predicted_time_ratio(&t, &AlwaysSchedule);
+        let ns = predicted_time_ratio(&t, &NeverSchedule);
+        let f = predicted_time_ratio(&t, &SizeThresholdFilter::new(5));
+        assert_eq!(ns, 100.0);
+        assert!(ls < 100.0);
+        assert!(f >= ls && f <= ns, "filter lies between the fixed strategies here");
+    }
+
+    #[test]
+    fn app_ratio_weighted_by_exec_count() {
+        let t = traces();
+        let ls = app_time_ratio(&t, &AlwaysSchedule);
+        // hot blocks: 100*(95 vs 100) and 100*(10 vs 10); cold 1*(48 vs 50).
+        let expect = (100.0 * 95.0 + 100.0 * 10.0 + 48.0) / (100.0 * 100.0 + 100.0 * 10.0 + 50.0);
+        assert!((ls - expect).abs() < 1e-9);
+        assert_eq!(app_time_ratio(&t, &NeverSchedule), 1.0);
+    }
+
+    #[test]
+    fn sched_time_work_ratio_is_deterministic_and_sensible() {
+        let t = traces();
+        let e = sched_time_ratio(&t, &SizeThresholdFilter::new(5));
+        assert_eq!(e.total_blocks, 3);
+        assert_eq!(e.scheduled_blocks, 2);
+        // work: always = 150; filtered = 3*(10+4) + 2*50 = 142.
+        assert_eq!(e.always_work, 150);
+        assert_eq!(e.filtered_work, 142);
+        assert!((e.work_ratio() - 142.0 / 150.0).abs() < 1e-12);
+        let never = sched_time_ratio(&t, &NeverSchedule);
+        assert!(never.work_ratio() < e.work_ratio(), "scheduling nothing is cheapest");
+        assert_eq!(never.scheduled_blocks, 0);
+    }
+
+    #[test]
+    fn empty_traces_do_not_divide_by_zero() {
+        let e = sched_time_ratio(&[], &AlwaysSchedule);
+        assert_eq!(e.measured_ratio(), 0.0);
+        assert_eq!(e.work_ratio(), 0.0);
+        assert_eq!(app_time_ratio(&[], &AlwaysSchedule), 1.0);
+        assert_eq!(predicted_time_ratio(&[], &AlwaysSchedule), 100.0);
+    }
+}

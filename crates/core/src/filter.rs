@@ -1,0 +1,168 @@
+//! The filter abstraction and its implementations.
+
+use std::fmt;
+use wts_features::{FeatureKind, FeatureVector};
+use wts_ripper::RuleSet;
+
+/// A *filter* decides, from a block's static features alone, whether the
+/// scheduler should run on that block (the paper's L/N protocol chooses
+/// between List scheduling and No scheduling).
+pub trait Filter {
+    /// True when the block should be list-scheduled.
+    fn should_schedule(&self, features: &FeatureVector) -> bool;
+
+    /// Short name for reports.
+    fn name(&self) -> String;
+}
+
+/// The fixed `LS` strategy: schedule every block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlwaysSchedule;
+
+impl Filter for AlwaysSchedule {
+    fn should_schedule(&self, _features: &FeatureVector) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "LS".into()
+    }
+}
+
+/// The fixed `NS` strategy: never schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NeverSchedule;
+
+impl Filter for NeverSchedule {
+    fn should_schedule(&self, _features: &FeatureVector) -> bool {
+        false
+    }
+
+    fn name(&self) -> String {
+        "NS".into()
+    }
+}
+
+/// A hand-written baseline: schedule blocks of at least `min_len`
+/// instructions. The simplest plausible manual heuristic — tiny blocks
+/// have nothing to reorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeThresholdFilter {
+    min_len: usize,
+}
+
+impl SizeThresholdFilter {
+    /// Schedule blocks with `bbLen >= min_len`.
+    pub fn new(min_len: usize) -> SizeThresholdFilter {
+        SizeThresholdFilter { min_len }
+    }
+
+    /// The size threshold.
+    pub fn min_len(&self) -> usize {
+        self.min_len
+    }
+}
+
+impl Filter for SizeThresholdFilter {
+    fn should_schedule(&self, features: &FeatureVector) -> bool {
+        features.get(FeatureKind::BbLen) >= self.min_len as f64
+    }
+
+    fn name(&self) -> String {
+        format!("size>={}", self.min_len)
+    }
+}
+
+/// A filter backed by an induced RIPPER rule set (the paper's L/N filter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedFilter {
+    rules: RuleSet,
+    threshold_percent: u32,
+}
+
+impl LearnedFilter {
+    /// Wraps a trained rule set; `threshold_percent` records the labeling
+    /// threshold it was trained at (for display only).
+    pub fn new(rules: RuleSet, threshold_percent: u32) -> LearnedFilter {
+        LearnedFilter { rules, threshold_percent }
+    }
+
+    /// The underlying rule set (e.g. for printing Figure 4).
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The labeling threshold this filter was trained at.
+    pub fn threshold_percent(&self) -> u32 {
+        self.threshold_percent
+    }
+}
+
+impl Filter for LearnedFilter {
+    fn should_schedule(&self, features: &FeatureVector) -> bool {
+        self.rules.predict(features.as_slice())
+    }
+
+    fn name(&self) -> String {
+        format!("L/N(t={})", self.threshold_percent)
+    }
+}
+
+impl fmt::Display for LearnedFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_ripper::{Condition, Op, Rule};
+
+    fn fv(bb_len: f64, loads: f64) -> FeatureVector {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = bb_len;
+        v[FeatureKind::Loads.index()] = loads;
+        FeatureVector::from_values(v)
+    }
+
+    #[test]
+    fn fixed_strategies() {
+        assert!(AlwaysSchedule.should_schedule(&fv(1.0, 0.0)));
+        assert!(!NeverSchedule.should_schedule(&fv(100.0, 1.0)));
+        assert_eq!(AlwaysSchedule.name(), "LS");
+        assert_eq!(NeverSchedule.name(), "NS");
+    }
+
+    #[test]
+    fn size_threshold() {
+        let f = SizeThresholdFilter::new(5);
+        assert!(!f.should_schedule(&fv(4.0, 0.0)));
+        assert!(f.should_schedule(&fv(5.0, 0.0)));
+        assert_eq!(f.name(), "size>=5");
+        assert_eq!(f.min_len(), 5);
+    }
+
+    #[test]
+    fn learned_filter_delegates_to_rules() {
+        let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();
+        let rules = RuleSet::new(
+            attr_names,
+            "list",
+            "orig",
+            vec![Rule::from_conditions(vec![
+                Condition { attr: FeatureKind::BbLen.index(), op: Op::Ge, threshold: 7.0 },
+                Condition { attr: FeatureKind::Loads.index(), op: Op::Ge, threshold: 0.3 },
+            ])],
+            vec![],
+            Default::default(),
+        );
+        let f = LearnedFilter::new(rules, 20);
+        assert!(f.should_schedule(&fv(8.0, 0.5)));
+        assert!(!f.should_schedule(&fv(8.0, 0.1)));
+        assert!(!f.should_schedule(&fv(3.0, 0.5)));
+        assert_eq!(f.name(), "L/N(t=20)");
+        assert_eq!(f.threshold_percent(), 20);
+        assert!(f.to_string().contains("list :-"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Trace-file serialization.
+//!
+//! The paper's pipeline writes "into a trace file raw data for forming
+//! instances" (§2.2) and contemplates shipping "tools to end users so
+//! that they could develop their own training sets and retrain"
+//! (footnote 4). This module is that interchange format: a
+//! tab-separated, header-checked text file that round-trips
+//! [`TraceRecord`]s exactly (wall-clock fields included, since they are
+//! data about the traced run).
+
+use crate::TraceRecord;
+use std::fmt::Write as _;
+use wts_features::{FeatureKind, FeatureVector};
+use wts_ir::{BlockId, MethodId};
+
+/// Format version tag written as the first header column.
+const MAGIC: &str = "schedfilter-trace-v1";
+
+/// An error produced while reading a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> ParseTraceError {
+        ParseTraceError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending line (0 for the header).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes records to the trace-file text format.
+///
+/// The first line is a header naming every column; one record per line
+/// follows, tab-separated. Feature values are printed with full
+/// precision (`{:?}` on `f64` round-trips exactly).
+pub fn write_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push_str("\tbenchmark\tmethod\tblock\texec");
+    for k in FeatureKind::ALL {
+        let _ = write!(out, "\t{k}");
+    }
+    out.push_str("\test_unsched\test_sched\thw_unsched\thw_sched\tsched_ns\tfeature_ns\tsched_work\tfeature_work\n");
+    for r in records {
+        let _ = write!(out, "rec\t{}\t{}\t{}\t{}", r.benchmark, r.method.0, r.block.0, r.exec_count);
+        for k in FeatureKind::ALL {
+            let _ = write!(out, "\t{:?}", r.features.get(k));
+        }
+        let _ = writeln!(
+            out,
+            "\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.est_unsched, r.est_sched, r.hw_unsched, r.hw_sched, r.sched_ns, r.feature_ns, r.sched_work, r.feature_work
+        );
+    }
+    out
+}
+
+/// Parses a trace file written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] for a bad header, wrong column count,
+/// or malformed field.
+pub fn read_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| ParseTraceError::new(0, "empty trace file"))?;
+    if !header.starts_with(MAGIC) {
+        return Err(ParseTraceError::new(0, format!("bad magic, expected '{MAGIC}'")));
+    }
+    let expected_cols = 5 + FeatureKind::COUNT + 8;
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != expected_cols {
+            return Err(ParseTraceError::new(lineno, format!("expected {expected_cols} columns, found {}", cols.len())));
+        }
+        if cols[0] != "rec" {
+            return Err(ParseTraceError::new(lineno, "record lines must start with 'rec'"));
+        }
+        let int = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|_| ParseTraceError::new(lineno, format!("bad {what}: '{s}'")))
+        };
+        let mut values = [0.0f64; FeatureKind::COUNT];
+        for (k, slot) in values.iter_mut().enumerate() {
+            let s = cols[5 + k];
+            *slot = s
+                .parse::<f64>()
+                .map_err(|_| ParseTraceError::new(lineno, format!("bad feature value '{s}'")))?;
+        }
+        let base = 5 + FeatureKind::COUNT;
+        out.push(TraceRecord {
+            benchmark: cols[1].to_string(),
+            method: MethodId(int(cols[2], "method id")? as u32),
+            block: BlockId(int(cols[3], "block id")? as u32),
+            exec_count: int(cols[4], "exec count")?,
+            features: FeatureVector::from_values(values),
+            est_unsched: int(cols[base], "est_unsched")?,
+            est_sched: int(cols[base + 1], "est_sched")?,
+            hw_unsched: int(cols[base + 2], "hw_unsched")?,
+            hw_sched: int(cols[base + 3], "hw_sched")?,
+            sched_ns: int(cols[base + 4], "sched_ns")?,
+            feature_ns: int(cols[base + 5], "feature_ns")?,
+            sched_work: int(cols[base + 6], "sched_work")?,
+            feature_work: int(cols[base + 7], "feature_work")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bench: &str, unsched: u64, sched: u64) -> TraceRecord {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = 7.0;
+        v[FeatureKind::Loads.index()] = 1.0 / 3.0; // non-terminating decimal
+        TraceRecord {
+            benchmark: bench.to_string(),
+            method: MethodId(3),
+            block: BlockId(9),
+            exec_count: 42,
+            features: FeatureVector::from_values(v),
+            est_unsched: unsched,
+            est_sched: sched,
+            hw_unsched: unsched + 1,
+            hw_sched: sched + 1,
+            sched_ns: 1234,
+            feature_ns: 56,
+            sched_work: 99,
+            feature_work: 7,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let records = vec![record("compress", 100, 80), record("jess", 10, 10)];
+        let text = write_trace(&records);
+        let back = read_trace(&text).expect("own output must parse");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_record_list_round_trips() {
+        let text = write_trace(&[]);
+        assert_eq!(read_trace(&text).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace("nonsense\n").unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        assert_eq!(err.line(), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let mut text = write_trace(&[record("a", 5, 4)]);
+        text.push_str("rec\tonly\tthree\n");
+        let err = read_trace(&text).unwrap_err();
+        assert!(err.to_string().contains("columns"));
+        assert_eq!(err.line(), 3, "header is line 1, record line 2, bad line 3");
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        let good = write_trace(&[record("a", 5, 4)]);
+        let bad = good.replace("\t42\t", "\tforty-two\t");
+        assert!(read_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let mut text = write_trace(&[record("a", 5, 4)]);
+        text.push('\n');
+        assert_eq!(read_trace(&text).unwrap().len(), 1);
+    }
+}

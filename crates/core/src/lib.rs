@@ -1,0 +1,55 @@
+//! The paper's contribution: learned *filters* that decide, per basic
+//! block, whether running the instruction scheduler is worth it.
+//!
+//! The pipeline mirrors §2.2 of Cavazos & Moss:
+//!
+//! 1. **Trace** ([`collect_trace`]): as the JIT compiles each method, the
+//!    instrumented scheduler emits, per block, the Table 1 features plus
+//!    the estimated block cost without scheduling and with list
+//!    scheduling (both from the cheap cost model), the detailed-simulator
+//!    costs used as "measured" ground truth, and the observed scheduling
+//!    and feature-extraction times.
+//! 2. **Label** ([`LabelConfig`]): a block is `LS` when scheduling
+//!    improves the estimate by more than `t`%, `NS` when scheduling does
+//!    not improve it at all, and *dropped* when the benefit is between 0
+//!    and `t`% (the noise-reduction trick of §4.4).
+//! 3. **Train** ([`train_filter`], [`train_loocv`]): RIPPER induces an
+//!    if-then rule set over the features; leave-one-benchmark-out
+//!    cross-validation reproduces the paper's protocol.
+//! 4. **Evaluate** ([`classification_matrix`], [`sched_time_ratio`],
+//!    [`app_time_ratio`], …): classification accuracy (Table 3),
+//!    predicted execution times (Table 4), training-set sizes (Table 5),
+//!    run-time classification counts (Table 6), scheduling-time ratios
+//!    (Figures 1a/2a/3a) and application-time ratios (Figures 1b/2b/3b).
+//!
+//! # Examples
+//!
+//! ```
+//! use wts_core::{Filter, SizeThresholdFilter};
+//! use wts_features::FeatureVector;
+//! use wts_ir::{BasicBlock, Inst, Opcode, Reg};
+//!
+//! let mut b = BasicBlock::new(0);
+//! for i in 0..8u16 {
+//!     b.push(Inst::new(Opcode::Add).def(Reg::gpr(i + 1)).use_(Reg::gpr(0)).use_(Reg::gpr(0)));
+//! }
+//! let filter = SizeThresholdFilter::new(5);
+//! assert!(filter.should_schedule(&FeatureVector::extract(&b)));
+//! ```
+
+mod eval;
+mod filter;
+mod io;
+mod label;
+mod trace;
+mod train;
+
+pub use eval::{
+    app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio,
+    ClassCounts, EvalTimes,
+};
+pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
+pub use io::{read_trace, write_trace, ParseTraceError};
+pub use label::{build_dataset, LabelConfig};
+pub use trace::{collect_trace, collect_trace_with_policy, TraceRecord};
+pub use train::{train_filter, train_loocv, TrainConfig};

@@ -1,0 +1,135 @@
+//! Filter training: RIPPER over labeled traces, with the paper's
+//! leave-one-benchmark-out protocol.
+
+use crate::{build_dataset, LabelConfig, LearnedFilter, TraceRecord};
+use wts_ripper::{leave_one_group_out, RipperConfig};
+
+/// Training configuration: labeling threshold + learner settings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainConfig {
+    /// Labeling threshold.
+    pub label: LabelConfig,
+    /// RIPPER settings.
+    pub ripper: RipperConfig,
+}
+
+impl TrainConfig {
+    /// A config with the given threshold and default RIPPER settings.
+    pub fn with_threshold(threshold_percent: u32) -> TrainConfig {
+        TrainConfig { label: LabelConfig::new(threshold_percent), ..Default::default() }
+    }
+}
+
+/// Trains a single filter on *all* the given traces ("at the factory",
+/// §3). Use [`train_loocv`] for the evaluation protocol.
+pub fn train_filter(traces: &[TraceRecord], config: &TrainConfig) -> LearnedFilter {
+    let (data, _) = build_dataset(traces, config.label);
+    let rules = config.ripper.fit(&data);
+    LearnedFilter::new(rules, config.label.threshold_percent)
+}
+
+/// Leave-one-benchmark-out cross-validation: for each benchmark in the
+/// traces, trains a filter on the other benchmarks' instances and pairs
+/// it with the held-out benchmark's name.
+///
+/// Returns `(benchmark, filter)` pairs in benchmark-name order.
+pub fn train_loocv(traces: &[TraceRecord], config: &TrainConfig) -> Vec<(String, LearnedFilter)> {
+    let (data, groups) = build_dataset(traces, config.label);
+    let mut by_id: Vec<(u32, String)> = groups.iter().map(|(n, &g)| (g, n.clone())).collect();
+    by_id.sort_unstable();
+    let mut out = Vec::new();
+    for fold in leave_one_group_out(&data) {
+        let name = by_id
+            .iter()
+            .find(|(g, _)| *g == fold.held_out)
+            .map(|(_, n)| n.clone())
+            .expect("fold group must exist");
+        let rules = config.ripper.fit(&fold.train);
+        out.push((name, LearnedFilter::new(rules, config.label.threshold_percent)));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Filter;
+    use wts_features::{FeatureKind, FeatureVector};
+    use wts_ir::{BlockId, MethodId};
+
+    /// Synthetic traces where big loady blocks benefit and small ones do
+    /// not — across three "benchmarks".
+    fn traces() -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        let mut k = 0u32;
+        for bench in ["alpha", "beta", "gamma"] {
+            for i in 0..120 {
+                let big = i % 3 == 0;
+                let bb_len = if big { 10.0 + (i % 7) as f64 } else { 2.0 + (i % 3) as f64 };
+                let loads = if big { 0.4 } else { 0.05 };
+                let mut v = [0.0; FeatureKind::COUNT];
+                v[FeatureKind::BbLen.index()] = bb_len;
+                v[FeatureKind::Loads.index()] = loads;
+                v[FeatureKind::Integers.index()] = 0.5;
+                let (unsched, sched) = if big { (100, 60) } else { (10, 10) };
+                out.push(TraceRecord {
+                    benchmark: bench.to_string(),
+                    method: MethodId(k),
+                    block: BlockId(k),
+                    exec_count: 1,
+                    features: FeatureVector::from_values(v),
+                    est_unsched: unsched,
+                    est_sched: sched,
+                    hw_unsched: unsched,
+                    hw_sched: sched,
+                    sched_ns: 100,
+                    feature_ns: 10,
+                    sched_work: 20,
+                    feature_work: 5,
+                });
+                k += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trained_filter_separates_big_loady_blocks() {
+        let f = train_filter(&traces(), &TrainConfig::with_threshold(0));
+        let mut big = [0.0; FeatureKind::COUNT];
+        big[FeatureKind::BbLen.index()] = 12.0;
+        big[FeatureKind::Loads.index()] = 0.4;
+        big[FeatureKind::Integers.index()] = 0.5;
+        let mut small = [0.0; FeatureKind::COUNT];
+        small[FeatureKind::BbLen.index()] = 2.0;
+        small[FeatureKind::Loads.index()] = 0.05;
+        small[FeatureKind::Integers.index()] = 0.5;
+        assert!(f.should_schedule(&FeatureVector::from_values(big)));
+        assert!(!f.should_schedule(&FeatureVector::from_values(small)));
+    }
+
+    #[test]
+    fn loocv_yields_one_filter_per_benchmark() {
+        let folds = train_loocv(&traces(), &TrainConfig::with_threshold(0));
+        let names: Vec<&str> = folds.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+        for (_, f) in &folds {
+            assert_eq!(f.threshold_percent(), 0);
+            assert!(!f.rules().is_empty(), "learnable structure should produce rules");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let t = traces();
+        let c = TrainConfig::with_threshold(0);
+        assert_eq!(train_filter(&t, &c), train_filter(&t, &c));
+    }
+
+    #[test]
+    fn threshold_is_recorded() {
+        let f = train_filter(&traces(), &TrainConfig::with_threshold(25));
+        assert_eq!(f.threshold_percent(), 25);
+    }
+}

@@ -1,0 +1,433 @@
+//! The dependence graph itself.
+
+use std::collections::HashMap;
+use wts_ir::{Inst, Reg};
+
+/// Why one instruction must stay ordered after another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DepKind {
+    /// Read-after-write through a register.
+    True,
+    /// Write-after-read through a register.
+    Anti,
+    /// Write-after-write through a register.
+    Output,
+    /// Ordering between may-aliasing memory accesses.
+    Memory,
+    /// Ordering against a control transfer (branch, call, return).
+    Control,
+    /// Ordering against a hazardous instruction (PEI, GC point,
+    /// thread-switch point, yield point) that disallows reordering.
+    Hazard,
+}
+
+/// A dependence DAG over the instructions of one basic block.
+///
+/// Nodes are instruction indices in original program order; every edge
+/// points from a lower to a higher index, so the graph is acyclic by
+/// construction. Parallel edges of different kinds between the same pair
+/// are collapsed, keeping the first (strongest) kind recorded.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    n: usize,
+    preds: Vec<Vec<(u32, DepKind)>>,
+    succs: Vec<Vec<(u32, DepKind)>>,
+}
+
+impl DepGraph {
+    /// Builds the DAG for `insts` (one block's instructions, program order).
+    pub fn build(insts: &[Inst]) -> DepGraph {
+        Builder::new(insts.len(), false).run(insts)
+    }
+
+    /// Builds a *speculative* DAG for superblock scheduling: branches
+    /// order only with other side-effecting instructions (memory writes,
+    /// calls, hazards, control), so pure register computation may move
+    /// across the superblock's internal side exits. This models trace
+    /// scheduling with compensation code (Fisher 1981), which the paper
+    /// cites as the enabling technique and leaves as future work (§3.1).
+    pub fn build_speculative(insts: &[Inst]) -> DepGraph {
+        Builder::new(insts.len(), true).run(insts)
+    }
+
+    /// Number of instructions (nodes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the block was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Predecessors of `i` (instructions that must come before it).
+    pub fn preds(&self, i: usize) -> &[(u32, DepKind)] {
+        &self.preds[i]
+    }
+
+    /// Successors of `i` (instructions that must come after it).
+    pub fn succs(&self, i: usize) -> &[(u32, DepKind)] {
+        &self.succs[i]
+    }
+
+    /// True when an edge `from -> to` exists (any kind).
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.succs[from].iter().any(|&(t, _)| t as usize == to)
+    }
+
+    /// Kind of the edge `from -> to`, if present.
+    pub fn edge_kind(&self, from: usize, to: usize) -> Option<DepKind> {
+        self.succs[from].iter().find(|&&(t, _)| t as usize == to).map(|&(_, k)| k)
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// True when `order` is a permutation of `0..len` that respects every
+    /// edge (each node appears after all its predecessors).
+    pub fn respects(&self, order: &[usize]) -> bool {
+        if order.len() != self.n {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.n];
+        for (p, &i) in order.iter().enumerate() {
+            if i >= self.n || pos[i] != usize::MAX {
+                return false;
+            }
+            pos[i] = p;
+        }
+        for i in 0..self.n {
+            for &(p, _) in &self.preds[i] {
+                if pos[p as usize] > pos[i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Indices whose predecessors are all in `scheduled` (given as a
+    /// boolean membership mask) and that are not themselves scheduled.
+    pub fn ready(&self, scheduled: &[bool]) -> Vec<usize> {
+        assert_eq!(scheduled.len(), self.n, "mask length mismatch");
+        (0..self.n)
+            .filter(|&i| !scheduled[i] && self.preds[i].iter().all(|&(p, _)| scheduled[p as usize]))
+            .collect()
+    }
+}
+
+struct Builder {
+    preds: Vec<Vec<(u32, DepKind)>>,
+    succs: Vec<Vec<(u32, DepKind)>>,
+    edge_set: HashMap<(u32, u32), ()>,
+    speculative: bool,
+}
+
+impl Builder {
+    fn new(n: usize, speculative: bool) -> Builder {
+        Builder { preds: vec![Vec::new(); n], succs: vec![Vec::new(); n], edge_set: HashMap::new(), speculative }
+    }
+
+    fn edge(&mut self, from: u32, to: u32, kind: DepKind) {
+        debug_assert!(from < to, "dependence edges must follow program order");
+        if self.edge_set.insert((from, to), ()).is_none() {
+            self.succs[from as usize].push((to, kind));
+            self.preds[to as usize].push((from, kind));
+        }
+    }
+
+    fn run(mut self, insts: &[Inst]) -> DepGraph {
+        let n = insts.len();
+        let mut last_def: HashMap<Reg, u32> = HashMap::new();
+        let mut uses_since_def: HashMap<Reg, Vec<u32>> = HashMap::new();
+        let mut stores: Vec<u32> = Vec::new();
+        let mut loads_since_store: Vec<u32> = Vec::new();
+        // Control transfers and hazardous instructions are reorder
+        // barriers: chain everything between consecutive barriers. In
+        // speculative mode, plain branches only order against
+        // side-effecting or hazardous instructions — pure register
+        // computation may cross a superblock's internal side exits.
+        let mut last_barrier: Option<u32> = None;
+        let mut since_barrier: Vec<u32> = Vec::new();
+        let mut last_branch: Option<u32> = None;
+
+        for (idx, inst) in insts.iter().enumerate() {
+            let i = idx as u32;
+            let op = inst.opcode();
+
+            for u in inst.uses() {
+                if let Some(&d) = last_def.get(u) {
+                    self.edge(d, i, DepKind::True);
+                }
+                uses_since_def.entry(*u).or_default().push(i);
+            }
+            for d in inst.defs() {
+                if let Some(&p) = last_def.get(d) {
+                    self.edge(p, i, DepKind::Output);
+                }
+                if let Some(readers) = uses_since_def.get(d) {
+                    for &r in readers.clone().iter() {
+                        if r != i {
+                            self.edge(r, i, DepKind::Anti);
+                        }
+                    }
+                }
+            }
+            if let Some(m) = inst.mem_ref() {
+                for &s in &stores {
+                    let sm = insts[s as usize].mem_ref().expect("stores carry mem refs");
+                    if m.may_alias(sm) {
+                        self.edge(s, i, DepKind::Memory);
+                    }
+                }
+                if op.is_store() {
+                    for &l in &loads_since_store {
+                        let lm = insts[l as usize].mem_ref().expect("loads carry mem refs");
+                        if m.may_alias(lm) {
+                            self.edge(l, i, DepKind::Memory);
+                        }
+                    }
+                }
+            }
+
+            // Speculative mode downgrades plain branches (not calls or
+            // returns, which clobber machine state) to side-effect-only
+            // barriers.
+            let is_full_barrier = if self.speculative {
+                op.is_call() || op.is_return() || inst.is_hazardous()
+            } else {
+                op.is_control() || inst.is_hazardous()
+            };
+            let is_branch_barrier = self.speculative && op.is_branch();
+            let effectful = inst.opcode().has_side_effect() || inst.is_hazardous();
+
+            if let Some(b) = last_barrier {
+                let kind = if insts[b as usize].opcode().is_control() { DepKind::Control } else { DepKind::Hazard };
+                self.edge(b, i, kind);
+            }
+            if is_branch_barrier {
+                if let Some(br) = last_branch {
+                    self.edge(br, i, DepKind::Control);
+                }
+                for &p in &since_barrier {
+                    let pi = &insts[p as usize];
+                    if pi.opcode().has_side_effect() || pi.is_hazardous() {
+                        self.edge(p, i, DepKind::Control);
+                    }
+                }
+                last_branch = Some(i);
+                since_barrier.push(i);
+            } else if is_full_barrier {
+                let kind = if op.is_control() { DepKind::Control } else { DepKind::Hazard };
+                for &p in &since_barrier {
+                    self.edge(p, i, kind);
+                }
+                last_barrier = Some(i);
+                last_branch = None;
+                since_barrier.clear();
+            } else {
+                if effectful {
+                    if let Some(br) = last_branch {
+                        self.edge(br, i, DepKind::Control);
+                    }
+                }
+                since_barrier.push(i);
+            }
+
+            for d in inst.defs() {
+                last_def.insert(*d, i);
+                uses_since_def.insert(*d, Vec::new());
+            }
+            if op.is_store() {
+                stores.push(i);
+                loads_since_store.clear();
+            } else if op.is_load() {
+                loads_since_store.push(i);
+            }
+        }
+        DepGraph { n, preds: self.preds, succs: self.succs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_ir::{Hazards, MemRef, MemSpace, Opcode};
+
+    fn add(def: u16, a: u16, b: u16) -> Inst {
+        Inst::new(Opcode::Add).def(Reg::gpr(def)).use_(Reg::gpr(a)).use_(Reg::gpr(b))
+    }
+
+    fn load(def: u16, slot: u32) -> Inst {
+        Inst::new(Opcode::Lwz).def(Reg::gpr(def)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, slot))
+    }
+
+    fn store(src: u16, slot: u32) -> Inst {
+        Inst::new(Opcode::Stw).use_(Reg::gpr(src)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, slot))
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DepGraph::build(&[]);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.respects(&[]));
+    }
+
+    #[test]
+    fn true_dependence() {
+        let g = DepGraph::build(&[add(1, 9, 9), add(2, 1, 9)]);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::True));
+    }
+
+    #[test]
+    fn anti_dependence() {
+        // i0 reads r1; i1 overwrites r1.
+        let g = DepGraph::build(&[add(2, 1, 1), add(1, 9, 9)]);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::Anti));
+    }
+
+    #[test]
+    fn output_dependence() {
+        let g = DepGraph::build(&[add(1, 9, 9), add(1, 8, 8)]);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::Output));
+    }
+
+    #[test]
+    fn independent_instructions_have_no_edge() {
+        let g = DepGraph::build(&[add(1, 9, 9), add(2, 8, 8)]);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.respects(&[1, 0]));
+    }
+
+    #[test]
+    fn memory_edges_respect_aliasing() {
+        let g = DepGraph::build(&[store(1, 0), load(2, 0), load(3, 8)]);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::Memory), "aliasing load after store");
+        assert!(!g.has_edge(0, 2), "disjoint slots are independent");
+        assert!(!g.has_edge(1, 2), "loads do not order with loads");
+    }
+
+    #[test]
+    fn store_after_load_is_ordered() {
+        let g = DepGraph::build(&[load(2, 0), store(1, 0)]);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::Memory));
+    }
+
+    #[test]
+    fn unknown_slot_aliases_everything_in_space() {
+        let g = DepGraph::build(&[
+            store(1, 0),
+            Inst::new(Opcode::Lwz).def(Reg::gpr(2)).use_(Reg::gpr(30)).mem(MemRef::unknown(MemSpace::Heap)),
+        ]);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn branch_orders_with_everything() {
+        let g = DepGraph::build(&[add(1, 9, 9), add(2, 8, 8), Inst::new(Opcode::Bc).use_(Reg::cr(0))]);
+        assert_eq!(g.edge_kind(0, 2), Some(DepKind::Control));
+        assert_eq!(g.edge_kind(1, 2), Some(DepKind::Control));
+        assert!(g.respects(&[1, 0, 2]));
+        assert!(!g.respects(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn call_is_a_barrier_both_ways() {
+        let g = DepGraph::build(&[add(1, 9, 9), Inst::new(Opcode::Bl).def(Reg::lr()), add(2, 8, 8)]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2), "barrier chaining keeps the graph sparse");
+        assert!(!g.respects(&[2, 1, 0]));
+        assert!(g.respects(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn hazard_disallows_reordering() {
+        let pei = Inst::new(Opcode::Lwz)
+            .def(Reg::gpr(5))
+            .use_(Reg::gpr(30))
+            .mem(MemRef::slot(MemSpace::Heap, 4))
+            .hazard(Hazards::PEI);
+        let g = DepGraph::build(&[add(1, 9, 9), pei, add(2, 8, 8)]);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::Hazard));
+        assert_eq!(g.edge_kind(1, 2), Some(DepKind::Hazard));
+    }
+
+    #[test]
+    fn ready_tracks_scheduled_mask() {
+        let g = DepGraph::build(&[add(1, 9, 9), add(2, 1, 9), add(3, 8, 8)]);
+        assert_eq!(g.ready(&[false, false, false]), vec![0, 2]);
+        assert_eq!(g.ready(&[true, false, false]), vec![1, 2]);
+        assert_eq!(g.ready(&[true, true, true]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn respects_rejects_non_permutations() {
+        let g = DepGraph::build(&[add(1, 9, 9), add(2, 8, 8)]);
+        assert!(!g.respects(&[0]));
+        assert!(!g.respects(&[0, 0]));
+        assert!(!g.respects(&[0, 5]));
+    }
+
+    #[test]
+    fn speculative_lets_alu_cross_branches() {
+        let insts = vec![add(1, 9, 9), Inst::new(Opcode::Bc).use_(Reg::cr(0)), add(2, 8, 8)];
+        let normal = DepGraph::build(&insts);
+        assert!(normal.has_edge(0, 1) && normal.has_edge(1, 2));
+        let spec = DepGraph::build_speculative(&insts);
+        assert!(!spec.has_edge(0, 1), "pure add may sink below the branch");
+        assert!(!spec.has_edge(1, 2), "pure add may hoist above the branch");
+        assert!(spec.respects(&[0, 2, 1]));
+        assert!(spec.respects(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn speculative_keeps_stores_ordered_with_branches() {
+        let insts = vec![store(1, 0), Inst::new(Opcode::Bc).use_(Reg::cr(0)), store(2, 4)];
+        let spec = DepGraph::build_speculative(&insts);
+        assert!(spec.has_edge(0, 1), "stores may not sink below a side exit");
+        assert!(spec.has_edge(1, 2), "stores may not hoist above a side exit");
+    }
+
+    #[test]
+    fn speculative_keeps_branches_ordered() {
+        let insts = vec![
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+            add(1, 9, 9),
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+        ];
+        let spec = DepGraph::build_speculative(&insts);
+        assert!(spec.has_edge(0, 2), "side exits stay in order");
+        assert!(!spec.has_edge(0, 1));
+    }
+
+    #[test]
+    fn speculative_calls_remain_full_barriers() {
+        let insts = vec![add(1, 9, 9), Inst::new(Opcode::Bl).def(Reg::lr()), add(2, 8, 8)];
+        let spec = DepGraph::build_speculative(&insts);
+        assert!(spec.has_edge(0, 1));
+        assert!(spec.has_edge(1, 2));
+    }
+
+    #[test]
+    fn speculative_hazards_remain_full_barriers() {
+        let pei = Inst::new(Opcode::NullCheck).use_(Reg::gpr(5)).hazard(Hazards::PEI);
+        let insts = vec![add(1, 9, 9), pei, add(2, 8, 8)];
+        let spec = DepGraph::build_speculative(&insts);
+        assert!(spec.has_edge(0, 1));
+        assert!(spec.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_are_deduplicated() {
+        // i1 both truly depends on r1 and anti-depends via r2... build a
+        // case with two reasons for the same edge.
+        let i0 = Inst::new(Opcode::Add).def(Reg::gpr(1)).def(Reg::gpr(2)).use_(Reg::gpr(9)).use_(Reg::gpr(9));
+        let i1 = add(3, 1, 2);
+        let g = DepGraph::build(&[i0, i1]);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

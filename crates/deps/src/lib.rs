@@ -1,0 +1,34 @@
+//! Dependence DAG construction over basic blocks.
+//!
+//! The list scheduler may only permute a block into orders that respect
+//! the block's dependences. Two instructions are dependent when they
+//! access the same data (register or memory) with at least one writer, or
+//! when at least one of them is a branch (paper §1.1). Hazardous
+//! instructions — PEIs, GC points, thread-switch points and yield points —
+//! "disallow reordering" (paper Table 1), which we model conservatively as
+//! ordering barriers in the DAG.
+//!
+//! Note the division of labour: hazard constraints restrict the
+//! *scheduler* (they live here), while the machine simulators in
+//! `wts-machine` only model timing of a fixed order.
+//!
+//! # Examples
+//!
+//! ```
+//! use wts_deps::DepGraph;
+//! use wts_ir::{BasicBlock, Inst, Opcode, Reg};
+//!
+//! let mut b = BasicBlock::new(0);
+//! b.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(1));
+//! b.push(Inst::new(Opcode::Add).def(Reg::gpr(2)).use_(Reg::gpr(1)).use_(Reg::gpr(1)));
+//! let g = DepGraph::build(b.insts());
+//! assert!(g.has_edge(0, 1));
+//! assert!(g.respects(&[0, 1]));
+//! assert!(!g.respects(&[1, 0]));
+//! ```
+
+mod critical;
+mod graph;
+
+pub use critical::critical_paths;
+pub use graph::{DepGraph, DepKind};

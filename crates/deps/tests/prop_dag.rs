@@ -1,0 +1,106 @@
+//! Property-based tests for dependence-graph construction.
+
+use proptest::prelude::*;
+use wts_deps::{critical_paths, DepGraph};
+use wts_ir::{Hazards, Inst, MemRef, MemSpace, Opcode, Reg};
+use wts_machine::MachineConfig;
+
+fn arb_insts(max: usize) -> impl Strategy<Value = Vec<Inst>> {
+    prop::collection::vec(
+        (0u8..7, 0u16..5, 0u16..5, 0u32..3).prop_map(|(kind, a, b, slot)| match kind {
+            0 | 1 => Inst::new(Opcode::Add).def(Reg::gpr(a + 8)).use_(Reg::gpr(b)).use_(Reg::gpr(a)),
+            2 => Inst::new(Opcode::Lwz).def(Reg::gpr(a + 8)).use_(Reg::gpr(b)).mem(MemRef::slot(MemSpace::Heap, slot)),
+            3 => Inst::new(Opcode::Stw).use_(Reg::gpr(a)).use_(Reg::gpr(b)).mem(MemRef::slot(MemSpace::Heap, slot)),
+            4 => Inst::new(Opcode::Fadd).def(Reg::fpr(a + 1)).use_(Reg::fpr(b)).use_(Reg::fpr(a)),
+            5 => Inst::new(Opcode::NullCheck).use_(Reg::gpr(a)).hazard(Hazards::PEI),
+            _ => Inst::new(Opcode::Mr).def(Reg::gpr(a + 8)).use_(Reg::gpr(b)),
+        }),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn edges_point_forward_only(insts in arb_insts(16)) {
+        let g = DepGraph::build(&insts);
+        for i in 0..g.len() {
+            for &(s, _) in g.succs(i) {
+                prop_assert!((s as usize) > i, "edge {i} -> {s} goes backward");
+            }
+            for &(p, _) in g.preds(i) {
+                prop_assert!((p as usize) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn preds_and_succs_are_mirror_images(insts in arb_insts(16)) {
+        let g = DepGraph::build(&insts);
+        let mut from_succs = 0usize;
+        for i in 0..g.len() {
+            for &(s, _) in g.succs(i) {
+                prop_assert!(g.preds(s as usize).iter().any(|&(p, _)| p as usize == i));
+                from_succs += 1;
+            }
+        }
+        prop_assert_eq!(from_succs, g.edge_count());
+    }
+
+    #[test]
+    fn identity_order_always_respected(insts in arb_insts(16)) {
+        let g = DepGraph::build(&insts);
+        let identity: Vec<usize> = (0..insts.len()).collect();
+        prop_assert!(g.respects(&identity));
+    }
+
+    #[test]
+    fn topological_consumption_reaches_every_node(insts in arb_insts(16)) {
+        let g = DepGraph::build(&insts);
+        let mut scheduled = vec![false; g.len()];
+        let mut placed = 0;
+        loop {
+            let ready = g.ready(&scheduled);
+            if ready.is_empty() {
+                break;
+            }
+            scheduled[ready[0]] = true;
+            placed += 1;
+        }
+        prop_assert_eq!(placed, g.len(), "DAG must never deadlock");
+    }
+
+    #[test]
+    fn critical_paths_decrease_along_edges(insts in arb_insts(16)) {
+        let m = MachineConfig::ppc7410();
+        let g = DepGraph::build(&insts);
+        let cp = critical_paths(&g, &insts, &m);
+        for i in 0..g.len() {
+            prop_assert!(cp[i] >= m.latency(insts[i].opcode()) as u64);
+            for &(s, _) in g.succs(i) {
+                prop_assert!(cp[i] > cp[s as usize], "cp must strictly decrease along an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_register_pairs_are_connected(insts in arb_insts(12)) {
+        // For every pair (i, j), i < j, where j reads a register i writes
+        // and no instruction between them rewrites it, an edge must exist.
+        let g = DepGraph::build(&insts);
+        for i in 0..insts.len() {
+            'pair: for j in (i + 1)..insts.len() {
+                for d in insts[i].defs() {
+                    if insts[j].uses().contains(d) {
+                        let rewritten = insts[i + 1..j].iter().any(|k| k.defs().contains(d));
+                        if !rewritten {
+                            prop_assert!(g.has_edge(i, j), "missing true dep {i} -> {j} on {d}");
+                            continue 'pair;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! `repro` — regenerates every table and figure of Cavazos & Moss 2004.
+//!
+//! ```text
+//! repro [--scale X] [ARTIFACT...]
+//!
+//! ARTIFACTs: table1 table2 table3 table4 table5 table6 table7
+//!            fig1 fig2 fig3 fig4
+//!            calibrate learners machines policies factory
+//!            superblocks adaptive selftrain
+//!            all          (default: everything above)
+//! ```
+
+use std::process::ExitCode;
+use wts_experiments::{table1, table2, table7, Experiments};
+
+const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|adaptive|selftrain|all]...";
+
+fn main() -> ExitCode {
+    let mut scale = 1.0f64;
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--scale needs a positive number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                scale = v;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if scale <= 0.0 {
+        eprintln!("scale must be positive\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".into());
+    }
+    let all = [
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2", "fig3", "fig4",
+        "calibrate", "learners", "machines", "policies", "superblocks", "adaptive", "selftrain",
+    ];
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = all.iter().map(|s| s.to_string()).collect();
+    }
+    for a in &artifacts {
+        if !all.contains(&a.as_str()) && a != "factory" {
+            eprintln!("unknown artifact: {a}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Static tables need no harness.
+    let needs_harness = artifacts.iter().any(|a| !matches!(a.as_str(), "table1" | "table2" | "table7"));
+    eprintln!("# repro: scale={scale} artifacts={artifacts:?}");
+    let harness = if needs_harness {
+        eprintln!("# generating suites and tracing (this is the expensive step)...");
+        Some(Experiments::new(scale))
+    } else {
+        None
+    };
+
+    for a in &artifacts {
+        match a.as_str() {
+            "table1" => println!("{}", table1()),
+            "table2" => println!("{}", table2()),
+            "table7" => println!("{}", table7()),
+            name => {
+                let e = harness.as_ref().expect("harness built");
+                match name {
+                    "table3" => println!("{}", e.table3()),
+                    "table4" => println!("{}", e.table4()),
+                    "table5" => println!("{}", e.table5()),
+                    "table6" => println!("{}", e.table6()),
+                    "fig1" => println!("{}", e.fig1()),
+                    "fig2" => println!("{}", e.fig2()),
+                    "fig3" => println!("{}", e.fig3()),
+                    "fig4" => println!("{}", e.fig4()),
+                    "calibrate" => println!("{}", e.calibrate()),
+                    "learners" => println!("{}", e.learners(20)),
+                    "machines" => println!("{}", e.machines()),
+                    "policies" => println!("{}", e.policies()),
+                    "superblocks" => println!("{}", e.superblocks()),
+                    "adaptive" => println!("{}", e.adaptive(100)),
+                    "selftrain" => println!("{}", e.selftrain(20)),
+                    "factory" => println!("{}", e.factory_filter(20)),
+                    _ => unreachable!("validated above"),
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,173 @@
+//! Regeneration of every table and figure in Cavazos & Moss (PLDI 2004).
+//!
+//! [`Experiments`] generates the two benchmark suites, runs the
+//! instrumented scheduling pass once per benchmark, caches leave-one-out
+//! filters per threshold, and exposes one method per table/figure. The
+//! `repro` binary drives it:
+//!
+//! ```text
+//! repro --scale 1.0 all          # everything, paper-sized corpus
+//! repro table3                   # one artifact
+//! repro --scale 0.1 fig2         # quick look
+//! ```
+//!
+//! Methods return [`Table`]s (or strings for Figure 4) so tests can assert
+//! on cells; `Display` renders the paper-style text.
+
+mod extensions;
+mod figures;
+mod statics;
+mod table;
+mod tables;
+
+pub use statics::{table1, table2, table7};
+pub use table::Table;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use wts_core::{collect_trace, LearnedFilter, TraceRecord, TrainConfig, train_loocv};
+use wts_ir::Program;
+use wts_jit::Suite;
+use wts_machine::MachineConfig;
+
+/// The threshold sweep of the paper: 0..=50 percent in steps of 5.
+pub const THRESHOLDS: [u32; 11] = [0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+/// Which suite an artifact is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SuiteKind {
+    /// The SPECjvm98-like suite (Tables 2–6, Figures 1, 2, 4).
+    Jvm98,
+    /// The floating-point suite (Table 7, Figure 3).
+    Fp,
+}
+
+pub(crate) struct SuiteData {
+    pub names: Vec<String>,
+    pub programs: Vec<Program>,
+    pub traces: Vec<Vec<TraceRecord>>,
+    pub all_traces: Vec<TraceRecord>,
+}
+
+impl SuiteData {
+    fn build(suite: &Suite, machine: &MachineConfig) -> SuiteData {
+        let mut names = Vec::new();
+        let mut programs = Vec::new();
+        let mut traces = Vec::new();
+        let mut all_traces = Vec::new();
+        for b in suite.benchmarks() {
+            names.push(b.name().to_string());
+            programs.push(b.program().clone());
+            let t = collect_trace(b.program(), machine);
+            all_traces.extend(t.iter().cloned());
+            traces.push(t);
+        }
+        SuiteData { names, programs, traces, all_traces }
+    }
+}
+
+/// Name-sorted `(benchmark, filter)` pairs from one LOOCV training run.
+type LoocvFilters = Rc<Vec<(String, LearnedFilter)>>;
+
+/// The experiment harness: generated suites, traces and cached filters.
+pub struct Experiments {
+    machine: MachineConfig,
+    scale: f64,
+    jvm98: SuiteData,
+    fp: SuiteData,
+    loocv_cache: RefCell<BTreeMap<(SuiteKind, u32), LoocvFilters>>,
+}
+
+impl Experiments {
+    /// Builds the harness at the given corpus scale (1.0 = paper-sized,
+    /// ~45k jvm98 blocks; tests use 0.02–0.1).
+    pub fn new(scale: f64) -> Experiments {
+        let machine = MachineConfig::ppc7410();
+        let jvm98 = SuiteData::build(&Suite::specjvm98(scale), &machine);
+        let fp = SuiteData::build(&Suite::fp(scale), &machine);
+        Experiments { machine, scale, jvm98, fp, loocv_cache: RefCell::new(BTreeMap::new()) }
+    }
+
+    /// The corpus scale this harness was built at.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The modelled machine.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    pub(crate) fn suite(&self, kind: SuiteKind) -> &SuiteData {
+        match kind {
+            SuiteKind::Jvm98 => &self.jvm98,
+            SuiteKind::Fp => &self.fp,
+        }
+    }
+
+    /// Leave-one-benchmark-out filters for a suite at threshold `t`,
+    /// cached across artifacts (name-sorted pairs).
+    pub(crate) fn loocv(&self, kind: SuiteKind, t: u32) -> LoocvFilters {
+        if let Some(hit) = self.loocv_cache.borrow().get(&(kind, t)) {
+            return Rc::clone(hit);
+        }
+        let data = self.suite(kind);
+        let filters = Rc::new(train_loocv(&data.all_traces, &TrainConfig::with_threshold(t)));
+        self.loocv_cache.borrow_mut().insert((kind, t), Rc::clone(&filters));
+        filters
+    }
+
+    /// The filter trained for (i.e. *excluding*) the named benchmark.
+    pub(crate) fn filter_for(&self, kind: SuiteKind, t: u32, bench: &str) -> LearnedFilter {
+        let filters = self.loocv(kind, t);
+        filters
+            .iter()
+            .find(|(n, _)| n == bench)
+            .map(|(_, f)| f.clone())
+            .unwrap_or_else(|| panic!("no filter for benchmark {bench}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Experiments {
+        Experiments::new(0.02)
+    }
+
+    #[test]
+    fn builds_both_suites() {
+        let e = harness();
+        assert_eq!(e.suite(SuiteKind::Jvm98).names.len(), 7);
+        assert_eq!(e.suite(SuiteKind::Fp).names.len(), 6);
+        assert!(e.suite(SuiteKind::Jvm98).all_traces.len() > 100);
+        assert!((e.scale() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loocv_is_cached() {
+        let e = harness();
+        let a = e.loocv(SuiteKind::Jvm98, 0);
+        let b = e.loocv(SuiteKind::Jvm98, 0);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn filter_for_each_benchmark_exists() {
+        let e = harness();
+        for name in &e.suite(SuiteKind::Jvm98).names.clone() {
+            let f = e.filter_for(SuiteKind::Jvm98, 0, name);
+            assert_eq!(f.threshold_percent(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no filter for benchmark")]
+    fn unknown_benchmark_panics() {
+        let e = harness();
+        e.filter_for(SuiteKind::Jvm98, 0, "nope");
+    }
+}

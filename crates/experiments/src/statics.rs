@@ -1,0 +1,83 @@
+//! The paper's descriptive tables (1, 2 and 7), reproduced from the
+//! system itself rather than hard-coded prose where possible.
+
+use crate::table::Table;
+use wts_features::FeatureKind;
+use wts_jit::Suite;
+
+/// Table 1: the features of a basic block.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1: Features of a basic block",
+        vec!["Feature".into(), "Type".into(), "Meaning".into()],
+    );
+    for k in FeatureKind::ALL {
+        let (ty, meaning) = match k {
+            FeatureKind::BbLen => ("BB size", "Number of instructions in the block".to_string()),
+            FeatureKind::Branches => ("Op kind", "Fraction that are branches".to_string()),
+            FeatureKind::Calls => ("Op kind", "Fraction that are calls".to_string()),
+            FeatureKind::Loads => ("Op kind", "Fraction that are loads".to_string()),
+            FeatureKind::Stores => ("Op kind", "Fraction that are stores".to_string()),
+            FeatureKind::Returns => ("Op kind", "Fraction that are returns".to_string()),
+            FeatureKind::Integers => ("FU use", "Fraction using an integer functional unit".to_string()),
+            FeatureKind::Floats => ("FU use", "Fraction using a floating point functional unit".to_string()),
+            FeatureKind::Systems => ("FU use", "Fraction using a system functional unit".to_string()),
+            FeatureKind::Peis => ("Hazard", "Fraction that are potentially excepting".to_string()),
+            FeatureKind::GcPoints => ("Hazard", "Fraction that are garbage collection points".to_string()),
+            FeatureKind::TsPoints => ("Hazard", "Fraction that are thread switch points".to_string()),
+            FeatureKind::YieldPoints => ("Hazard", "Fraction that are yield points".to_string()),
+        };
+        t.push_row(vec![k.rule_name().to_string(), ty.to_string(), meaning]);
+    }
+    t
+}
+
+fn suite_table(title: &str, suite: &Suite) -> Table {
+    let mut t = Table::new(title, vec!["Benchmark".into(), "Description".into()]);
+    for b in suite.benchmarks() {
+        t.push_row(vec![b.name().to_string(), b.description().to_string()]);
+    }
+    t
+}
+
+/// Table 2: the SPECjvm98 benchmarks.
+pub fn table2() -> Table {
+    suite_table("Table 2: Characteristics of the SPECjvm98 benchmarks", &Suite::specjvm98(0.001))
+}
+
+/// Table 7: the floating-point suite.
+pub fn table7() -> Table {
+    suite_table(
+        "Table 7: Characteristics of a set of benchmarks that benefit from scheduling",
+        &Suite::fp(0.001),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_thirteen_features() {
+        let t = table1();
+        assert_eq!(t.row_count(), 13);
+        assert_eq!(t.cell(0, 0), "bbLen");
+        assert_eq!(t.cell(12, 0), "yieldpoints");
+        assert!(t.to_string().contains("Hazard"));
+    }
+
+    #[test]
+    fn table2_has_the_seven_jvm98_rows() {
+        let t = table2();
+        assert_eq!(t.row_count(), 7);
+        assert_eq!(t.cell(0, 0), "compress");
+        assert!(t.cell(1, 1).contains("CLIPS"));
+    }
+
+    #[test]
+    fn table7_has_the_six_fp_rows() {
+        let t = table7();
+        assert_eq!(t.row_count(), 6);
+        assert_eq!(t.cell(5, 0), "scimark");
+    }
+}

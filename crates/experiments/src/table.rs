@@ -1,0 +1,131 @@
+//! Minimal aligned-text table rendering for paper-style output.
+
+use std::fmt;
+
+/// A titled table with a header row and labelled rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table; `headers` includes the label column.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Table {
+        Table { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Adds a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row, column) for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Header accessor for tests.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{:<w$}", cells[i], w = widths[i])?;
+                } else {
+                    write!(f, "{:>w$}", cells[i], w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals (the paper's table style).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals (used for time ratios).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", vec!["name".into(), "x".into()]);
+        t.push_row(vec!["alpha".into(), "1.00".into()]);
+        t.push_row(vec!["b".into(), "10.25".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("== demo =="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "title, header, rule, two rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x".into(), "y".into()]);
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.cell(0, 1), "y");
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.title(), "demo");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(7.855), "7.86");
+        assert_eq!(f3(0.9791), "0.979");
+    }
+}

@@ -1,0 +1,392 @@
+//! The paper's Table 1 block features.
+//!
+//! Thirteen cheap-to-compute static features of a basic block: the block
+//! size `bbLen` plus, for each of the twelve instruction categories, the
+//! *fraction* of the block's instructions falling into that category.
+//! Fractions (rather than counts) let the learner generalize across block
+//! sizes (paper §2.1). Computing the vector takes a single pass over the
+//! block and never touches the dependence DAG — the paper explicitly
+//! rejects DAG-derived features as too expensive.
+//!
+//! # Examples
+//!
+//! ```
+//! use wts_features::{FeatureKind, FeatureVector};
+//! use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Opcode, Reg};
+//!
+//! let mut b = BasicBlock::new(0);
+//! b.push(Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(9))
+//!     .mem(MemRef::slot(MemSpace::Heap, 0)));
+//! b.push(Inst::new(Opcode::Add).def(Reg::gpr(2)).use_(Reg::gpr(1)).use_(Reg::gpr(1)));
+//!
+//! let fv = FeatureVector::extract(&b);
+//! assert_eq!(fv.get(FeatureKind::BbLen), 2.0);
+//! assert_eq!(fv.get(FeatureKind::Loads), 0.5);
+//! assert_eq!(fv.get(FeatureKind::Integers), 0.5);
+//! ```
+
+use std::fmt;
+use wts_ir::{BasicBlock, Category, Inst};
+
+/// One of the thirteen features of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FeatureKind {
+    /// Number of instructions in the block.
+    BbLen,
+    /// Fraction of branch instructions.
+    Branches,
+    /// Fraction of calls.
+    Calls,
+    /// Fraction of loads.
+    Loads,
+    /// Fraction of stores.
+    Stores,
+    /// Fraction of returns.
+    Returns,
+    /// Fraction using an integer functional unit.
+    Integers,
+    /// Fraction using the floating-point unit.
+    Floats,
+    /// Fraction using the system unit.
+    Systems,
+    /// Fraction of potentially-excepting instructions.
+    Peis,
+    /// Fraction of GC points.
+    GcPoints,
+    /// Fraction of thread-switch points.
+    TsPoints,
+    /// Fraction of yield points.
+    YieldPoints,
+}
+
+impl FeatureKind {
+    /// All features, `bbLen` first, then Table 1 category order.
+    pub const ALL: [FeatureKind; 13] = [
+        FeatureKind::BbLen,
+        FeatureKind::Branches,
+        FeatureKind::Calls,
+        FeatureKind::Loads,
+        FeatureKind::Stores,
+        FeatureKind::Returns,
+        FeatureKind::Integers,
+        FeatureKind::Floats,
+        FeatureKind::Systems,
+        FeatureKind::Peis,
+        FeatureKind::GcPoints,
+        FeatureKind::TsPoints,
+        FeatureKind::YieldPoints,
+    ];
+
+    /// Number of features.
+    pub const COUNT: usize = 13;
+
+    /// Dense index into a [`FeatureVector`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The name used in induced rules (Figure 4 uses `bbLen`, `calls`, …).
+    pub fn rule_name(self) -> &'static str {
+        match self {
+            FeatureKind::BbLen => "bbLen",
+            FeatureKind::Branches => "branches",
+            FeatureKind::Calls => "calls",
+            FeatureKind::Loads => "loads",
+            FeatureKind::Stores => "stores",
+            FeatureKind::Returns => "returns",
+            FeatureKind::Integers => "integers",
+            FeatureKind::Floats => "floats",
+            FeatureKind::Systems => "systems",
+            FeatureKind::Peis => "peis",
+            FeatureKind::GcPoints => "gcpoints",
+            FeatureKind::TsPoints => "tspoints",
+            FeatureKind::YieldPoints => "yieldpoints",
+        }
+    }
+
+    /// The category a fraction feature counts, `None` for `bbLen`.
+    pub fn category(self) -> Option<Category> {
+        match self {
+            FeatureKind::BbLen => None,
+            FeatureKind::Branches => Some(Category::Branch),
+            FeatureKind::Calls => Some(Category::Call),
+            FeatureKind::Loads => Some(Category::Load),
+            FeatureKind::Stores => Some(Category::Store),
+            FeatureKind::Returns => Some(Category::Return),
+            FeatureKind::Integers => Some(Category::Integer),
+            FeatureKind::Floats => Some(Category::Float),
+            FeatureKind::Systems => Some(Category::System),
+            FeatureKind::Peis => Some(Category::Pei),
+            FeatureKind::GcPoints => Some(Category::GcPoint),
+            FeatureKind::TsPoints => Some(Category::ThreadSwitch),
+            FeatureKind::YieldPoints => Some(Category::Yield),
+        }
+    }
+}
+
+impl fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.rule_name())
+    }
+}
+
+/// The feature vector of one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeatureVector {
+    values: [f64; FeatureKind::COUNT],
+}
+
+impl FeatureVector {
+    /// Extracts the features of `block` in a single pass.
+    pub fn extract(block: &BasicBlock) -> FeatureVector {
+        FeatureVector::from_insts(block.insts())
+    }
+
+    /// Extracts the features of an instruction slice.
+    pub fn from_insts(insts: &[Inst]) -> FeatureVector {
+        let mut counts = [0usize; FeatureKind::COUNT];
+        for inst in insts {
+            let cats = inst.categories();
+            for kind in FeatureKind::ALL {
+                if let Some(c) = kind.category() {
+                    if cats.contains(c) {
+                        counts[kind.index()] += 1;
+                    }
+                }
+            }
+        }
+        let n = insts.len();
+        let mut values = [0.0; FeatureKind::COUNT];
+        values[FeatureKind::BbLen.index()] = n as f64;
+        if n > 0 {
+            for kind in FeatureKind::ALL {
+                if kind != FeatureKind::BbLen {
+                    values[kind.index()] = counts[kind.index()] as f64 / n as f64;
+                }
+            }
+        }
+        FeatureVector { values }
+    }
+
+    /// Builds a vector from raw values (for tests and synthetic data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction feature is outside `[0, 1]` or `bbLen` is
+    /// negative.
+    pub fn from_values(values: [f64; FeatureKind::COUNT]) -> FeatureVector {
+        assert!(values[FeatureKind::BbLen.index()] >= 0.0, "bbLen must be non-negative");
+        for kind in FeatureKind::ALL {
+            if kind != FeatureKind::BbLen {
+                let v = values[kind.index()];
+                assert!((0.0..=1.0).contains(&v), "{kind} fraction {v} outside [0,1]");
+            }
+        }
+        FeatureVector { values }
+    }
+
+    /// Value of one feature.
+    pub fn get(&self, kind: FeatureKind) -> f64 {
+        self.values[kind.index()]
+    }
+
+    /// All values, indexed by [`FeatureKind::index`].
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The block size (`bbLen`) as an integer.
+    pub fn bb_len(&self) -> usize {
+        self.values[FeatureKind::BbLen.index()] as usize
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, kind) in FeatureKind::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={:.3}", kind, self.get(*kind))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Equal-width binner for continuous features, supporting the paper's
+/// advice to "bin continuous values" when it helps the learner (§2.1).
+///
+/// # Examples
+///
+/// ```
+/// use wts_features::Binner;
+/// let b = Binner::new(4);
+/// assert_eq!(b.bin(0.0), 0);
+/// assert_eq!(b.bin(0.30), 1);
+/// assert_eq!(b.bin(1.0), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binner {
+    bins: u32,
+}
+
+impl Binner {
+    /// A binner with the given number of equal-width bins over `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn new(bins: u32) -> Binner {
+        assert!(bins >= 1, "need at least one bin");
+        Binner { bins }
+    }
+
+    /// The bin of `v` (values are clamped to `[0, 1]` first).
+    pub fn bin(&self, v: f64) -> u32 {
+        let v = v.clamp(0.0, 1.0);
+        ((v * self.bins as f64) as u32).min(self.bins - 1)
+    }
+
+    /// The midpoint of bin `b`, for mapping back to feature space.
+    pub fn midpoint(&self, b: u32) -> f64 {
+        (b.min(self.bins - 1) as f64 + 0.5) / self.bins as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_ir::{Hazards, MemRef, MemSpace, Opcode, Reg};
+
+    fn block(insts: Vec<Inst>) -> BasicBlock {
+        let mut b = BasicBlock::new(0);
+        for i in insts {
+            b.push(i);
+        }
+        b
+    }
+
+    #[test]
+    fn empty_block_is_all_zero() {
+        let fv = FeatureVector::extract(&block(vec![]));
+        for kind in FeatureKind::ALL {
+            assert_eq!(fv.get(kind), 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn bb_len_counts_instructions() {
+        let fv = FeatureVector::extract(&block(vec![
+            Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(0),
+            Inst::new(Opcode::Li).def(Reg::gpr(2)).imm(0),
+            Inst::new(Opcode::Li).def(Reg::gpr(3)).imm(0),
+        ]));
+        assert_eq!(fv.get(FeatureKind::BbLen), 3.0);
+        assert_eq!(fv.bb_len(), 3);
+        assert_eq!(fv.get(FeatureKind::Integers), 1.0);
+    }
+
+    #[test]
+    fn fractions_match_paper_example_style() {
+        // 2 loads, 1 fp, 1 store: loads 50%, floats 25%, stores 25%.
+        let fv = FeatureVector::extract(&block(vec![
+            Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(9)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Lfd).def(Reg::fpr(1)).use_(Reg::gpr(9)).mem(MemRef::slot(MemSpace::Heap, 8)),
+            Inst::new(Opcode::Fadd).def(Reg::fpr(2)).use_(Reg::fpr(1)).use_(Reg::fpr(1)),
+            Inst::new(Opcode::Stfd).use_(Reg::fpr(2)).use_(Reg::gpr(9)).mem(MemRef::slot(MemSpace::Heap, 16)),
+        ]));
+        assert_eq!(fv.get(FeatureKind::Loads), 0.5);
+        assert_eq!(fv.get(FeatureKind::Floats), 0.25);
+        assert_eq!(fv.get(FeatureKind::Stores), 0.25);
+        assert_eq!(fv.get(FeatureKind::Integers), 0.0);
+    }
+
+    #[test]
+    fn overlapping_categories_both_counted() {
+        let fv = FeatureVector::extract(&block(vec![Inst::new(Opcode::Lwz)
+            .def(Reg::gpr(1))
+            .use_(Reg::gpr(9))
+            .mem(MemRef::unknown(MemSpace::Heap))
+            .hazard(Hazards::PEI)]));
+        assert_eq!(fv.get(FeatureKind::Loads), 1.0);
+        assert_eq!(fv.get(FeatureKind::Peis), 1.0);
+    }
+
+    #[test]
+    fn hazard_features_from_flags() {
+        let fv = FeatureVector::extract(&block(vec![
+            Inst::new(Opcode::YieldPoint).hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH),
+            Inst::new(Opcode::Add).def(Reg::gpr(1)).use_(Reg::gpr(2)).use_(Reg::gpr(3)),
+        ]));
+        assert_eq!(fv.get(FeatureKind::YieldPoints), 0.5);
+        assert_eq!(fv.get(FeatureKind::GcPoints), 0.5);
+        assert_eq!(fv.get(FeatureKind::TsPoints), 0.5);
+        assert_eq!(fv.get(FeatureKind::Systems), 0.5);
+    }
+
+    #[test]
+    fn fractions_always_in_unit_interval() {
+        let fv = FeatureVector::extract(&block(vec![
+            Inst::new(Opcode::Bl).def(Reg::lr()).hazard(Hazards::GC_POINT),
+            Inst::new(Opcode::Blr),
+        ]));
+        for kind in FeatureKind::ALL {
+            if kind != FeatureKind::BbLen {
+                let v = fv.get(kind);
+                assert!((0.0..=1.0).contains(&v), "{kind}={v}");
+            }
+        }
+        assert_eq!(fv.get(FeatureKind::Calls), 0.5);
+        assert_eq!(fv.get(FeatureKind::Returns), 0.5);
+    }
+
+    #[test]
+    fn from_values_validates() {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = 5.0;
+        v[FeatureKind::Loads.index()] = 0.4;
+        let fv = FeatureVector::from_values(v);
+        assert_eq!(fv.get(FeatureKind::Loads), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn from_values_rejects_bad_fraction() {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::Loads.index()] = 1.5;
+        FeatureVector::from_values(v);
+    }
+
+    #[test]
+    fn feature_indices_are_dense() {
+        for (i, k) in FeatureKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(FeatureKind::COUNT, FeatureKind::ALL.len());
+    }
+
+    #[test]
+    fn rule_names_match_figure4_vocabulary() {
+        assert_eq!(FeatureKind::BbLen.rule_name(), "bbLen");
+        assert_eq!(FeatureKind::Calls.rule_name(), "calls");
+        assert_eq!(FeatureKind::YieldPoints.rule_name(), "yieldpoints");
+    }
+
+    #[test]
+    fn binner_edges() {
+        let b = Binner::new(10);
+        assert_eq!(b.bin(-0.5), 0);
+        assert_eq!(b.bin(0.05), 0);
+        assert_eq!(b.bin(0.95), 9);
+        assert_eq!(b.bin(2.0), 9);
+        assert!((b.midpoint(0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_all_features() {
+        let fv = FeatureVector::default();
+        let s = fv.to_string();
+        assert!(s.contains("bbLen=") && s.contains("yieldpoints="));
+    }
+}

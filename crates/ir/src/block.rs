@@ -1,0 +1,187 @@
+//! Basic blocks: single-entry single-exit instruction sequences.
+
+use crate::validate::{validate_block, ValidateError};
+use crate::Inst;
+
+/// Identifier of a basic block within a [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(pub u32);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a straight-line sequence with one entry and one exit.
+///
+/// Blocks carry an *execution count*, the profile weight used by the
+/// paper's weighted simulated running time
+/// `SIM_pi(P) = sum_b #executions(b) * cycles(b under pi)`.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ir::{BasicBlock, Inst, Opcode, Reg};
+/// let mut b = BasicBlock::new(7);
+/// b.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(3));
+/// b.set_exec_count(1000);
+/// assert_eq!(b.id().0, 7);
+/// assert_eq!(b.exec_count(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    id: BlockId,
+    insts: Vec<Inst>,
+    exec_count: u64,
+}
+
+impl BasicBlock {
+    /// An empty block with the given id and an execution count of 1.
+    pub fn new(id: u32) -> BasicBlock {
+        BasicBlock { id: BlockId(id), insts: Vec::new(), exec_count: 1 }
+    }
+
+    /// Builds a block from parts.
+    pub fn from_insts(id: u32, insts: Vec<Inst>) -> BasicBlock {
+        BasicBlock { id: BlockId(id), insts, exec_count: 1 }
+    }
+
+    /// This block's id.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// The instructions, in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions (the paper's `bbLen` feature).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Profile execution count.
+    pub fn exec_count(&self) -> u64 {
+        self.exec_count
+    }
+
+    /// Sets the profile execution count.
+    pub fn set_exec_count(&mut self, n: u64) {
+        self.exec_count = n;
+    }
+
+    /// Returns a copy of this block with its instructions permuted into
+    /// `order` (a permutation of `0..len`), keeping id and profile weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..self.len()`.
+    pub fn reordered(&self, order: &[usize]) -> BasicBlock {
+        assert_eq!(order.len(), self.insts.len(), "order length mismatch");
+        let mut seen = vec![false; order.len()];
+        let mut insts = Vec::with_capacity(order.len());
+        for &i in order {
+            assert!(!seen[i], "duplicate index {i} in order");
+            seen[i] = true;
+            insts.push(self.insts[i].clone());
+        }
+        BasicBlock { id: self.id, insts, exec_count: self.exec_count }
+    }
+
+    /// Checks structural invariants (terminator placement, operand shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found, if any.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        validate_block(self)
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Inst> {
+        self.insts.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BasicBlock {
+    type Item = &'a Inst;
+    type IntoIter = std::slice::Iter<'a, Inst>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Reg};
+
+    fn three_inst_block() -> BasicBlock {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(1));
+        b.push(Inst::new(Opcode::Li).def(Reg::gpr(2)).imm(2));
+        b.push(Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(1)).use_(Reg::gpr(2)));
+        b
+    }
+
+    #[test]
+    fn push_and_len() {
+        let b = three_inst_block();
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(BasicBlock::new(1).is_empty());
+    }
+
+    #[test]
+    fn exec_count_defaults_to_one() {
+        let mut b = BasicBlock::new(0);
+        assert_eq!(b.exec_count(), 1);
+        b.set_exec_count(42);
+        assert_eq!(b.exec_count(), 42);
+    }
+
+    #[test]
+    fn reordered_permutes_and_keeps_metadata() {
+        let mut b = three_inst_block();
+        b.set_exec_count(9);
+        let r = b.reordered(&[1, 0, 2]);
+        assert_eq!(r.insts()[0], b.insts()[1]);
+        assert_eq!(r.insts()[1], b.insts()[0]);
+        assert_eq!(r.insts()[2], b.insts()[2]);
+        assert_eq!(r.exec_count(), 9);
+        assert_eq!(r.id(), b.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index")]
+    fn reordered_rejects_duplicates() {
+        three_inst_block().reordered(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "order length mismatch")]
+    fn reordered_rejects_wrong_length() {
+        three_inst_block().reordered(&[0, 1]);
+    }
+
+    #[test]
+    fn iteration_matches_insts() {
+        let b = three_inst_block();
+        let n = b.iter().count();
+        assert_eq!(n, 3);
+        let m = (&b).into_iter().count();
+        assert_eq!(m, 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Assembly-style pretty printing of instructions, blocks and methods.
+
+use crate::{BasicBlock, Inst, Method, Program};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode())?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        for d in self.defs() {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        for u in self.uses() {
+            sep(f)?;
+            write!(f, "{u}")?;
+        }
+        if let Some(m) = self.mem_ref() {
+            sep(f)?;
+            write!(f, "{m}")?;
+        }
+        if let Some(v) = self.immediate() {
+            sep(f)?;
+            write!(f, "{v}")?;
+        }
+        if self.is_hazardous() {
+            write!(f, "  ; {}", self.hazards())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:  ; exec={}", self.id(), self.exec_count())?;
+        for inst in self.iter() {
+            writeln!(f, "    {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "method {} \"{}\":", self.id(), self.name())?;
+        for b in self.blocks() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program \"{}\" ({} methods, {} blocks)", self.name(), self.methods().len(), self.block_count())?;
+        for m in self.methods() {
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BasicBlock, Hazards, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
+
+    #[test]
+    fn inst_display_shows_operands() {
+        let i = Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(1)).use_(Reg::gpr(2));
+        assert_eq!(i.to_string(), "add r3, r1, r2");
+    }
+
+    #[test]
+    fn inst_display_shows_mem_imm_hazards() {
+        let i = Inst::new(Opcode::Lwz)
+            .def(Reg::gpr(3))
+            .use_(Reg::gpr(4))
+            .mem(MemRef::slot(MemSpace::Heap, 12))
+            .hazard(Hazards::PEI);
+        assert_eq!(i.to_string(), "lwz r3, r4, [heap+12]  ; {peis}");
+        let li = Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(-7);
+        assert_eq!(li.to_string(), "li r1, -7");
+    }
+
+    #[test]
+    fn block_and_method_display_nest() {
+        let mut b = BasicBlock::new(2);
+        b.push(Inst::new(Opcode::Blr));
+        b.set_exec_count(5);
+        let s = b.to_string();
+        assert!(s.starts_with("bb2:  ; exec=5\n"));
+        assert!(s.contains("    blr"));
+
+        let mut m = Method::new(1, "foo");
+        m.push_block(b);
+        let ms = m.to_string();
+        assert!(ms.starts_with("method m1 \"foo\":"));
+        assert!(ms.contains("bb2"));
+
+        let mut p = Program::new("prog");
+        p.push_method(m);
+        let ps = p.to_string();
+        assert!(ps.contains("program \"prog\" (1 methods, 1 blocks)"));
+    }
+}

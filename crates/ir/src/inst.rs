@@ -1,0 +1,369 @@
+//! Instructions: opcode + register defs/uses + memory reference + hazards.
+
+use crate::{Category, CategorySet, Opcode, Reg};
+use std::fmt;
+
+/// Abstract memory spaces used for cheap may-alias reasoning.
+///
+/// The JIT knows, per access, whether it touches the Java stack, the heap or
+/// static/class storage; accesses in different spaces never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemSpace {
+    /// Spill slots and locals; fully disambiguated by slot number.
+    Stack,
+    /// Object fields and array elements.
+    Heap,
+    /// Static fields.
+    Static,
+}
+
+/// A memory reference: a space plus an optional disambiguated slot.
+///
+/// Two references *may alias* when they are in the same space and either
+/// has an unknown slot or both have the same slot.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ir::{MemRef, MemSpace};
+/// let a = MemRef::slot(MemSpace::Stack, 4);
+/// let b = MemRef::slot(MemSpace::Stack, 8);
+/// let c = MemRef::unknown(MemSpace::Stack);
+/// assert!(!a.may_alias(b));
+/// assert!(a.may_alias(c));
+/// assert!(!a.may_alias(MemRef::unknown(MemSpace::Heap)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    space: MemSpace,
+    slot: Option<u32>,
+}
+
+impl MemRef {
+    /// A reference to a known slot within `space`.
+    pub fn slot(space: MemSpace, slot: u32) -> MemRef {
+        MemRef { space, slot: Some(slot) }
+    }
+
+    /// A reference somewhere within `space` (not disambiguated).
+    pub fn unknown(space: MemSpace) -> MemRef {
+        MemRef { space, slot: None }
+    }
+
+    /// The memory space accessed.
+    pub fn space(self) -> MemSpace {
+        self.space
+    }
+
+    /// The disambiguated slot, if known.
+    pub fn slot_id(self) -> Option<u32> {
+        self.slot
+    }
+
+    /// Conservative may-alias test.
+    pub fn may_alias(self, other: MemRef) -> bool {
+        self.space == other.space
+            && match (self.slot, other.slot) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let space = match self.space {
+            MemSpace::Stack => "stack",
+            MemSpace::Heap => "heap",
+            MemSpace::Static => "static",
+        };
+        match self.slot {
+            Some(s) => write!(f, "[{space}+{s}]"),
+            None => write!(f, "[{space}+?]"),
+        }
+    }
+}
+
+/// Hazard flags: unusual possible branches that disallow reordering.
+///
+/// These mirror the four hazard rows of Table 1. They are flags on an
+/// instruction (not opcodes) because they overlap with ordinary kinds: a
+/// load can be a PEI, a call is usually a GC point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Hazards(u8);
+
+impl Hazards {
+    /// No hazards.
+    pub const NONE: Hazards = Hazards(0);
+    /// Potentially-excepting instruction.
+    pub const PEI: Hazards = Hazards(1);
+    /// Garbage-collection point.
+    pub const GC_POINT: Hazards = Hazards(2);
+    /// Thread-switch point.
+    pub const THREAD_SWITCH: Hazards = Hazards(4);
+    /// Yield point.
+    pub const YIELD: Hazards = Hazards(8);
+
+    /// Union of two hazard sets.
+    pub fn union(self, other: Hazards) -> Hazards {
+        Hazards(self.0 | other.0)
+    }
+
+    /// True when every hazard in `other` is present in `self`.
+    pub fn contains(self, other: Hazards) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when no hazard flag is set.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The categories contributed by these hazard flags.
+    pub fn categories(self) -> CategorySet {
+        let mut set = CategorySet::new();
+        if self.contains(Hazards::PEI) {
+            set.insert(Category::Pei);
+        }
+        if self.contains(Hazards::GC_POINT) {
+            set.insert(Category::GcPoint);
+        }
+        if self.contains(Hazards::THREAD_SWITCH) {
+            set.insert(Category::ThreadSwitch);
+        }
+        if self.contains(Hazards::YIELD) {
+            set.insert(Category::Yield);
+        }
+        set
+    }
+}
+
+impl std::ops::BitOr for Hazards {
+    type Output = Hazards;
+    fn bitor(self, rhs: Hazards) -> Hazards {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for Hazards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "-");
+        }
+        write!(f, "{}", self.categories())
+    }
+}
+
+/// A single machine instruction.
+///
+/// Construction is builder-style: [`Inst::new`] then chained
+/// [`def`](Inst::def) / [`use_`](Inst::use_) / [`mem`](Inst::mem) /
+/// [`hazard`](Inst::hazard) / [`imm`](Inst::imm) calls.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ir::{Hazards, Inst, MemRef, MemSpace, Opcode, Reg};
+/// let ld = Inst::new(Opcode::Lwz)
+///     .def(Reg::gpr(3))
+///     .use_(Reg::gpr(4))
+///     .mem(MemRef::unknown(MemSpace::Heap))
+///     .hazard(Hazards::PEI);
+/// assert!(ld.opcode().is_load());
+/// assert!(ld.hazards().contains(Hazards::PEI));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    opcode: Opcode,
+    defs: Vec<Reg>,
+    uses: Vec<Reg>,
+    mem: Option<MemRef>,
+    hazards: Hazards,
+    imm: Option<i64>,
+}
+
+impl Inst {
+    /// A new instruction with the given opcode and no operands.
+    pub fn new(opcode: Opcode) -> Inst {
+        Inst { opcode, defs: Vec::new(), uses: Vec::new(), mem: None, hazards: Hazards::NONE, imm: None }
+    }
+
+    /// Adds a defined (written) register.
+    pub fn def(mut self, r: Reg) -> Inst {
+        self.defs.push(r);
+        self
+    }
+
+    /// Adds a used (read) register.
+    ///
+    /// Named `use_` because `use` is a keyword.
+    pub fn use_(mut self, r: Reg) -> Inst {
+        self.uses.push(r);
+        self
+    }
+
+    /// Sets the memory reference (for loads/stores).
+    pub fn mem(mut self, m: MemRef) -> Inst {
+        self.mem = Some(m);
+        self
+    }
+
+    /// Adds hazard flags.
+    pub fn hazard(mut self, h: Hazards) -> Inst {
+        self.hazards = self.hazards.union(h);
+        self
+    }
+
+    /// Sets an immediate operand.
+    pub fn imm(mut self, v: i64) -> Inst {
+        self.imm = Some(v);
+        self
+    }
+
+    /// The opcode.
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// Registers written by this instruction.
+    pub fn defs(&self) -> &[Reg] {
+        &self.defs
+    }
+
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> &[Reg] {
+        &self.uses
+    }
+
+    /// The memory reference, if this instruction accesses memory.
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        self.mem
+    }
+
+    /// The hazard flags.
+    pub fn hazards(&self) -> Hazards {
+        self.hazards
+    }
+
+    /// The immediate operand, if any.
+    pub fn immediate(&self) -> Option<i64> {
+        self.imm
+    }
+
+    /// True when this instruction carries any hazard flag.
+    pub fn is_hazardous(&self) -> bool {
+        !self.hazards.is_none()
+    }
+
+    /// The full (possibly-overlapping) category set of this instruction:
+    /// opcode kind + functional unit + hazard flags, per Table 1.
+    pub fn categories(&self) -> CategorySet {
+        let op = self.opcode;
+        let mut set = self.hazards.categories();
+        if op.is_branch() {
+            set.insert(Category::Branch);
+        }
+        if op.is_call() {
+            set.insert(Category::Call);
+        }
+        if op.is_load() {
+            set.insert(Category::Load);
+        }
+        if op.is_store() {
+            set.insert(Category::Store);
+        }
+        if op.is_return() {
+            set.insert(Category::Return);
+        }
+        if op.is_integer_unit() {
+            set.insert(Category::Integer);
+        }
+        if op.is_float_unit() {
+            set.insert(Category::Float);
+        }
+        if op.is_system_unit() {
+            set.insert(Category::System);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_alias_rules() {
+        let s4 = MemRef::slot(MemSpace::Stack, 4);
+        assert!(s4.may_alias(s4));
+        assert!(!s4.may_alias(MemRef::slot(MemSpace::Stack, 5)));
+        assert!(s4.may_alias(MemRef::unknown(MemSpace::Stack)));
+        assert!(!s4.may_alias(MemRef::slot(MemSpace::Heap, 4)));
+        assert!(MemRef::unknown(MemSpace::Heap).may_alias(MemRef::unknown(MemSpace::Heap)));
+    }
+
+    #[test]
+    fn hazard_flags_compose() {
+        let h = Hazards::PEI | Hazards::GC_POINT;
+        assert!(h.contains(Hazards::PEI));
+        assert!(h.contains(Hazards::GC_POINT));
+        assert!(!h.contains(Hazards::YIELD));
+        assert!(Hazards::NONE.is_none());
+        assert_eq!(h.categories().len(), 2);
+    }
+
+    #[test]
+    fn builder_accumulates_operands() {
+        let i = Inst::new(Opcode::Add).def(Reg::gpr(1)).use_(Reg::gpr(2)).use_(Reg::gpr(3));
+        assert_eq!(i.defs(), &[Reg::gpr(1)]);
+        assert_eq!(i.uses(), &[Reg::gpr(2), Reg::gpr(3)]);
+        assert_eq!(i.mem_ref(), None);
+        assert_eq!(i.immediate(), None);
+    }
+
+    #[test]
+    fn categories_combine_kind_unit_and_hazards() {
+        let ld = Inst::new(Opcode::Lwz)
+            .def(Reg::gpr(3))
+            .use_(Reg::gpr(4))
+            .mem(MemRef::unknown(MemSpace::Heap))
+            .hazard(Hazards::PEI);
+        let cats = ld.categories();
+        assert!(cats.contains(Category::Load));
+        assert!(cats.contains(Category::Pei));
+        assert!(!cats.contains(Category::Integer), "loads use the load/store unit");
+        assert!(!cats.contains(Category::Store));
+    }
+
+    #[test]
+    fn call_with_gc_point_categories() {
+        let call = Inst::new(Opcode::Bl).def(Reg::lr()).hazard(Hazards::GC_POINT);
+        let cats = call.categories();
+        assert!(cats.contains(Category::Call));
+        assert!(cats.contains(Category::GcPoint));
+        assert!(!cats.contains(Category::Branch), "calls are not plain branches in Table 1");
+    }
+
+    #[test]
+    fn yield_point_is_system_and_yield() {
+        let yp = Inst::new(Opcode::YieldPoint).hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH);
+        let cats = yp.categories();
+        assert!(cats.contains(Category::System));
+        assert!(cats.contains(Category::Yield));
+        assert!(cats.contains(Category::ThreadSwitch));
+        assert!(cats.contains(Category::GcPoint));
+    }
+
+    #[test]
+    fn display_of_hazards() {
+        assert_eq!(Hazards::NONE.to_string(), "-");
+        assert_eq!((Hazards::PEI | Hazards::YIELD).to_string(), "{peis,yieldpoints}");
+    }
+
+    #[test]
+    fn integer_category_for_simple_and_complex() {
+        assert!(Inst::new(Opcode::Add).categories().contains(Category::Integer));
+        assert!(Inst::new(Opcode::Divw).categories().contains(Category::Integer));
+        assert!(Inst::new(Opcode::Fadd).categories().contains(Category::Float));
+    }
+}

@@ -1,0 +1,191 @@
+//! Methods and whole programs.
+
+use crate::{BasicBlock, ValidateError};
+
+/// Identifier of a method within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MethodId(pub u32);
+
+impl std::fmt::Display for MethodId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A compiled method: a name plus its basic blocks.
+///
+/// Control flow between blocks is irrelevant to *local* scheduling and to
+/// the filter (both are per-block), so the method is simply the unit at
+/// which the JIT compiles and at which the paper's trace file groups blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    id: MethodId,
+    name: String,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Method {
+    /// A new, empty method.
+    pub fn new(id: u32, name: impl Into<String>) -> Method {
+        Method { id: MethodId(id), name: name.into(), blocks: Vec::new() }
+    }
+
+    /// This method's id.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// This method's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a block.
+    pub fn push_block(&mut self, b: BasicBlock) {
+        self.blocks.push(b);
+    }
+
+    /// The blocks, in layout order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks (used by the JIT when installing
+    /// scheduled code).
+    pub fn blocks_mut(&mut self) -> &mut [BasicBlock] {
+        &mut self.blocks
+    }
+
+    /// Total instruction count over all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len).sum()
+    }
+
+    /// Validates every block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] in any block.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        self.blocks.iter().try_for_each(BasicBlock::validate)
+    }
+}
+
+/// A whole program: a named collection of methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    methods: Vec<Method>,
+}
+
+impl Program {
+    /// A new, empty program.
+    pub fn new(name: impl Into<String>) -> Program {
+        Program { name: name.into(), methods: Vec::new() }
+    }
+
+    /// The program name (e.g. the benchmark it models).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a method.
+    pub fn push_method(&mut self, m: Method) {
+        self.methods.push(m);
+    }
+
+    /// The methods.
+    pub fn methods(&self) -> &[Method] {
+        &self.methods
+    }
+
+    /// Mutable access to the methods.
+    pub fn methods_mut(&mut self) -> &mut [Method] {
+        &mut self.methods
+    }
+
+    /// Total number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.methods.iter().map(|m| m.blocks().len()).sum()
+    }
+
+    /// Total number of instructions.
+    pub fn inst_count(&self) -> usize {
+        self.methods.iter().map(Method::inst_count).sum()
+    }
+
+    /// Iterates over `(method, block)` pairs in program order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (&Method, &BasicBlock)> {
+        self.methods.iter().flat_map(|m| m.blocks().iter().map(move |b| (m, b)))
+    }
+
+    /// Validates every method.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] in any method.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        self.methods.iter().try_for_each(Method::validate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Inst, Opcode, Reg};
+
+    fn small_program() -> Program {
+        let mut p = Program::new("test");
+        for mi in 0..3u32 {
+            let mut m = Method::new(mi, format!("m{mi}"));
+            for bi in 0..2u32 {
+                let mut b = BasicBlock::new(mi * 2 + bi);
+                b.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(0));
+                b.push(Inst::new(Opcode::Addi).def(Reg::gpr(1)).use_(Reg::gpr(1)).imm(1));
+                m.push_block(b);
+            }
+            p.push_method(m);
+        }
+        p
+    }
+
+    #[test]
+    fn counts() {
+        let p = small_program();
+        assert_eq!(p.methods().len(), 3);
+        assert_eq!(p.block_count(), 6);
+        assert_eq!(p.inst_count(), 12);
+        assert_eq!(p.methods()[1].inst_count(), 4);
+    }
+
+    #[test]
+    fn iter_blocks_visits_all_in_order() {
+        let p = small_program();
+        let ids: Vec<u32> = p.iter_blocks().map(|(_, b)| b.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        let names: Vec<&str> = p.iter_blocks().map(|(m, _)| m.name()).collect();
+        assert_eq!(names[0], "m0");
+        assert_eq!(names[5], "m2");
+    }
+
+    #[test]
+    fn validate_propagates() {
+        assert!(small_program().validate().is_ok());
+        let mut p = small_program();
+        // A branch in the middle of a block is invalid.
+        let m = &mut p.methods_mut()[0];
+        let b = &mut m.blocks_mut()[0];
+        let mut insts = b.insts().to_vec();
+        insts.insert(0, Inst::new(Opcode::B));
+        *b = BasicBlock::from_insts(0, insts);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn names_are_kept() {
+        let p = small_program();
+        assert_eq!(p.name(), "test");
+        assert_eq!(p.methods()[2].name(), "m2");
+        assert_eq!(p.methods()[2].id(), MethodId(2));
+    }
+}

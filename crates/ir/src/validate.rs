@@ -1,0 +1,173 @@
+//! Structural validation of blocks.
+
+use crate::{BasicBlock, Opcode, RegClass};
+use std::fmt;
+
+/// A structural problem found in a [`BasicBlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A block terminator (branch/return) appears before the last position.
+    TerminatorNotLast {
+        /// Index of the offending instruction.
+        index: usize,
+        /// Its opcode.
+        opcode: Opcode,
+    },
+    /// A load or store is missing its memory reference.
+    MemoryOpWithoutMemRef {
+        /// Index of the offending instruction.
+        index: usize,
+        /// Its opcode.
+        opcode: Opcode,
+    },
+    /// A non-memory opcode carries a memory reference.
+    MemRefOnNonMemoryOp {
+        /// Index of the offending instruction.
+        index: usize,
+        /// Its opcode.
+        opcode: Opcode,
+    },
+    /// A floating-point ALU op defs or uses a non-FPR data register.
+    FloatOpOnNonFpr {
+        /// Index of the offending instruction.
+        index: usize,
+        /// Its opcode.
+        opcode: Opcode,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::TerminatorNotLast { index, opcode } => {
+                write!(f, "terminator {opcode} at index {index} is not the last instruction")
+            }
+            ValidateError::MemoryOpWithoutMemRef { index, opcode } => {
+                write!(f, "memory op {opcode} at index {index} has no memory reference")
+            }
+            ValidateError::MemRefOnNonMemoryOp { index, opcode } => {
+                write!(f, "non-memory op {opcode} at index {index} carries a memory reference")
+            }
+            ValidateError::FloatOpOnNonFpr { index, opcode } => {
+                write!(f, "float op {opcode} at index {index} touches a non-FPR data register")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// FP compare defines a CR field, conversions may touch GPRs via memory, so
+/// only pure FP arithmetic is register-class checked.
+fn is_pure_float_alu(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Fadd
+            | Opcode::Fsub
+            | Opcode::Fmul
+            | Opcode::Fdiv
+            | Opcode::Fmadd
+            | Opcode::Fneg
+            | Opcode::Fabs
+            | Opcode::Frsp
+    )
+}
+
+pub(crate) fn validate_block(b: &BasicBlock) -> Result<(), ValidateError> {
+    let n = b.len();
+    for (i, inst) in b.iter().enumerate() {
+        let op = inst.opcode();
+        if op.is_terminator() && i + 1 != n {
+            return Err(ValidateError::TerminatorNotLast { index: i, opcode: op });
+        }
+        if op.is_memory() && inst.mem_ref().is_none() {
+            return Err(ValidateError::MemoryOpWithoutMemRef { index: i, opcode: op });
+        }
+        if !op.is_memory() && inst.mem_ref().is_some() {
+            return Err(ValidateError::MemRefOnNonMemoryOp { index: i, opcode: op });
+        }
+        if is_pure_float_alu(op) {
+            let bad = inst
+                .defs()
+                .iter()
+                .chain(inst.uses())
+                .any(|r| r.class() != RegClass::Fpr);
+            if bad {
+                return Err(ValidateError::FloatOpOnNonFpr { index: i, opcode: op });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Inst, MemRef, MemSpace, Reg};
+
+    #[test]
+    fn valid_block_passes() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(2)).mem(MemRef::slot(MemSpace::Stack, 0)));
+        b.push(Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(1)).use_(Reg::gpr(1)));
+        b.push(Inst::new(Opcode::Bc).use_(Reg::cr(0)));
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn terminator_must_be_last() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::B));
+        b.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(0));
+        let err = b.validate().unwrap_err();
+        assert_eq!(err, ValidateError::TerminatorNotLast { index: 0, opcode: Opcode::B });
+        assert!(err.to_string().contains("not the last"));
+    }
+
+    #[test]
+    fn terminator_as_last_is_fine() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(0));
+        b.push(Inst::new(Opcode::Blr));
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn memory_op_needs_mem_ref() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(2)));
+        assert!(matches!(b.validate(), Err(ValidateError::MemoryOpWithoutMemRef { .. })));
+    }
+
+    #[test]
+    fn mem_ref_on_alu_is_rejected() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Add).def(Reg::gpr(1)).mem(MemRef::unknown(MemSpace::Heap)));
+        assert!(matches!(b.validate(), Err(ValidateError::MemRefOnNonMemoryOp { .. })));
+    }
+
+    #[test]
+    fn float_alu_requires_fprs() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Fadd).def(Reg::fpr(1)).use_(Reg::fpr(2)).use_(Reg::gpr(3)));
+        assert!(matches!(b.validate(), Err(ValidateError::FloatOpOnNonFpr { .. })));
+        let mut ok = BasicBlock::new(0);
+        ok.push(Inst::new(Opcode::Fadd).def(Reg::fpr(1)).use_(Reg::fpr(2)).use_(Reg::fpr(3)));
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn fcmp_may_define_cr() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Fcmpu).def(Reg::cr(0)).use_(Reg::fpr(1)).use_(Reg::fpr(2)));
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn calls_mid_block_are_legal() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Bl).def(Reg::lr()));
+        b.push(Inst::new(Opcode::Mr).def(Reg::gpr(4)).use_(Reg::gpr(3)));
+        assert!(b.validate().is_ok());
+    }
+}

@@ -1,0 +1,372 @@
+//! Expansion of a [`BenchmarkSpec`] into concrete IR.
+
+use crate::rng::Xoshiro256;
+use crate::spec::BenchmarkSpec;
+use wts_ir::{BasicBlock, Hazards, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
+
+/// Kinds drawn from the spec's [`OpMix`](crate::OpMix) weights; order
+/// matches `OpMix::weights`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    SimpleInt,
+    ComplexInt,
+    FloatArith,
+    IntLoad,
+    FloatLoad,
+    IntStore,
+    FloatStore,
+    Call,
+    Safepoint,
+    System,
+}
+
+const KINDS: [Kind; 10] = [
+    Kind::SimpleInt,
+    Kind::ComplexInt,
+    Kind::FloatArith,
+    Kind::IntLoad,
+    Kind::FloatLoad,
+    Kind::IntStore,
+    Kind::FloatStore,
+    Kind::Call,
+    Kind::Safepoint,
+    Kind::System,
+];
+
+/// Register state while generating one block: live values plus a cycling
+/// allocator (register reuse produces realistic anti/output dependences).
+struct RegState {
+    live_gpr: Vec<u16>,
+    live_fpr: Vec<u16>,
+    next_gpr: u16,
+    next_fpr: u16,
+}
+
+impl RegState {
+    fn new() -> RegState {
+        RegState { live_gpr: vec![3, 4, 5, 6, 7, 8], live_fpr: vec![1, 2], next_gpr: 9, next_fpr: 3 }
+    }
+
+    fn fresh_gpr(&mut self) -> Reg {
+        let r = self.next_gpr;
+        self.next_gpr = if self.next_gpr >= 25 { 9 } else { self.next_gpr + 1 };
+        self.live_gpr.push(r);
+        if self.live_gpr.len() > 12 {
+            self.live_gpr.remove(0);
+        }
+        Reg::gpr(r)
+    }
+
+    fn fresh_fpr(&mut self) -> Reg {
+        let r = self.next_fpr;
+        self.next_fpr = if self.next_fpr >= 28 { 3 } else { self.next_fpr + 1 };
+        self.live_fpr.push(r);
+        if self.live_fpr.len() > 12 {
+            self.live_fpr.remove(0);
+        }
+        Reg::fpr(r)
+    }
+
+    /// Picks a live GPR: the most recent def with probability
+    /// `chain_bias` (serializing), otherwise uniformly (parallelism).
+    fn pick_gpr(&self, rng: &mut Xoshiro256, chain_bias: f64) -> Reg {
+        let v = &self.live_gpr;
+        if rng.chance(chain_bias) {
+            Reg::gpr(*v.last().expect("gpr pool never empty"))
+        } else {
+            Reg::gpr(v[rng.below(v.len())])
+        }
+    }
+
+    fn pick_fpr(&self, rng: &mut Xoshiro256, chain_bias: f64) -> Reg {
+        let v = &self.live_fpr;
+        if rng.chance(chain_bias) {
+            Reg::fpr(*v.last().expect("fpr pool never empty"))
+        } else {
+            Reg::fpr(v[rng.below(v.len())])
+        }
+    }
+}
+
+fn mem_ref(spec: &BenchmarkSpec, rng: &mut Xoshiro256) -> MemRef {
+    let space = match rng.below(3) {
+        0 => MemSpace::Stack,
+        1 => MemSpace::Heap,
+        _ => MemSpace::Static,
+    };
+    if rng.chance(spec.alias_unknown_prob) {
+        MemRef::unknown(space)
+    } else {
+        MemRef::slot(space, rng.below(spec.mem_slots as usize) as u32)
+    }
+}
+
+fn pei(spec: &BenchmarkSpec, rng: &mut Xoshiro256) -> Hazards {
+    if rng.chance(spec.pei_prob) {
+        Hazards::PEI
+    } else {
+        Hazards::NONE
+    }
+}
+
+fn gen_inst(spec: &BenchmarkSpec, chain: f64, rng: &mut Xoshiro256, regs: &mut RegState) -> Inst {
+    let weights = spec.mix.weights();
+    match KINDS[rng.weighted(&weights)] {
+        Kind::SimpleInt => {
+            let choice = rng.below(10);
+            match choice {
+                0 => Inst::new(Opcode::Li).def(regs.fresh_gpr()).imm(rng.below(256) as i64),
+                1 => {
+                    let u = regs.pick_gpr(rng, chain);
+                    Inst::new(Opcode::Addi).def(regs.fresh_gpr()).use_(u).imm(rng.below(64) as i64)
+                }
+                2 => {
+                    let u = regs.pick_gpr(rng, chain);
+                    Inst::new(Opcode::Rlwinm).def(regs.fresh_gpr()).use_(u).imm(rng.below(31) as i64)
+                }
+                3 => {
+                    let a = regs.pick_gpr(rng, chain);
+                    let b = regs.pick_gpr(rng, 0.0);
+                    Inst::new(Opcode::Cmp).def(Reg::cr(0)).use_(a).use_(b)
+                }
+                _ => {
+                    let op = [Opcode::Add, Opcode::Subf, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Slw][rng.below(6)];
+                    let a = regs.pick_gpr(rng, chain);
+                    let b = regs.pick_gpr(rng, 0.0);
+                    Inst::new(op).def(regs.fresh_gpr()).use_(a).use_(b)
+                }
+            }
+        }
+        Kind::ComplexInt => {
+            let op = if rng.chance(0.8) { Opcode::Mullw } else { Opcode::Divw };
+            let a = regs.pick_gpr(rng, chain);
+            let b = regs.pick_gpr(rng, 0.0);
+            Inst::new(op).def(regs.fresh_gpr()).use_(a).use_(b)
+        }
+        Kind::FloatArith => {
+            let roll = rng.next_f64();
+            if roll < 0.15 {
+                let a = regs.pick_fpr(rng, chain);
+                let b = regs.pick_fpr(rng, 0.0);
+                let c = regs.pick_fpr(rng, 0.0);
+                Inst::new(Opcode::Fmadd).def(regs.fresh_fpr()).use_(a).use_(b).use_(c)
+            } else if roll < 0.20 {
+                let a = regs.pick_fpr(rng, chain);
+                let b = regs.pick_fpr(rng, 0.0);
+                Inst::new(Opcode::Fdiv).def(regs.fresh_fpr()).use_(a).use_(b)
+            } else if roll < 0.28 {
+                let a = regs.pick_fpr(rng, chain);
+                Inst::new(if rng.chance(0.5) { Opcode::Fneg } else { Opcode::Fabs }).def(regs.fresh_fpr()).use_(a)
+            } else {
+                let op = [Opcode::Fadd, Opcode::Fsub, Opcode::Fmul][rng.below(3)];
+                let a = regs.pick_fpr(rng, chain);
+                let b = regs.pick_fpr(rng, 0.0);
+                Inst::new(op).def(regs.fresh_fpr()).use_(a).use_(b)
+            }
+        }
+        Kind::IntLoad => {
+            let op = [Opcode::Lwz, Opcode::Lwz, Opcode::Lbz, Opcode::Lhz][rng.below(4)];
+            let base = regs.pick_gpr(rng, 0.0);
+            Inst::new(op).def(regs.fresh_gpr()).use_(base).mem(mem_ref(spec, rng)).hazard(pei(spec, rng))
+        }
+        Kind::FloatLoad => {
+            let op = if rng.chance(0.7) { Opcode::Lfd } else { Opcode::Lfs };
+            let base = regs.pick_gpr(rng, 0.0);
+            Inst::new(op).def(regs.fresh_fpr()).use_(base).mem(mem_ref(spec, rng)).hazard(pei(spec, rng))
+        }
+        Kind::IntStore => {
+            let op = [Opcode::Stw, Opcode::Stw, Opcode::Stb, Opcode::Sth][rng.below(4)];
+            let val = regs.pick_gpr(rng, chain);
+            let base = regs.pick_gpr(rng, 0.0);
+            Inst::new(op).use_(val).use_(base).mem(mem_ref(spec, rng)).hazard(pei(spec, rng))
+        }
+        Kind::FloatStore => {
+            let op = if rng.chance(0.7) { Opcode::Stfd } else { Opcode::Stfs };
+            let val = regs.pick_fpr(rng, chain);
+            let base = regs.pick_gpr(rng, 0.0);
+            Inst::new(op).use_(val).use_(base).mem(mem_ref(spec, rng)).hazard(pei(spec, rng))
+        }
+        Kind::Call => {
+            let op = if rng.chance(0.8) { Opcode::Bl } else { Opcode::Bctrl };
+            let mut inst = Inst::new(op).def(Reg::lr()).hazard(Hazards::GC_POINT | Hazards::THREAD_SWITCH);
+            if op == Opcode::Bctrl {
+                inst = inst.use_(Reg::ctr());
+            }
+            for _ in 0..rng.range(0, 2) {
+                inst = inst.use_(regs.pick_gpr(rng, 0.0));
+            }
+            inst
+        }
+        Kind::Safepoint => Inst::new(Opcode::YieldPoint)
+            .hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH),
+        Kind::System => match rng.below(3) {
+            0 => Inst::new(Opcode::Mfspr).def(regs.fresh_gpr()).use_(Reg::spr(2)),
+            1 => Inst::new(Opcode::Mtspr).def(Reg::spr(2)).use_(regs.pick_gpr(rng, 0.0)),
+            _ => {
+                let op = if rng.chance(0.5) { Opcode::NullCheck } else { Opcode::BoundsCheck };
+                Inst::new(op).use_(regs.pick_gpr(rng, 0.0)).hazard(Hazards::PEI)
+            }
+        },
+    }
+}
+
+fn gen_block(spec: &BenchmarkSpec, rng: &mut Xoshiro256, id: u32, last_in_method: bool) -> BasicBlock {
+    // Hot blocks model optimized loop bodies: the JIT unrolls and inlines
+    // them, so they are larger and expose more parallelism. This couples
+    // execution weight with scheduling benefit, as in the paper where a
+    // small minority of blocks carries most of the achievable win (§4.4).
+    let hot = rng.chance(spec.hot_fraction);
+    let (len_mean, chain) = if hot {
+        (spec.block_len_mean * 2.0, spec.chain_bias * 0.45)
+    } else {
+        (spec.block_len_mean * 0.92, (spec.chain_bias * 1.15).min(0.95))
+    };
+    let len = rng.skewed_len(len_mean.max(1.0), spec.block_len_max);
+    // Loop bodies have their null/bounds checks hoisted by the optimizer,
+    // so hot blocks carry fewer PEIs (and therefore reorder more freely).
+    let mut spec = spec.clone();
+    spec.pei_prob = if hot { spec.pei_prob * 0.4 } else { (spec.pei_prob * 1.15).min(0.9) };
+    let spec = &spec;
+    let mut regs = RegState::new();
+    let mut b = BasicBlock::new(id);
+    // Room for a terminator within the sampled length when one is added.
+    let want_term = last_in_method || rng.chance(0.75);
+    let body = if want_term && len > 1 { len - 1 } else { len };
+    for _ in 0..body {
+        b.push(gen_inst(spec, chain, rng, &mut regs));
+    }
+    if want_term {
+        if last_in_method {
+            b.push(Inst::new(Opcode::Blr).use_(Reg::lr()));
+        } else if rng.chance(0.8) {
+            b.push(Inst::new(Opcode::Bc).use_(Reg::cr(0)));
+        } else {
+            b.push(Inst::new(Opcode::B));
+        }
+    }
+    // Hot/cold execution profile.
+    let mut exec = rng.range(1, 20) as u64;
+    if hot {
+        exec *= rng.range(spec.hot_multiplier.0 as usize, spec.hot_multiplier.1 as usize) as u64;
+    }
+    b.set_exec_count(exec);
+    b
+}
+
+pub(crate) fn generate_program(spec: &BenchmarkSpec, scale: f64) -> Program {
+    let mut rng = Xoshiro256::new(spec.seed);
+    let methods = ((spec.methods as f64 * scale) as usize).max(1);
+    let mut program = Program::new(spec.name.clone());
+    let mut block_id = 0u32;
+    for mi in 0..methods {
+        let mut method = Method::new(mi as u32, format!("{}::m{}", spec.name, mi));
+        let nblocks = rng.range(spec.blocks_per_method.0, spec.blocks_per_method.1);
+        for bi in 0..nblocks {
+            let mut block = gen_block(spec, &mut rng, block_id, bi + 1 == nblocks);
+            // Method prologues carry a yield point in Jikes RVM.
+            if bi == 0 && rng.chance(0.6) {
+                let mut insts = vec![Inst::new(Opcode::YieldPoint)
+                    .hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH)];
+                insts.extend(block.insts().iter().cloned());
+                let exec = block.exec_count();
+                block = BasicBlock::from_insts(block_id, insts);
+                block.set_exec_count(exec);
+            }
+            block_id += 1;
+            method.push_block(block);
+        }
+        program.push_method(method);
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OpMix;
+    use wts_features::{FeatureKind, FeatureVector};
+
+    fn spec(seed: u64) -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "gen-test".into(),
+            description: String::new(),
+            methods: 40,
+            blocks_per_method: (2, 8),
+            block_len_mean: 7.0,
+            block_len_max: 40,
+            mix: OpMix::integer(),
+            chain_bias: 0.5,
+            pei_prob: 0.25,
+            alias_unknown_prob: 0.2,
+            mem_slots: 16,
+            hot_fraction: 0.1,
+            hot_multiplier: (50, 300),
+            seed,
+        }
+    }
+
+    #[test]
+    fn programs_validate() {
+        let p = generate_program(&spec(1), 1.0);
+        p.validate().expect("valid IR");
+        assert!(p.block_count() >= 80);
+    }
+
+    #[test]
+    fn mix_shows_up_in_features() {
+        let p = generate_program(&spec(2), 1.0);
+        let mut loads = 0.0;
+        let mut floats = 0.0;
+        let mut n = 0.0;
+        for (_, b) in p.iter_blocks() {
+            let fv = FeatureVector::extract(b);
+            loads += fv.get(FeatureKind::Loads);
+            floats += fv.get(FeatureKind::Floats);
+            n += 1.0;
+        }
+        let avg_loads = loads / n;
+        let avg_floats = floats / n;
+        assert!(avg_loads > 0.10, "integer mix should be loady: {avg_loads}");
+        assert!(avg_floats < 0.10, "integer mix should be FP-light: {avg_floats}");
+    }
+
+    #[test]
+    fn fp_mix_is_fp_heavy() {
+        let mut s = spec(3);
+        s.mix = OpMix::floating_point();
+        let p = generate_program(&s, 1.0);
+        let mut floats = 0.0;
+        let mut n = 0.0;
+        for (_, b) in p.iter_blocks() {
+            floats += FeatureVector::extract(b).get(FeatureKind::Floats);
+            n += 1.0;
+        }
+        assert!(floats / n > 0.2, "fp mix should be FP-heavy: {}", floats / n);
+    }
+
+    #[test]
+    fn hot_blocks_exist_but_are_minority() {
+        let p = generate_program(&spec(4), 1.0);
+        let counts: Vec<u64> = p.iter_blocks().map(|(_, b)| b.exec_count()).collect();
+        let hot = counts.iter().filter(|&&c| c >= 100).count();
+        assert!(hot > 0, "some hot blocks");
+        assert!(hot * 3 < counts.len(), "hot blocks are a minority");
+    }
+
+    #[test]
+    fn method_last_block_returns() {
+        let p = generate_program(&spec(5), 1.0);
+        for m in p.methods() {
+            let last = m.blocks().last().expect("methods have blocks");
+            assert_eq!(last.insts().last().expect("non-empty").opcode(), Opcode::Blr);
+        }
+    }
+
+    #[test]
+    fn block_lengths_have_small_and_large() {
+        let p = generate_program(&spec(6), 1.0);
+        let lens: Vec<usize> = p.iter_blocks().map(|(_, b)| b.len()).collect();
+        assert!(lens.iter().any(|&l| l <= 3), "small blocks exist");
+        assert!(lens.iter().any(|&l| l >= 15), "large blocks exist");
+    }
+}

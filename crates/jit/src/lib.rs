@@ -1,0 +1,47 @@
+//! Synthetic JIT workloads and the compile pipeline.
+//!
+//! The paper's corpus is SPECjvm98 plus a floating-point-heavy suite,
+//! compiled by Jikes RVM on a PowerPC 7410. Neither the benchmarks nor
+//! the VM are available here, so this crate builds the closest synthetic
+//! equivalent (see DESIGN.md §2):
+//!
+//! * [`BenchmarkSpec`] describes a program's *population of basic blocks*
+//!   — instruction-category mix, block-size distribution, dependence
+//!   density (how chain-like the code is), memory-aliasing behaviour,
+//!   hazard rates and a hot/cold execution profile;
+//! * [`generate`](BenchmarkSpec::generate) expands a spec into a concrete
+//!   [`Program`](wts_ir::Program) with a deterministic PRNG, so every table in the
+//!   reproduction is bit-stable;
+//! * [`Suite::specjvm98`] and [`Suite::fp`] wire up one spec per paper
+//!   benchmark (Tables 2 and 7);
+//! * [`CompileSession`] is the JIT scheduling pass: per block it extracts
+//!   features, consults a [`Filter`](wts_core::Filter), and (maybe)
+//!   schedules, with wall-clock timing of each stage.
+//!
+//! # Examples
+//!
+//! ```
+//! use wts_core::AlwaysSchedule;
+//! use wts_jit::{CompileSession, Suite};
+//! use wts_machine::MachineConfig;
+//!
+//! let machine = MachineConfig::ppc7410();
+//! let suite = Suite::specjvm98(0.01); // 1% scale for a quick check
+//! let session = CompileSession::new(&machine);
+//! let (scheduled, stats) = session.compile(&suite.benchmarks()[0].program(), &AlwaysSchedule);
+//! assert_eq!(stats.scheduled_blocks, stats.total_blocks);
+//! assert_eq!(scheduled.block_count(), stats.total_blocks);
+//! ```
+
+mod blockgen;
+mod compiler;
+mod rng;
+mod spec;
+mod suite;
+mod superblock;
+
+pub use compiler::{app_cycles, predicted_cycles, CompileSession, CompileStats};
+pub use rng::Xoshiro256;
+pub use spec::{BenchmarkSpec, OpMix};
+pub use suite::{Benchmark, Suite};
+pub use superblock::{form_superblocks, superblock_gain, Superblock, SuperblockGain};

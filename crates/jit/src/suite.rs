@@ -1,0 +1,284 @@
+//! The two benchmark suites of the paper (Tables 2 and 7).
+
+use crate::spec::{BenchmarkSpec, OpMix};
+use wts_ir::Program;
+
+/// A generated benchmark: its spec plus the concrete program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    spec: BenchmarkSpec,
+    program: Program,
+}
+
+impl Benchmark {
+    /// Generates the benchmark at the given scale.
+    pub fn generate(spec: BenchmarkSpec, scale: f64) -> Benchmark {
+        let program = spec.generate(scale);
+        Benchmark { spec, program }
+    }
+
+    /// The benchmark's name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Its one-line description (Table 2 / Table 7 text).
+    pub fn description(&self) -> &str {
+        &self.spec.description
+    }
+
+    /// The generating spec.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        &self.spec
+    }
+
+    /// The generated program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// A named collection of benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite {
+    name: String,
+    benchmarks: Vec<Benchmark>,
+}
+
+impl Suite {
+    /// The SPECjvm98-like suite (paper Table 2), generated at `scale`
+    /// (1.0 reproduces the paper's ~45k-block corpus).
+    pub fn specjvm98(scale: f64) -> Suite {
+        Suite { name: "SPECjvm98".into(), benchmarks: specjvm98_specs().into_iter().map(|s| Benchmark::generate(s, scale)).collect() }
+    }
+
+    /// The floating-point suite (paper Table 7).
+    pub fn fp(scale: f64) -> Suite {
+        Suite { name: "FP".into(), benchmarks: fp_specs().into_iter().map(|s| Benchmark::generate(s, scale)).collect() }
+    }
+
+    /// Builds a suite from explicit specs.
+    pub fn from_specs(name: impl Into<String>, specs: Vec<BenchmarkSpec>, scale: f64) -> Suite {
+        Suite { name: name.into(), benchmarks: specs.into_iter().map(|s| Benchmark::generate(s, scale)).collect() }
+    }
+
+    /// Suite name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The benchmarks.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Total basic blocks across the suite.
+    pub fn block_count(&self) -> usize {
+        self.benchmarks.iter().map(|b| b.program.block_count()).sum()
+    }
+}
+
+fn base(name: &str, description: &str, seed: u64) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: name.into(),
+        description: description.into(),
+        methods: 1080,
+        blocks_per_method: (2, 10),
+        block_len_mean: 6.0,
+        block_len_max: 45,
+        mix: OpMix::integer(),
+        chain_bias: 0.64,
+        pei_prob: 0.30,
+        alias_unknown_prob: 0.25,
+        mem_slots: 16,
+        hot_fraction: 0.08,
+        hot_multiplier: (100, 600),
+        seed,
+    }
+}
+
+/// The seven SPECjvm98 benchmark specs (descriptions from Table 2).
+pub(crate) fn specjvm98_specs() -> Vec<BenchmarkSpec> {
+    let mut compress = base("compress", "Java version of 129.compress from the SPEC CPU95 suite", 0xC0);
+    compress.block_len_mean = 7.5;
+    compress.chain_bias = 0.56;
+    compress.mix.int_load = 0.26;
+    compress.mix.int_store = 0.12;
+    compress.mix.call = 0.025;
+    compress.pei_prob = 0.24;
+    compress.hot_fraction = 0.12;
+
+    let mut jess = base("jess", "Puzzle solving expert system shell based on NASA's CLIPS system", 0xC1);
+    jess.block_len_mean = 4.6;
+    jess.chain_bias = 0.70;
+    jess.mix.call = 0.085;
+    jess.mix.int_load = 0.24;
+    jess.pei_prob = 0.36;
+
+    let mut db = base("db", "Builds an in-memory database and performs various operations on it", 0xC2);
+    db.block_len_mean = 5.2;
+    db.chain_bias = 0.68;
+    db.mix.int_load = 0.30;
+    db.mix.int_store = 0.13;
+    db.mix.call = 0.06;
+    db.pei_prob = 0.38;
+
+    let mut javac = base("javac", "A Java source code to bytecode compiler from JDK 1.0.2", 0xC3);
+    javac.block_len_mean = 4.5;
+    javac.chain_bias = 0.72;
+    javac.mix.call = 0.095;
+    javac.pei_prob = 0.40;
+
+    let mut mpegaudio = base("mpegaudio", "Decodes an MPEG-3 audio file", 0xC4);
+    mpegaudio.block_len_mean = 11.0;
+    mpegaudio.block_len_max = 60;
+    mpegaudio.chain_bias = 0.42;
+    mpegaudio.mix = OpMix {
+        simple_int: 0.22,
+        complex_int: 0.02,
+        float_arith: 0.24,
+        int_load: 0.10,
+        float_load: 0.14,
+        int_store: 0.04,
+        float_store: 0.08,
+        call: 0.02,
+        safepoint: 0.02,
+        system: 0.01,
+    };
+    mpegaudio.pei_prob = 0.12;
+    mpegaudio.hot_fraction = 0.15;
+
+    let mut raytrace = base("raytrace", "A raytracer that works on a scene depicting a dinosaur", 0xC5);
+    raytrace.block_len_mean = 8.0;
+    raytrace.chain_bias = 0.54;
+    raytrace.mix.float_arith = 0.16;
+    raytrace.mix.float_load = 0.09;
+    raytrace.mix.float_store = 0.04;
+    raytrace.mix.simple_int = 0.28;
+    raytrace.mix.int_load = 0.16;
+    raytrace.pei_prob = 0.18;
+
+    let mut jack = base("jack", "A Java parser generator with lexical analysis", 0xC6);
+    jack.block_len_mean = 4.8;
+    jack.chain_bias = 0.68;
+    jack.mix.call = 0.07;
+    jack.mix.int_load = 0.22;
+    jack.mix.int_store = 0.11;
+    jack.pei_prob = 0.36;
+
+    vec![compress, jess, db, javac, mpegaudio, raytrace, jack]
+}
+
+/// The six FP-suite specs (descriptions from Table 7). Numerically
+/// intensive code with long FP latencies — the programs for which
+/// scheduling matters most on this architecture.
+pub(crate) fn fp_specs() -> Vec<BenchmarkSpec> {
+    fn fp_base(name: &str, description: &str, seed: u64) -> BenchmarkSpec {
+        let mut s = base(name, description, seed);
+        s.mix = OpMix::floating_point();
+        s.block_len_mean = 13.0;
+        s.block_len_max = 70;
+        s.chain_bias = 0.40;
+        s.pei_prob = 0.12;
+        s.hot_fraction = 0.18;
+        s.hot_multiplier = (80, 600);
+        s.methods = 700;
+        s
+    }
+
+    let mut linpack = fp_base("linpack", "A numerically intensive program used to measure floating point performance of computers", 0xF0);
+    linpack.block_len_mean = 16.0;
+    linpack.chain_bias = 0.34;
+
+    let mut power = fp_base("power", "Power pricing system optimization problem solver", 0xF1);
+    power.mix.simple_int = 0.24;
+    power.mix.float_arith = 0.24;
+    power.block_len_mean = 10.0;
+    power.chain_bias = 0.48;
+
+    let mut bh = fp_base("bh", "Barnes and Hut N-body force computation algorithm", 0xF2);
+    bh.block_len_mean = 11.0;
+    bh.chain_bias = 0.46;
+
+    let mut voronoi = fp_base("voronoi", "Computes the voronoi diagram of a set of points recursively on the tree", 0xF3);
+    voronoi.block_len_mean = 8.0;
+    voronoi.chain_bias = 0.54;
+    voronoi.mix.call = 0.05;
+    voronoi.pei_prob = 0.2;
+
+    let mut aes = fp_base("aes", "A program to test vectors from the NIST standard encryption tests", 0xF4);
+    aes.mix = OpMix {
+        simple_int: 0.52,
+        complex_int: 0.02,
+        float_arith: 0.01,
+        int_load: 0.20,
+        float_load: 0.01,
+        int_store: 0.08,
+        float_store: 0.01,
+        call: 0.01,
+        safepoint: 0.02,
+        system: 0.02,
+    };
+    aes.block_len_mean = 15.0;
+    aes.chain_bias = 0.36;
+    aes.pei_prob = 0.08;
+
+    let mut scimark = fp_base("scimark", "A program for scientific and numerical computation", 0xF5);
+    scimark.block_len_mean = 14.0;
+    scimark.chain_bias = 0.38;
+
+    vec![linpack, power, bh, voronoi, aes, scimark]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specjvm98_has_seven_benchmarks() {
+        let s = Suite::specjvm98(0.02);
+        let names: Vec<&str> = s.benchmarks().iter().map(Benchmark::name).collect();
+        assert_eq!(names, vec!["compress", "jess", "db", "javac", "mpegaudio", "raytrace", "jack"]);
+        assert_eq!(s.name(), "SPECjvm98");
+    }
+
+    #[test]
+    fn fp_suite_has_six_benchmarks() {
+        let s = Suite::fp(0.02);
+        let names: Vec<&str> = s.benchmarks().iter().map(Benchmark::name).collect();
+        assert_eq!(names, vec!["linpack", "power", "bh", "voronoi", "aes", "scimark"]);
+    }
+
+    #[test]
+    fn full_scale_corpus_is_paper_sized() {
+        // Block counts at scale 1.0: about 6.5k per jvm98 benchmark,
+        // ~45k total (the paper's Table 6 total is 45,453).
+        let specs = specjvm98_specs();
+        let total: usize = specs.iter().map(|s| s.approx_blocks(1.0)).sum();
+        assert!((35_000..60_000).contains(&total), "approx total {total}");
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        assert_eq!(Suite::specjvm98(0.02), Suite::specjvm98(0.02));
+        assert_eq!(Suite::fp(0.02), Suite::fp(0.02));
+    }
+
+    #[test]
+    fn all_programs_validate() {
+        for b in Suite::specjvm98(0.02).benchmarks() {
+            b.program().validate().expect("valid IR");
+        }
+        for b in Suite::fp(0.02).benchmarks() {
+            b.program().validate().expect("valid IR");
+        }
+    }
+
+    #[test]
+    fn descriptions_come_from_the_paper() {
+        let s = Suite::specjvm98(0.01);
+        assert!(s.benchmarks()[0].description().contains("129.compress"));
+        let f = Suite::fp(0.01);
+        assert!(f.benchmarks()[2].description().contains("Barnes and Hut"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Whole-machine descriptions.
+
+use crate::{FunctionalUnit, LatencyTable, UnitSet};
+use wts_ir::UnitClass;
+
+/// A description of the modelled processor: functional units, issue rules,
+/// latencies and the out-of-order window used by [`PipelineSim`].
+///
+/// [`PipelineSim`]: crate::PipelineSim
+///
+/// # Examples
+///
+/// ```
+/// use wts_machine::MachineConfig;
+/// let m = MachineConfig::ppc7410();
+/// assert_eq!(m.issue_width(), 2);
+/// assert_eq!(m.branch_width(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    name: String,
+    issue_width: u32,
+    branch_width: u32,
+    window: usize,
+    latencies: LatencyTable,
+    unit_map: [UnitSet; 6],
+}
+
+impl MachineConfig {
+    /// Builds a machine from parts.
+    ///
+    /// `issue_width` bounds non-branch issues per cycle; `branch_width`
+    /// bounds branch issues per cycle; `window` is the out-of-order window
+    /// depth of the detailed simulator (1 = fully in-order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or the window is zero, or if some [`UnitClass`]
+    /// has no unit to execute on.
+    pub fn new(
+        name: impl Into<String>,
+        issue_width: u32,
+        branch_width: u32,
+        window: usize,
+        latencies: LatencyTable,
+        unit_map: [(UnitClass, UnitSet); 6],
+    ) -> MachineConfig {
+        assert!(issue_width >= 1, "issue width must be positive");
+        assert!(branch_width >= 1, "branch width must be positive");
+        assert!(window >= 1, "window must be positive");
+        let mut map = [UnitSet::new(); 6];
+        for (class, set) in unit_map {
+            assert!(!set.is_empty(), "unit class {class} has no units");
+            map[class_index(class)] = set;
+        }
+        for class in UnitClass::ALL {
+            assert!(!map[class_index(class)].is_empty(), "unit class {class} not mapped");
+        }
+        MachineConfig { name: name.into(), issue_width, branch_width, window, latencies, unit_map: map }
+    }
+
+    /// The PowerPC 7410 model used in the paper's experiments: two
+    /// dissimilar integer units, one each of FPU/BRU/LSU/SU, two non-branch
+    /// plus one branch issue per cycle, and a small out-of-order window.
+    pub fn ppc7410() -> MachineConfig {
+        use FunctionalUnit::*;
+        MachineConfig::new(
+            "ppc7410",
+            2,
+            1,
+            8,
+            LatencyTable::ppc7410(),
+            [
+                (UnitClass::SimpleInt, UnitSet::of(&[Iu1, Iu2])),
+                (UnitClass::ComplexInt, UnitSet::of(&[Iu2])),
+                (UnitClass::Float, UnitSet::of(&[Fpu])),
+                (UnitClass::Branch, UnitSet::of(&[Bru])),
+                (UnitClass::LoadStore, UnitSet::of(&[Lsu])),
+                (UnitClass::System, UnitSet::of(&[Su])),
+            ],
+        )
+    }
+
+    /// A single-issue, fully in-order machine (ablation: "older processors
+    /// with less dynamic scheduling", paper §3.1). Scheduling matters more
+    /// here because the hardware recovers nothing.
+    pub fn simple_scalar() -> MachineConfig {
+        use FunctionalUnit::*;
+        MachineConfig::new(
+            "simple-scalar",
+            1,
+            1,
+            1,
+            LatencyTable::ppc7410(),
+            [
+                (UnitClass::SimpleInt, UnitSet::of(&[Iu1])),
+                (UnitClass::ComplexInt, UnitSet::of(&[Iu1])),
+                (UnitClass::Float, UnitSet::of(&[Fpu])),
+                (UnitClass::Branch, UnitSet::of(&[Bru])),
+                (UnitClass::LoadStore, UnitSet::of(&[Lsu])),
+                (UnitClass::System, UnitSet::of(&[Su])),
+            ],
+        )
+    }
+
+    /// Like the 7410 but with doubled floating-point latencies (ablation:
+    /// an FP-weak core where scheduling FP code pays off even more).
+    pub fn deep_fp() -> MachineConfig {
+        let mut m = MachineConfig::ppc7410();
+        m.name = "deep-fp".into();
+        m.latencies = m.latencies.with_scaled_float(2);
+        m
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum non-branch instructions issued per cycle.
+    pub fn issue_width(&self) -> u32 {
+        self.issue_width
+    }
+
+    /// Maximum branch-unit instructions issued per cycle.
+    pub fn branch_width(&self) -> u32 {
+        self.branch_width
+    }
+
+    /// Out-of-order window depth used by the detailed simulator.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The latency table.
+    pub fn latencies(&self) -> &LatencyTable {
+        &self.latencies
+    }
+
+    /// Units able to execute the given class.
+    pub fn units_for(&self, class: UnitClass) -> UnitSet {
+        self.unit_map[class_index(class)]
+    }
+
+    /// Convenience: latency of an opcode on this machine.
+    pub fn latency(&self, op: wts_ir::Opcode) -> u32 {
+        self.latencies.latency(op)
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::ppc7410()
+    }
+}
+
+fn class_index(c: UnitClass) -> usize {
+    match c {
+        UnitClass::SimpleInt => 0,
+        UnitClass::ComplexInt => 1,
+        UnitClass::Float => 2,
+        UnitClass::Branch => 3,
+        UnitClass::LoadStore => 4,
+        UnitClass::System => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_ir::Opcode;
+
+    #[test]
+    fn ppc7410_shape() {
+        let m = MachineConfig::ppc7410();
+        assert_eq!(m.name(), "ppc7410");
+        assert_eq!(m.units_for(UnitClass::SimpleInt).len(), 2, "dissimilar integer units");
+        assert_eq!(m.units_for(UnitClass::ComplexInt).len(), 1);
+        assert!(m.units_for(UnitClass::SimpleInt).contains(FunctionalUnit::Iu2));
+        assert_eq!(m.units_for(UnitClass::Float).len(), 1);
+        assert!(m.window() > 1);
+    }
+
+    #[test]
+    fn simple_scalar_is_narrow() {
+        let m = MachineConfig::simple_scalar();
+        assert_eq!(m.issue_width(), 1);
+        assert_eq!(m.window(), 1);
+        assert_eq!(m.units_for(UnitClass::ComplexInt).len(), 1);
+    }
+
+    #[test]
+    fn deep_fp_doubles_float_latency() {
+        let base = MachineConfig::ppc7410();
+        let deep = MachineConfig::deep_fp();
+        assert_eq!(deep.latency(Opcode::Fadd), 2 * base.latency(Opcode::Fadd));
+        assert_eq!(deep.latency(Opcode::Add), base.latency(Opcode::Add));
+        assert_eq!(deep.name(), "deep-fp");
+    }
+
+    #[test]
+    fn every_class_has_units() {
+        let m = MachineConfig::ppc7410();
+        for class in UnitClass::ALL {
+            assert!(!m.units_for(class).is_empty(), "{class} unmapped");
+        }
+    }
+
+    #[test]
+    fn default_is_ppc7410() {
+        assert_eq!(MachineConfig::default(), MachineConfig::ppc7410());
+    }
+}

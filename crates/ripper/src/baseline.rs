@@ -1,0 +1,410 @@
+//! Baseline learners for comparison with RIPPER.
+//!
+//! The paper motivates rule induction over heavier methods (§2.3, §5);
+//! these baselines quantify that choice in the `learners` extension
+//! experiment: a majority-class guesser, a single decision stump, 1R
+//! (best single-attribute threshold), and a small depth-limited decision
+//! tree (the method of Calder et al. and Monsifrot et al. in §5).
+
+use crate::data::Dataset;
+use crate::rule::RuleSet;
+
+/// Anything that classifies a numeric feature vector.
+pub trait Classifier {
+    /// Predicts the positive class for `values`.
+    fn predict(&self, values: &[f64]) -> bool;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl Classifier for RuleSet {
+    fn predict(&self, values: &[f64]) -> bool {
+        RuleSet::predict(self, values)
+    }
+
+    fn name(&self) -> &'static str {
+        "ripper"
+    }
+}
+
+/// Always predicts the majority class of the training data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityLearner {
+    positive: bool,
+}
+
+impl MajorityLearner {
+    /// Fits the majority class.
+    pub fn fit(data: &Dataset) -> MajorityLearner {
+        MajorityLearner { positive: data.positives() * 2 > data.len() }
+    }
+
+    /// The class this model always predicts.
+    pub fn majority(&self) -> bool {
+        self.positive
+    }
+}
+
+impl Classifier for MajorityLearner {
+    fn predict(&self, _values: &[f64]) -> bool {
+        self.positive
+    }
+
+    fn name(&self) -> &'static str {
+        "majority"
+    }
+}
+
+/// A single threshold test on a single attribute, chosen to minimize
+/// training error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionStump {
+    attr: usize,
+    threshold: f64,
+    /// Predicted class when `value >= threshold`.
+    ge_positive: bool,
+}
+
+impl DecisionStump {
+    /// Fits the best stump by exhaustive threshold search.
+    pub fn fit(data: &Dataset) -> DecisionStump {
+        let mut best = DecisionStump { attr: 0, threshold: f64::NEG_INFINITY, ge_positive: data.positives() * 2 > data.len() };
+        let mut best_err = usize::MAX;
+        for attr in 0..data.attr_count() {
+            let mut col: Vec<(f64, bool)> = data.instances().iter().map(|i| (i.values[attr], i.positive)).collect();
+            col.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            let total_pos = col.iter().filter(|e| e.1).count();
+            let total = col.len();
+            // For threshold = v (a data value), `>= v` covers the suffix.
+            let mut pos_before = 0usize;
+            let mut before = 0usize;
+            let mut j = 0;
+            while j < col.len() {
+                let v = col[j].0;
+                // Evaluate threshold at the start of this run.
+                let pos_suffix = total_pos - pos_before;
+                let suffix = total - before;
+                // Variant 1: ge_positive=true — errors: negatives in suffix + positives in prefix.
+                let err_true = (suffix - pos_suffix) + pos_before;
+                // Variant 2: ge_positive=false — complement.
+                let err_false = pos_suffix + (before - pos_before);
+                for (err, gep) in [(err_true, true), (err_false, false)] {
+                    if err < best_err {
+                        best_err = err;
+                        best = DecisionStump { attr, threshold: v, ge_positive: gep };
+                    }
+                }
+                while j < col.len() && col[j].0 == v {
+                    if col[j].1 {
+                        pos_before += 1;
+                    }
+                    before += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// The attribute tested.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// The threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Classifier for DecisionStump {
+    fn predict(&self, values: &[f64]) -> bool {
+        if values[self.attr] >= self.threshold {
+            self.ge_positive
+        } else {
+            !self.ge_positive
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stump"
+    }
+}
+
+/// 1R (Holte 1993): discretize each attribute into up-to-`bins` intervals,
+/// pick the single attribute whose interval-majority predictions have the
+/// lowest training error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneR {
+    attr: usize,
+    /// Sorted interval upper bounds; `predictions[k]` applies to values
+    /// `<= bounds[k]` (last interval is unbounded).
+    bounds: Vec<f64>,
+    predictions: Vec<bool>,
+}
+
+impl OneR {
+    /// Fits 1R with the given number of equal-frequency bins per attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `data` is empty.
+    pub fn fit(data: &Dataset, bins: usize) -> OneR {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(!data.is_empty(), "cannot fit 1R on an empty dataset");
+        let mut best: Option<(usize, OneR)> = None;
+        for attr in 0..data.attr_count() {
+            let mut col: Vec<(f64, bool)> = data.instances().iter().map(|i| (i.values[attr], i.positive)).collect();
+            col.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            let per = (col.len() / bins).max(1);
+            let mut bounds = Vec::new();
+            let mut predictions = Vec::new();
+            let mut errors = 0usize;
+            let mut k = 0;
+            while k < col.len() {
+                let mut end = (k + per).min(col.len());
+                // Extend so equal values stay in one interval.
+                while end < col.len() && col[end].0 == col[end - 1].0 {
+                    end += 1;
+                }
+                let pos = col[k..end].iter().filter(|e| e.1).count();
+                let neg = end - k - pos;
+                predictions.push(pos >= neg);
+                errors += pos.min(neg);
+                if end < col.len() {
+                    bounds.push(col[end - 1].0);
+                }
+                k = end;
+            }
+            let model = OneR { attr, bounds, predictions };
+            if best.as_ref().is_none_or(|(e, _)| errors < *e) {
+                best = Some((errors, model));
+            }
+        }
+        best.expect("non-empty dataset").1
+    }
+
+    /// The attribute this model tests.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+}
+
+impl Classifier for OneR {
+    fn predict(&self, values: &[f64]) -> bool {
+        let v = values[self.attr];
+        let k = self.bounds.iter().take_while(|&&b| v > b).count();
+        self.predictions[k.min(self.predictions.len() - 1)]
+    }
+
+    fn name(&self) -> &'static str {
+        "one-r"
+    }
+}
+
+/// A small entropy-based decision tree with a depth limit and a minimum
+/// leaf size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShallowTree {
+    root: Node,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf(bool),
+    Split { attr: usize, threshold: f64, le: Box<Node>, gt: Box<Node> },
+}
+
+impl ShallowTree {
+    /// Fits a tree of at most `max_depth` splits, never splitting nodes
+    /// with fewer than `min_leaf` instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset, max_depth: usize, min_leaf: usize) -> ShallowTree {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let idx: Vec<u32> = (0..data.len() as u32).collect();
+        ShallowTree { root: build(data, &idx, max_depth, min_leaf.max(1)) }
+    }
+
+    /// Number of leaves (model size).
+    pub fn leaves(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Split { le, gt, .. } => walk(le) + walk(gt),
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+fn entropy(p: usize, n: usize) -> f64 {
+    let t = p + n;
+    if t == 0 || p == 0 || n == 0 {
+        return 0.0;
+    }
+    let fp = p as f64 / t as f64;
+    let fn_ = n as f64 / t as f64;
+    -(fp * fp.log2() + fn_ * fn_.log2())
+}
+
+fn build(data: &Dataset, idx: &[u32], depth: usize, min_leaf: usize) -> Node {
+    let pos = idx.iter().filter(|&&i| data.instances()[i as usize].positive).count();
+    let neg = idx.len() - pos;
+    if depth == 0 || idx.len() < 2 * min_leaf || pos == 0 || neg == 0 {
+        return Node::Leaf(pos >= neg);
+    }
+    let parent_h = entropy(pos, neg);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, attr, threshold)
+    for attr in 0..data.attr_count() {
+        let mut col: Vec<(f64, bool)> = idx
+            .iter()
+            .map(|&i| (data.instances()[i as usize].values[attr], data.instances()[i as usize].positive))
+            .collect();
+        col.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut p_le = 0usize;
+        let mut c_le = 0usize;
+        let mut j = 0;
+        while j < col.len() {
+            let v = col[j].0;
+            while j < col.len() && col[j].0 == v {
+                if col[j].1 {
+                    p_le += 1;
+                }
+                c_le += 1;
+                j += 1;
+            }
+            if c_le < min_leaf || idx.len() - c_le < min_leaf {
+                continue;
+            }
+            let n_le = c_le - p_le;
+            let p_gt = pos - p_le;
+            let n_gt = neg - n_le;
+            let w_le = c_le as f64 / idx.len() as f64;
+            let gain = parent_h - w_le * entropy(p_le, n_le) - (1.0 - w_le) * entropy(p_gt, n_gt);
+            if best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
+                best = Some((gain, attr, v));
+            }
+        }
+    }
+    match best {
+        Some((gain, attr, threshold)) if gain > 1e-9 => {
+            let (le, gt): (Vec<u32>, Vec<u32>) =
+                idx.iter().partition(|&&i| data.instances()[i as usize].values[attr] <= threshold);
+            Node::Split {
+                attr,
+                threshold,
+                le: Box::new(build(data, &le, depth - 1, min_leaf)),
+                gt: Box::new(build(data, &gt, depth - 1, min_leaf)),
+            }
+        }
+        _ => Node::Leaf(pos >= neg),
+    }
+}
+
+impl Classifier for ShallowTree {
+    fn predict(&self, values: &[f64]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(c) => return *c,
+                Node::Split { attr, threshold, le, gt } => {
+                    node = if values[*attr] <= *threshold { le } else { gt };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "junk".into()], "LS", "NS");
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            d.push(vec![x, 0.5], x >= 0.4, 0);
+        }
+        d
+    }
+
+    #[test]
+    fn majority_predicts_bigger_class() {
+        let d = linear_dataset(); // 60 positives
+        let m = MajorityLearner::fit(&d);
+        assert!(m.majority());
+        assert!(m.predict(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn stump_finds_the_threshold() {
+        let d = linear_dataset();
+        let s = DecisionStump::fit(&d);
+        assert_eq!(s.attr(), 0);
+        assert!(s.predict(&[0.9, 0.5]));
+        assert!(!s.predict(&[0.1, 0.5]));
+    }
+
+    #[test]
+    fn stump_handles_inverted_classes() {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        for i in 0..50 {
+            let x = i as f64;
+            d.push(vec![x], x < 25.0, 0);
+        }
+        let s = DecisionStump::fit(&d);
+        assert!(s.predict(&[1.0]));
+        assert!(!s.predict(&[40.0]));
+    }
+
+    #[test]
+    fn one_r_matches_simple_rule() {
+        let d = linear_dataset();
+        let m = OneR::fit(&d, 10);
+        assert_eq!(m.attr(), 0);
+        assert!(m.predict(&[0.95, 0.5]));
+        assert!(!m.predict(&[0.05, 0.5]));
+    }
+
+    #[test]
+    fn tree_learns_conjunctive_structure() {
+        // positives where x >= .5 && y >= .5: needs depth 2.
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], "LS", "NS");
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, y) = (i as f64 / 20.0, j as f64 / 20.0);
+                d.push(vec![x, y], x >= 0.5 && y >= 0.5, 0);
+            }
+        }
+        let t = ShallowTree::fit(&d, 3, 5);
+        assert!(t.predict(&[0.9, 0.9]));
+        assert!(!t.predict(&[0.9, 0.1]));
+        assert!(!t.predict(&[0.1, 0.9]));
+        assert!(!t.predict(&[0.1, 0.1]));
+        assert!(t.leaves() >= 3);
+    }
+
+    #[test]
+    fn tree_respects_depth_limit() {
+        let d = linear_dataset();
+        let t = ShallowTree::fit(&d, 1, 1);
+        assert!(t.leaves() <= 2);
+    }
+
+    #[test]
+    fn classifier_names() {
+        let d = linear_dataset();
+        assert_eq!(MajorityLearner::fit(&d).name(), "majority");
+        assert_eq!(DecisionStump::fit(&d).name(), "stump");
+        assert_eq!(OneR::fit(&d, 4).name(), "one-r");
+        assert_eq!(ShallowTree::fit(&d, 2, 2).name(), "tree");
+    }
+}

@@ -1,0 +1,95 @@
+//! Leave-one-group-out cross-validation.
+
+use crate::Dataset;
+
+/// One fold of leave-one-group-out cross-validation: train on every group
+/// except `held_out`, test on `held_out`.
+#[derive(Debug, Clone)]
+pub struct GroupFold {
+    /// The group (benchmark) held out for testing.
+    pub held_out: u32,
+    /// Training instances (all other groups).
+    pub train: Dataset,
+    /// Test instances (the held-out group).
+    pub test: Dataset,
+}
+
+/// Splits `data` into one [`GroupFold`] per distinct group id — the
+/// paper's evaluation protocol: "in training for benchmark i we train
+/// using the set of instances from the n−1 other benchmarks, and we apply
+/// the heuristic to the test set from benchmark i" (§3).
+///
+/// # Examples
+///
+/// ```
+/// use wts_ripper::{leave_one_group_out, Dataset};
+/// let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+/// d.push(vec![1.0], true, 0);
+/// d.push(vec![2.0], false, 1);
+/// d.push(vec![3.0], true, 2);
+/// let folds = leave_one_group_out(&d);
+/// assert_eq!(folds.len(), 3);
+/// assert_eq!(folds[0].test.len(), 1);
+/// assert_eq!(folds[0].train.len(), 2);
+/// ```
+pub fn leave_one_group_out(data: &Dataset) -> Vec<GroupFold> {
+    data.groups()
+        .into_iter()
+        .map(|g| GroupFold {
+            held_out: g,
+            train: data.filtered(|i| i.group != g),
+            test: data.filtered(|i| i.group == g),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        for g in 0..4u32 {
+            for i in 0..5 {
+                d.push(vec![i as f64], i % 2 == 0, g);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn one_fold_per_group() {
+        let folds = leave_one_group_out(&grouped_dataset());
+        assert_eq!(folds.len(), 4);
+        for f in &folds {
+            assert_eq!(f.test.len(), 5);
+            assert_eq!(f.train.len(), 15);
+        }
+    }
+
+    #[test]
+    fn no_leakage_between_train_and_test() {
+        for f in leave_one_group_out(&grouped_dataset()) {
+            assert!(f.test.instances().iter().all(|i| i.group == f.held_out));
+            assert!(f.train.instances().iter().all(|i| i.group != f.held_out));
+        }
+    }
+
+    #[test]
+    fn folds_cover_all_groups() {
+        let folds = leave_one_group_out(&grouped_dataset());
+        let mut held: Vec<u32> = folds.iter().map(|f| f.held_out).collect();
+        held.sort_unstable();
+        assert_eq!(held, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_group_has_empty_train() {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        d.push(vec![1.0], true, 7);
+        let folds = leave_one_group_out(&d);
+        assert_eq!(folds.len(), 1);
+        assert!(folds[0].train.is_empty());
+        assert_eq!(folds[0].test.len(), 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Datasets of labelled numeric instances.
+
+use std::fmt;
+
+/// One training/test instance: a numeric feature vector, a binary label
+/// and a *group* id (used for leave-one-group-out cross-validation; in the
+/// paper a group is a benchmark program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Feature values, one per dataset attribute.
+    pub values: Vec<f64>,
+    /// True for the positive class (the paper's `LS`, "schedule").
+    pub positive: bool,
+    /// Group identifier for grouped cross-validation.
+    pub group: u32,
+}
+
+/// A binary-classification dataset over numeric attributes.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ripper::Dataset;
+/// let mut d = Dataset::new(vec!["a".into()], "LS", "NS");
+/// d.push(vec![1.0], true, 0);
+/// d.push(vec![0.0], false, 0);
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d.positives(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    attr_names: Vec<String>,
+    instances: Vec<Instance>,
+    pos_label: String,
+    neg_label: String,
+}
+
+impl Dataset {
+    /// An empty dataset with the given attribute and class names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr_names` is empty.
+    pub fn new(attr_names: Vec<String>, pos_label: impl Into<String>, neg_label: impl Into<String>) -> Dataset {
+        assert!(!attr_names.is_empty(), "a dataset needs at least one attribute");
+        Dataset { attr_names, instances: Vec::new(), pos_label: pos_label.into(), neg_label: neg_label.into() }
+    }
+
+    /// Adds an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the attribute count or a
+    /// value is not finite.
+    pub fn push(&mut self, values: Vec<f64>, positive: bool, group: u32) {
+        assert_eq!(values.len(), self.attr_names.len(), "value/attribute count mismatch");
+        assert!(values.iter().all(|v| v.is_finite()), "feature values must be finite");
+        self.instances.push(Instance { values, positive, group });
+    }
+
+    /// Attribute names.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Positive class display name.
+    pub fn pos_label(&self) -> &str {
+        &self.pos_label
+    }
+
+    /// Negative class display name.
+    pub fn neg_label(&self) -> &str {
+        &self.neg_label
+    }
+
+    /// The instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Number of positive instances.
+    pub fn positives(&self) -> usize {
+        self.instances.iter().filter(|i| i.positive).count()
+    }
+
+    /// Number of negative instances.
+    pub fn negatives(&self) -> usize {
+        self.len() - self.positives()
+    }
+
+    /// Distinct group ids, sorted.
+    pub fn groups(&self) -> Vec<u32> {
+        let mut g: Vec<u32> = self.instances.iter().map(|i| i.group).collect();
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
+
+    /// A dataset with the same schema but instances selected by predicate.
+    pub fn filtered(&self, mut keep: impl FnMut(&Instance) -> bool) -> Dataset {
+        Dataset {
+            attr_names: self.attr_names.clone(),
+            instances: self.instances.iter().filter(|i| keep(i)).cloned().collect(),
+            pos_label: self.pos_label.clone(),
+            neg_label: self.neg_label.clone(),
+        }
+    }
+
+    /// An empty dataset with the same schema.
+    pub fn like(&self) -> Dataset {
+        Dataset {
+            attr_names: self.attr_names.clone(),
+            instances: Vec::new(),
+            pos_label: self.pos_label.clone(),
+            neg_label: self.neg_label.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dataset: {} instances ({} {}, {} {}), {} attributes",
+            self.len(),
+            self.positives(),
+            self.pos_label,
+            self.negatives(),
+            self.neg_label,
+            self.attr_count()
+        )
+    }
+}
+
+/// Deterministic stratified split of instance indices into a grow set and
+/// a prune set with approximately `grow_fraction` of each class in the
+/// grow set. `seed` makes the shuffle reproducible.
+pub(crate) fn stratified_split(instances: &[Instance], grow_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!((0.0..=1.0).contains(&grow_fraction));
+    let mut pos: Vec<usize> = Vec::new();
+    let mut neg: Vec<usize> = Vec::new();
+    for (i, inst) in instances.iter().enumerate() {
+        if inst.positive {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    let mut rng = SplitMix64::new(seed);
+    shuffle(&mut pos, &mut rng);
+    shuffle(&mut neg, &mut rng);
+    let mut grow = Vec::new();
+    let mut prune = Vec::new();
+    for class in [pos, neg] {
+        let cut = ((class.len() as f64) * grow_fraction).round() as usize;
+        grow.extend_from_slice(&class[..cut.min(class.len())]);
+        prune.extend_from_slice(&class[cut.min(class.len())..]);
+    }
+    (grow, prune)
+}
+
+fn shuffle(v: &mut [usize], rng: &mut SplitMix64) {
+    for i in (1..v.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// SplitMix64: tiny, deterministic, well-distributed.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(pos: usize, neg: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        for i in 0..pos {
+            d.push(vec![i as f64], true, 0);
+        }
+        for i in 0..neg {
+            d.push(vec![-(i as f64)], false, 1);
+        }
+        d
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let d = dataset(3, 5);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.positives(), 3);
+        assert_eq!(d.negatives(), 5);
+        assert_eq!(d.pos_label(), "LS");
+        assert_eq!(d.neg_label(), "NS");
+        assert_eq!(d.groups(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn push_checks_arity() {
+        let mut d = dataset(0, 0);
+        d.push(vec![1.0, 2.0], true, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_rejects_nan() {
+        let mut d = dataset(0, 0);
+        d.push(vec![f64::NAN], true, 0);
+    }
+
+    #[test]
+    fn filtered_keeps_schema() {
+        let d = dataset(3, 3);
+        let f = d.filtered(|i| i.positive);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.negatives(), 0);
+        assert_eq!(f.attr_names(), d.attr_names());
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_ratio() {
+        let d = dataset(30, 90);
+        let (grow, prune) = stratified_split(d.instances(), 2.0 / 3.0, 7);
+        assert_eq!(grow.len() + prune.len(), 120);
+        let grow_pos = grow.iter().filter(|&&i| d.instances()[i].positive).count();
+        assert_eq!(grow_pos, 20, "two thirds of the 30 positives");
+        let prune_pos = prune.iter().filter(|&&i| d.instances()[i].positive).count();
+        assert_eq!(prune_pos, 10);
+    }
+
+    #[test]
+    fn stratified_split_is_deterministic() {
+        let d = dataset(10, 10);
+        let a = stratified_split(d.instances(), 0.5, 3);
+        let b = stratified_split(d.instances(), 0.5, 3);
+        assert_eq!(a, b);
+        let c = stratified_split(d.instances(), 0.5, 4);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn splitmix_sequence_is_stable() {
+        let mut r = SplitMix64::new(0);
+        let a = r.next();
+        let mut r2 = SplitMix64::new(0);
+        assert_eq!(a, r2.next());
+    }
+
+    #[test]
+    fn display_mentions_both_classes() {
+        let d = dataset(1, 2);
+        let s = d.to_string();
+        assert!(s.contains("1 LS") && s.contains("2 NS"));
+    }
+}

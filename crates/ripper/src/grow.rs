@@ -1,0 +1,279 @@
+//! Rule growing (FOIL gain) and pruning (IREP* metric).
+
+use crate::data::Dataset;
+use crate::rule::{Condition, Op, Rule};
+
+/// Positive/negative coverage counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Cover {
+    pub p: usize,
+    pub n: usize,
+}
+
+pub(crate) fn coverage(rule: &Rule, data: &Dataset, idx: &[u32]) -> Cover {
+    let mut c = Cover::default();
+    for &i in idx {
+        let inst = &data.instances()[i as usize];
+        if rule.matches(&inst.values) {
+            if inst.positive {
+                c.p += 1;
+            } else {
+                c.n += 1;
+            }
+        }
+    }
+    c
+}
+
+/// FOIL information gain of refining a rule from coverage `(p0, n0)` to
+/// `(p1, n1)`: `p1 * (log2(p1/(p1+n1)) - log2(p0/(p0+n0)))`.
+pub(crate) fn foil_gain(p0: usize, n0: usize, p1: usize, n1: usize) -> f64 {
+    if p1 == 0 || p0 == 0 {
+        return 0.0;
+    }
+    let before = (p0 as f64 / (p0 + n0) as f64).log2();
+    let after = (p1 as f64 / (p1 + n1) as f64).log2();
+    p1 as f64 * (after - before)
+}
+
+/// Grows a rule on `grow_idx`: greedily adds the `attr <=/>= v` condition
+/// with the highest FOIL gain until no negatives are covered or no
+/// condition has positive gain.
+pub(crate) fn grow_rule(data: &Dataset, grow_idx: &[u32]) -> Rule {
+    let mut rule = Rule::new();
+    let mut covered: Vec<u32> = grow_idx.to_vec();
+    let m = data.attr_count();
+    // Scratch buffer reused across conditions.
+    let mut column: Vec<(f64, bool)> = Vec::new();
+
+    loop {
+        let Cover { p: p0, n: n0 } = count(data, &covered);
+        if p0 == 0 || n0 == 0 {
+            break;
+        }
+        let mut best_gain = 0.0f64;
+        let mut best: Option<Condition> = None;
+        for attr in 0..m {
+            column.clear();
+            column.extend(covered.iter().map(|&i| {
+                let inst = &data.instances()[i as usize];
+                (inst.values[attr], inst.positive)
+            }));
+            column.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+            // Walk runs of equal values, maintaining prefix class counts.
+            let total = Cover { p: p0, n: n0 };
+            let mut prefix = Cover::default();
+            let mut j = 0;
+            while j < column.len() {
+                let v = column[j].0;
+                let run_start_prefix = prefix;
+                while j < column.len() && column[j].0 == v {
+                    if column[j].1 {
+                        prefix.p += 1;
+                    } else {
+                        prefix.n += 1;
+                    }
+                    j += 1;
+                }
+                // `attr <= v` covers the prefix through this run.
+                let gain_le = foil_gain(total.p, total.n, prefix.p, prefix.n);
+                if gain_le > best_gain {
+                    best_gain = gain_le;
+                    best = Some(Condition { attr, op: Op::Le, threshold: v });
+                }
+                // `attr >= v` covers this run and everything after.
+                let (p_ge, n_ge) = (total.p - run_start_prefix.p, total.n - run_start_prefix.n);
+                let gain_ge = foil_gain(total.p, total.n, p_ge, n_ge);
+                if gain_ge > best_gain {
+                    best_gain = gain_ge;
+                    best = Some(Condition { attr, op: Op::Ge, threshold: v });
+                }
+            }
+        }
+        let Some(cond) = best else { break };
+        rule.push(cond);
+        covered.retain(|&i| cond.matches(&data.instances()[i as usize].values));
+    }
+    rule
+}
+
+/// Extends an existing rule by further growing on `grow_idx` (used for the
+/// "revision" variant during optimization).
+pub(crate) fn grow_from(mut seed: Rule, data: &Dataset, grow_idx: &[u32]) -> Rule {
+    let covered: Vec<u32> = grow_idx
+        .iter()
+        .copied()
+        .filter(|&i| seed.matches(&data.instances()[i as usize].values))
+        .collect();
+    let grown = grow_rule(data, &covered);
+    for &c in grown.conditions() {
+        seed.push(c);
+    }
+    seed
+}
+
+/// IREP* pruning metric on coverage counts: `(p - n) / (p + n)`, 0 when
+/// the rule covers nothing.
+pub(crate) fn prune_metric(c: Cover) -> f64 {
+    if c.p + c.n == 0 {
+        return 0.0;
+    }
+    (c.p as f64 - c.n as f64) / (c.p + c.n) as f64
+}
+
+/// Prunes a rule by deleting a (possibly empty) suffix of its conditions,
+/// keeping at least one condition, to maximize the IREP* metric on
+/// `prune_idx`. Ties prefer shorter rules.
+pub(crate) fn prune_rule(rule: Rule, data: &Dataset, prune_idx: &[u32]) -> Rule {
+    if rule.len() <= 1 {
+        return rule;
+    }
+    let mut best_keep = rule.len();
+    let mut best_metric = f64::NEG_INFINITY;
+    for keep in 1..=rule.len() {
+        let mut candidate = rule.clone();
+        candidate.truncate(keep);
+        let metric = prune_metric(coverage(&candidate, data, prune_idx));
+        // `>=` with increasing `keep` would prefer longer rules; iterate
+        // short-to-long and use strict `>` so ties pick the shorter rule.
+        if metric > best_metric {
+            best_metric = metric;
+            best_keep = keep;
+        }
+    }
+    let mut pruned = rule;
+    pruned.truncate(best_keep);
+    pruned
+}
+
+fn count(data: &Dataset, idx: &[u32]) -> Cover {
+    let mut c = Cover::default();
+    for &i in idx {
+        if data.instances()[i as usize].positive {
+            c.p += 1;
+        } else {
+            c.n += 1;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_1d(points: &[(f64, bool)]) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()], "pos", "neg");
+        for &(x, y) in points {
+            d.push(vec![x], y, 0);
+        }
+        d
+    }
+
+    fn all_idx(d: &Dataset) -> Vec<u32> {
+        (0..d.len() as u32).collect()
+    }
+
+    #[test]
+    fn foil_gain_prefers_purer_cover() {
+        // From 10/10 to 8/1 is a big gain; to 8/8 is smaller.
+        let pure = foil_gain(10, 10, 8, 1);
+        let meh = foil_gain(10, 10, 8, 8);
+        assert!(pure > meh);
+        assert_eq!(foil_gain(10, 10, 0, 5), 0.0, "no positives, no gain");
+    }
+
+    #[test]
+    fn grows_single_threshold_for_separable_data() {
+        let d = dataset_1d(&[(0.1, false), (0.2, false), (0.3, false), (0.7, true), (0.8, true), (0.9, true)]);
+        let rule = grow_rule(&d, &all_idx(&d));
+        assert_eq!(rule.len(), 1, "one threshold separates the classes: {rule:?}");
+        assert!(rule.matches(&[0.8]));
+        assert!(!rule.matches(&[0.2]));
+    }
+
+    #[test]
+    fn grows_interval_for_band_data() {
+        // positives in the middle band need two conditions.
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let x = i as f64 / 20.0;
+            pts.push((x, (0.4..0.6).contains(&x)));
+        }
+        let d = dataset_1d(&pts);
+        let rule = grow_rule(&d, &all_idx(&d));
+        assert!(rule.len() >= 2);
+        assert!(rule.matches(&[0.45]));
+        assert!(!rule.matches(&[0.1]));
+        assert!(!rule.matches(&[0.9]));
+    }
+
+    #[test]
+    fn grow_uses_most_informative_attribute() {
+        // attr 0 is noise, attr 1 separates.
+        let mut d = Dataset::new(vec!["noise".into(), "signal".into()], "pos", "neg");
+        for i in 0..40 {
+            let noise = (i * 7 % 40) as f64 / 40.0;
+            let signal = i as f64 / 40.0;
+            d.push(vec![noise, signal], signal >= 0.5, 0);
+        }
+        let rule = grow_rule(&d, &all_idx(&d));
+        assert!(rule.conditions().iter().all(|c| c.attr == 1), "{rule:?}");
+    }
+
+    #[test]
+    fn prune_removes_overfit_suffix() {
+        // Build a rule with a good first condition and a junk second one,
+        // and a prune set where the junk hurts.
+        let rule = Rule::from_conditions(vec![
+            Condition { attr: 0, op: Op::Ge, threshold: 0.5 },
+            Condition { attr: 0, op: Op::Ge, threshold: 0.85 },
+        ]);
+        let d = dataset_1d(&[(0.6, true), (0.7, true), (0.9, true), (0.2, false), (0.3, false)]);
+        let pruned = prune_rule(rule, &d, &all_idx(&d));
+        assert_eq!(pruned.len(), 1, "suffix should be pruned: {pruned:?}");
+    }
+
+    #[test]
+    fn prune_keeps_good_conditions() {
+        let rule = Rule::from_conditions(vec![Condition { attr: 0, op: Op::Ge, threshold: 0.5 }]);
+        let d = dataset_1d(&[(0.6, true), (0.2, false)]);
+        let pruned = prune_rule(rule.clone(), &d, &all_idx(&d));
+        assert_eq!(pruned, rule);
+    }
+
+    #[test]
+    fn prune_metric_values() {
+        assert_eq!(prune_metric(Cover { p: 0, n: 0 }), 0.0);
+        assert_eq!(prune_metric(Cover { p: 5, n: 0 }), 1.0);
+        assert_eq!(prune_metric(Cover { p: 0, n: 5 }), -1.0);
+        assert_eq!(prune_metric(Cover { p: 3, n: 1 }), 0.5);
+    }
+
+    #[test]
+    fn grow_from_extends_seed() {
+        let d = dataset_1d(&[(0.55, true), (0.6, false), (0.9, true), (0.2, false)]);
+        let seed = Rule::from_conditions(vec![Condition { attr: 0, op: Op::Ge, threshold: 0.5 }]);
+        let grown = grow_from(seed.clone(), &d, &all_idx(&d));
+        assert!(grown.len() >= seed.len());
+        for (a, b) in grown.conditions().iter().zip(seed.conditions()) {
+            assert_eq!(a, b, "seed conditions are preserved as a prefix");
+        }
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let d = dataset_1d(&[(0.6, true), (0.7, false), (0.1, true)]);
+        let rule = Rule::from_conditions(vec![Condition { attr: 0, op: Op::Ge, threshold: 0.5 }]);
+        let c = coverage(&rule, &d, &all_idx(&d));
+        assert_eq!((c.p, c.n), (1, 1));
+    }
+
+    #[test]
+    fn grow_on_empty_or_pure_returns_empty_rule() {
+        let d = dataset_1d(&[(0.1, true), (0.2, true)]);
+        assert!(grow_rule(&d, &all_idx(&d)).is_empty(), "no negatives to exclude");
+        let d2 = dataset_1d(&[(0.1, false)]);
+        assert!(grow_rule(&d2, &all_idx(&d2)).is_empty(), "no positives to cover");
+    }
+}

@@ -1,0 +1,176 @@
+//! Classification metrics and the paper's geometric-mean summary.
+
+use crate::rule::RuleSet;
+use crate::Dataset;
+use std::fmt;
+
+/// A 2×2 confusion matrix for binary classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Positive instances predicted positive.
+    pub tp: usize,
+    /// Negative instances predicted positive.
+    pub fp: usize,
+    /// Negative instances predicted negative.
+    pub tn: usize,
+    /// Positive instances predicted negative.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates `model` on `data`.
+    pub fn evaluate(model: &RuleSet, data: &Dataset) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::default();
+        for inst in data.instances() {
+            m.record(inst.positive, model.predict(&inst.values));
+        }
+        m
+    }
+
+    /// Records one (actual, predicted) pair.
+    pub fn record(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Total instances recorded.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Misclassification rate in percent (the paper's Table 3 metric);
+    /// 0 for an empty matrix.
+    pub fn error_percent(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        100.0 * (self.fp + self.fn_) as f64 / self.total() as f64
+    }
+
+    /// Accuracy in `[0, 1]`; 1 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Number of instances predicted positive.
+    pub fn predicted_positive(&self) -> usize {
+        self.tp + self.fp
+    }
+
+    /// Number of instances predicted negative.
+    pub fn predicted_negative(&self) -> usize {
+        self.tn + self.fn_
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} (error {:.2}%)",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.error_percent()
+        )
+    }
+}
+
+/// Geometric mean of positive values, the summary statistic used across
+/// the paper's tables.
+///
+/// Zero values are clamped to `epsilon` (1e-3) so that a single perfect
+/// benchmark (0% error) does not collapse the mean to zero — the paper's
+/// own Table 3 reports a nonzero geometric mean for rows containing 0.00
+/// entries, implying the same treatment.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ripper::geometric_mean;
+/// assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// assert!(geometric_mean(&[]) == 0.0);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-3;
+    let sum: f64 = values.iter().map(|&v| v.max(eps).ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Condition, Op, Rule, RuleStats};
+
+    fn model_ge(threshold: f64) -> RuleSet {
+        RuleSet::new(
+            vec!["x".into()],
+            "LS",
+            "NS",
+            vec![Rule::from_conditions(vec![Condition { attr: 0, op: Op::Ge, threshold }])],
+            vec![RuleStats::default()],
+            RuleStats::default(),
+        )
+    }
+
+    #[test]
+    fn record_and_rates() {
+        let mut m = ConfusionMatrix::default();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, false);
+        m.record(false, true);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.error_percent(), 50.0);
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.predicted_positive(), 2);
+    }
+
+    #[test]
+    fn evaluate_against_dataset() {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        d.push(vec![0.9], true, 0); // tp
+        d.push(vec![0.2], true, 0); // fn
+        d.push(vec![0.1], false, 0); // tn
+        d.push(vec![0.8], false, 0); // fp
+        let m = ConfusionMatrix::evaluate(&model_ge(0.5), &d);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn empty_matrix_defaults() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.error_percent(), 0.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_handles_zero() {
+        let g = geometric_mean(&[0.0, 4.0]);
+        assert!(g > 0.0 && g < 4.0);
+    }
+
+    #[test]
+    fn display_mentions_error() {
+        let mut m = ConfusionMatrix::default();
+        m.record(true, false);
+        assert!(m.to_string().contains("error 100.00%"));
+    }
+}

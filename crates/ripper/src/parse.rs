@@ -1,0 +1,223 @@
+//! Parsing rule sets back from their textual (Figure 4) form.
+//!
+//! The paper's deployment story installs the induced heuristic "at the
+//! factory" (§3); a compiler that loads its filter from a rules file
+//! needs this inverse of [`RuleSet`]'s `Display`.
+
+use crate::rule::{Condition, Op, Rule, RuleSet, RuleStats};
+use std::fmt;
+
+/// An error produced while parsing a rule-set listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRuleSetError {
+    line: usize,
+    message: String,
+}
+
+impl ParseRuleSetError {
+    fn new(line: usize, message: impl Into<String>) -> ParseRuleSetError {
+        ParseRuleSetError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseRuleSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseRuleSetError {}
+
+/// Parses a rule set from the Figure 4 text format produced by
+/// [`RuleSet`]'s `Display`:
+///
+/// ```text
+/// (   924/   12) list :- bbLen >= 7, calls <= 0.0857
+/// ( 27476/ 1946) orig :- (default)
+/// ```
+///
+/// `attr_names` supplies the attribute vocabulary (conditions referring
+/// to unknown attributes are rejected). Blank lines are ignored. The
+/// last non-blank line must be the default rule.
+///
+/// # Errors
+///
+/// Returns a [`ParseRuleSetError`] naming the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ripper::parse_rule_set;
+/// let text = "(  10/   2) list :- bbLen >= 7, loads >= 0.3\n(  90/   5) orig :- (default)\n";
+/// let rs = parse_rule_set(text, &["bbLen".into(), "loads".into()]).unwrap();
+/// assert_eq!(rs.len(), 1);
+/// assert!(rs.predict(&[8.0, 0.5]));
+/// assert!(!rs.predict(&[3.0, 0.5]));
+/// ```
+pub fn parse_rule_set(text: &str, attr_names: &[String]) -> Result<RuleSet, ParseRuleSetError> {
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut stats: Vec<RuleStats> = Vec::new();
+    let mut default: Option<(String, RuleStats)> = None;
+    let mut pos_label: Option<String> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if default.is_some() {
+            return Err(ParseRuleSetError::new(lineno, "content after the default rule"));
+        }
+        let (st, rest) = parse_stats(line, lineno)?;
+        let (label, body) = rest
+            .split_once(":-")
+            .ok_or_else(|| ParseRuleSetError::new(lineno, "missing ':-' separator"))?;
+        let label = label.trim().to_string();
+        let body = body.trim();
+        if body == "(default)" {
+            default = Some((label, st));
+            continue;
+        }
+        match &pos_label {
+            None => pos_label = Some(label.clone()),
+            Some(p) if *p != label => {
+                return Err(ParseRuleSetError::new(lineno, format!("mixed rule labels '{p}' and '{label}'")))
+            }
+            _ => {}
+        }
+        let conds = if body == "(always)" { Vec::new() } else { parse_conditions(body, attr_names, lineno)? };
+        rules.push(Rule::from_conditions(conds));
+        stats.push(st);
+    }
+
+    let (neg_label, default_stats) =
+        default.ok_or_else(|| ParseRuleSetError::new(text.lines().count().max(1), "missing default rule"))?;
+    let pos_label = pos_label.unwrap_or_else(|| "list".to_string());
+    Ok(RuleSet::new(attr_names.to_vec(), pos_label, neg_label, rules, stats, default_stats))
+}
+
+fn parse_stats(line: &str, lineno: usize) -> Result<(RuleStats, &str), ParseRuleSetError> {
+    let inner_start = line
+        .strip_prefix('(')
+        .ok_or_else(|| ParseRuleSetError::new(lineno, "expected '(hits/misses)' prefix"))?;
+    let close = inner_start
+        .find(')')
+        .ok_or_else(|| ParseRuleSetError::new(lineno, "unclosed stats parenthesis"))?;
+    let inner = &inner_start[..close];
+    let rest = inner_start[close + 1..].trim();
+    let (h, m) = inner
+        .split_once('/')
+        .ok_or_else(|| ParseRuleSetError::new(lineno, "stats must be 'hits/misses'"))?;
+    let hits = h.trim().parse::<usize>().map_err(|_| ParseRuleSetError::new(lineno, "bad hits count"))?;
+    let misses = m.trim().parse::<usize>().map_err(|_| ParseRuleSetError::new(lineno, "bad misses count"))?;
+    Ok((RuleStats { hits, misses }, rest))
+}
+
+fn parse_conditions(body: &str, attr_names: &[String], lineno: usize) -> Result<Vec<Condition>, ParseRuleSetError> {
+    let mut conds = Vec::new();
+    for part in body.split(',') {
+        let mut tokens = part.split_whitespace();
+        let attr_name = tokens.next().ok_or_else(|| ParseRuleSetError::new(lineno, "empty condition"))?;
+        let op = match tokens.next() {
+            Some("<=") => Op::Le,
+            Some(">=") => Op::Ge,
+            other => {
+                return Err(ParseRuleSetError::new(lineno, format!("expected <= or >=, found {other:?}")));
+            }
+        };
+        let value = tokens
+            .next()
+            .and_then(|t| t.parse::<f64>().ok())
+            .ok_or_else(|| ParseRuleSetError::new(lineno, "missing or malformed threshold"))?;
+        if tokens.next().is_some() {
+            return Err(ParseRuleSetError::new(lineno, "trailing tokens in condition"));
+        }
+        let attr = attr_names
+            .iter()
+            .position(|n| n == attr_name)
+            .ok_or_else(|| ParseRuleSetError::new(lineno, format!("unknown attribute '{attr_name}'")))?;
+        conds.push(Condition { attr, op, threshold: value });
+    }
+    Ok(conds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> Vec<String> {
+        vec!["bbLen".into(), "loads".into(), "calls".into()]
+    }
+
+    #[test]
+    fn round_trips_display_output() {
+        let rs = RuleSet::new(
+            attrs(),
+            "list",
+            "orig",
+            vec![
+                Rule::from_conditions(vec![
+                    Condition { attr: 0, op: Op::Ge, threshold: 7.0 },
+                    Condition { attr: 2, op: Op::Le, threshold: 0.0857 },
+                ]),
+                Rule::from_conditions(vec![Condition { attr: 1, op: Op::Ge, threshold: 0.375 }]),
+            ],
+            vec![RuleStats { hits: 924, misses: 12 }, RuleStats { hits: 452, misses: 23 }],
+            RuleStats { hits: 27476, misses: 1946 },
+        );
+        let text = rs.to_string();
+        let parsed = parse_rule_set(&text, &attrs()).expect("display output must parse");
+        assert_eq!(parsed, rs);
+    }
+
+    #[test]
+    fn parses_always_rule() {
+        let text = "(  5/  1) list :- (always)\n( 10/ 0) orig :- (default)\n";
+        let rs = parse_rule_set(text, &attrs()).unwrap();
+        assert!(rs.predict(&[0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let text = "(1/0) list :- mystery >= 1\n(1/0) orig :- (default)\n";
+        let err = parse_rule_set(text, &attrs()).unwrap_err();
+        assert!(err.to_string().contains("unknown attribute"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_default() {
+        let text = "(1/0) list :- bbLen >= 2\n";
+        let err = parse_rule_set(text, &attrs()).unwrap_err();
+        assert!(err.to_string().contains("missing default"));
+    }
+
+    #[test]
+    fn rejects_content_after_default() {
+        let text = "(1/0) orig :- (default)\n(1/0) list :- bbLen >= 2\n";
+        let err = parse_rule_set(text, &attrs()).unwrap_err();
+        assert!(err.to_string().contains("after the default"));
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_operator_and_stats() {
+        assert!(parse_rule_set("(1/0) list :- bbLen == 2\n(1/0) orig :- (default)\n", &attrs()).is_err());
+        assert!(parse_rule_set("[1/0] list :- bbLen >= 2\n(1/0) orig :- (default)\n", &attrs()).is_err());
+        assert!(parse_rule_set("(x/0) list :- bbLen >= 2\n(1/0) orig :- (default)\n", &attrs()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = "\n(1/0) list :- bbLen >= 2\n\n(9/1) orig :- (default)\n\n";
+        let rs = parse_rule_set(text, &attrs()).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.stats()[0], RuleStats { hits: 1, misses: 0 });
+    }
+}

@@ -1,0 +1,391 @@
+//! The RIPPER training loop: IREP* + MDL stopping + optimization passes.
+
+use crate::data::{stratified_split, Dataset};
+use crate::grow::{coverage, grow_from, grow_rule, prune_metric, prune_rule, Cover};
+use crate::mdl::{total_dl, DL_BUDGET};
+use crate::rule::{Rule, RuleSet, RuleStats};
+
+/// Configuration for [`RipperConfig::fit`].
+///
+/// Defaults mirror Cohen's: a 2/3 grow split and `k = 2` optimization
+/// rounds. The seed controls the stratified grow/prune splits, making
+/// training fully deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RipperConfig {
+    /// Fraction of instances used for growing (the rest prune).
+    pub grow_fraction: f64,
+    /// Number of optimization rounds.
+    pub optimization_rounds: usize,
+    /// Seed for the deterministic grow/prune splits.
+    pub seed: u64,
+}
+
+impl Default for RipperConfig {
+    fn default() -> RipperConfig {
+        RipperConfig { grow_fraction: 2.0 / 3.0, optimization_rounds: 2, seed: 0xC0FFEE }
+    }
+}
+
+impl RipperConfig {
+    /// Trains a rule set for the dataset's positive class.
+    ///
+    /// With two classes RIPPER learns rules for one class only and makes
+    /// the other the default; callers should make the minority class the
+    /// positive one (the paper's `LS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grow_fraction` is not in `(0, 1)`.
+    pub fn fit(&self, data: &Dataset) -> RuleSet {
+        assert!(self.grow_fraction > 0.0 && self.grow_fraction < 1.0, "grow fraction must be in (0,1)");
+        let mut state = Fit { cfg: self.clone(), data, split_counter: 0 };
+        state.run()
+    }
+}
+
+struct Fit<'d> {
+    cfg: RipperConfig,
+    data: &'d Dataset,
+    split_counter: u64,
+}
+
+impl<'d> Fit<'d> {
+    fn run(&mut self) -> RuleSet {
+        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        if self.data.negatives() == 0 && self.data.positives() > 0 {
+            // Degenerate single-class data: an always-true rule.
+            return self.finish(vec![Rule::new()]);
+        }
+        let mut rules = self.irep_star(&all, Vec::new());
+
+        for _round in 0..self.cfg.optimization_rounds {
+            rules = self.optimize(rules);
+            // Cover residual positives with additional rules.
+            let uncovered: Vec<u32> = self.uncovered(&rules, &all);
+            if self.has_positives(&uncovered) {
+                rules = self.irep_star(&uncovered, rules);
+            }
+            rules = self.delete_harmful(rules);
+        }
+
+        self.finish(rules)
+    }
+
+    /// Grows rules until MDL or error stopping, starting from `existing`
+    /// (whose coverage has already been removed from `remaining`).
+    fn irep_star(&mut self, remaining: &[u32], mut rules: Vec<Rule>) -> Vec<Rule> {
+        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        let mut remaining: Vec<u32> = remaining.to_vec();
+        let mut min_dl = self.ruleset_dl(&rules, &all);
+
+        while self.has_positives(&remaining) {
+            let (grow, prune) = self.split(&remaining);
+            let mut rule = grow_rule(self.data, &grow);
+            if rule.is_empty() {
+                break;
+            }
+            rule = prune_rule(rule, self.data, &prune);
+            // Reject rules whose error on the pruning data exceeds 50%.
+            let c = coverage(&rule, self.data, &prune);
+            if c.n > c.p {
+                break;
+            }
+            rules.push(rule);
+            let dl = self.ruleset_dl(&rules, &all);
+            if dl > min_dl + DL_BUDGET {
+                rules.pop();
+                break;
+            }
+            min_dl = min_dl.min(dl);
+            let newest = rules.last().expect("just pushed");
+            remaining.retain(|&i| !newest.matches(&self.data.instances()[i as usize].values));
+        }
+        rules
+    }
+
+    /// One optimization pass: reconsider each rule against a re-grown
+    /// replacement and a greedily-extended revision, keeping the variant
+    /// whose rule set has the smallest description length.
+    fn optimize(&mut self, mut rules: Vec<Rule>) -> Vec<Rule> {
+        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        for i in 0..rules.len() {
+            // Instances not claimed by earlier rules are what rule i sees.
+            let pertinent: Vec<u32> = all
+                .iter()
+                .copied()
+                .filter(|&x| {
+                    let v = &self.data.instances()[x as usize].values;
+                    !rules[..i].iter().any(|r| r.matches(v))
+                })
+                .collect();
+            if !self.has_positives(&pertinent) {
+                continue;
+            }
+            let (grow, prune) = self.split(&pertinent);
+
+            let mut replacement = grow_rule(self.data, &grow);
+            if !replacement.is_empty() {
+                replacement = prune_rule(replacement, self.data, &prune);
+            }
+            let mut revision = grow_from(rules[i].clone(), self.data, &grow);
+            if !revision.is_empty() {
+                revision = prune_rule(revision, self.data, &prune);
+            }
+
+            let mut best = rules.clone();
+            let mut best_dl = self.ruleset_dl(&rules, &all);
+            for candidate in [replacement, revision] {
+                if candidate.is_empty() {
+                    continue;
+                }
+                let mut variant = rules.clone();
+                variant[i] = candidate;
+                let dl = self.ruleset_dl(&variant, &all);
+                if dl < best_dl {
+                    best_dl = dl;
+                    best = variant;
+                }
+            }
+            rules = best;
+        }
+        rules
+    }
+
+    /// Removes rules whose deletion lowers the total description length.
+    fn delete_harmful(&mut self, mut rules: Vec<Rule>) -> Vec<Rule> {
+        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        let mut i = 0;
+        while i < rules.len() {
+            let with = self.ruleset_dl(&rules, &all);
+            let removed = rules.remove(i);
+            let without = self.ruleset_dl(&rules, &all);
+            if with <= without {
+                rules.insert(i, removed);
+                i += 1;
+            }
+        }
+        rules
+    }
+
+    fn finish(&self, rules: Vec<Rule>) -> RuleSet {
+        let mut stats = vec![RuleStats::default(); rules.len()];
+        let mut default_stats = RuleStats::default();
+        for inst in self.data.instances() {
+            match rules.iter().position(|r| r.matches(&inst.values)) {
+                Some(k) => {
+                    if inst.positive {
+                        stats[k].hits += 1;
+                    } else {
+                        stats[k].misses += 1;
+                    }
+                }
+                None => {
+                    if inst.positive {
+                        default_stats.misses += 1;
+                    } else {
+                        default_stats.hits += 1;
+                    }
+                }
+            }
+        }
+        RuleSet::new(
+            self.data.attr_names().to_vec(),
+            self.data.pos_label(),
+            self.data.neg_label(),
+            rules,
+            stats,
+            default_stats,
+        )
+    }
+
+    /// Description length of a rule list over the instances `idx`.
+    fn ruleset_dl(&self, rules: &[Rule], idx: &[u32]) -> f64 {
+        let mut covered = 0usize;
+        let mut fp = 0usize;
+        let mut uncovered = 0usize;
+        let mut fn_ = 0usize;
+        for &i in idx {
+            let inst = &self.data.instances()[i as usize];
+            if rules.iter().any(|r| r.matches(&inst.values)) {
+                covered += 1;
+                if !inst.positive {
+                    fp += 1;
+                }
+            } else {
+                uncovered += 1;
+                if inst.positive {
+                    fn_ += 1;
+                }
+            }
+        }
+        let counts: Vec<usize> = rules.iter().map(Rule::len).collect();
+        total_dl(&counts, self.data.attr_count(), covered, fp, uncovered, fn_)
+    }
+
+    fn uncovered(&self, rules: &[Rule], idx: &[u32]) -> Vec<u32> {
+        idx.iter()
+            .copied()
+            .filter(|&i| !rules.iter().any(|r| r.matches(&self.data.instances()[i as usize].values)))
+            .collect()
+    }
+
+    fn has_positives(&self, idx: &[u32]) -> bool {
+        idx.iter().any(|&i| self.data.instances()[i as usize].positive)
+    }
+
+    /// Deterministic stratified split of `idx` into (grow, prune).
+    fn split(&mut self, idx: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        self.split_counter += 1;
+        let insts: Vec<_> = idx.iter().map(|&i| self.data.instances()[i as usize].clone()).collect();
+        let (g, p) = stratified_split(&insts, self.cfg.grow_fraction, self.cfg.seed ^ self.split_counter);
+        (g.into_iter().map(|k| idx[k]).collect(), p.into_iter().map(|k| idx[k]).collect())
+    }
+}
+
+/// Convenience: the IREP* pruning-phase worth of a whole rule set, used by
+/// tests to sanity-check monotonicity (exposed for the crate only).
+#[allow(dead_code)]
+pub(crate) fn ruleset_worth(rules: &[Rule], data: &Dataset, idx: &[u32]) -> f64 {
+    let mut c = Cover::default();
+    for &i in idx {
+        let inst = &data.instances()[i as usize];
+        if rules.iter().any(|r| r.matches(&inst.values)) {
+            if inst.positive {
+                c.p += 1;
+            } else {
+                c.n += 1;
+            }
+        }
+    }
+    prune_metric(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = (x0 >= 0.6) || (x1 <= 0.2), plus label noise on a few points.
+    fn disjunctive_dataset(n: usize, noise_every: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()], "LS", "NS");
+        let mut s: u64 = 12345;
+        for i in 0..n {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x0 = ((s >> 11) % 1000) as f64 / 1000.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x1 = ((s >> 11) % 1000) as f64 / 1000.0;
+            let mut y = x0 >= 0.6 || x1 <= 0.2;
+            if noise_every > 0 && i % noise_every == 0 {
+                y = !y;
+            }
+            d.push(vec![x0, x1], y, (i % 4) as u32);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_clean_disjunction() {
+        let d = disjunctive_dataset(600, 0);
+        let model = RipperConfig::default().fit(&d);
+        assert!(!model.is_empty());
+        assert!(model.predict(&[0.9, 0.9]));
+        assert!(model.predict(&[0.1, 0.05]));
+        assert!(!model.predict(&[0.1, 0.9]));
+        // Training accuracy should be near perfect on separable data.
+        let errors = d
+            .instances()
+            .iter()
+            .filter(|i| model.predict(&i.values) != i.positive)
+            .count();
+        assert!(errors * 100 <= d.len(), "error rate {errors}/{} too high", d.len());
+    }
+
+    #[test]
+    fn tolerates_label_noise() {
+        let d = disjunctive_dataset(800, 25); // 4% label noise
+        let model = RipperConfig::default().fit(&d);
+        let errors = d
+            .instances()
+            .iter()
+            .filter(|i| model.predict(&i.values) != i.positive)
+            .count();
+        // Should stay close to the Bayes rate (4%), not memorize noise.
+        assert!(errors as f64 / d.len() as f64 <= 0.10, "error rate {} too high", errors as f64 / d.len() as f64);
+        // MDL pressure keeps the model small.
+        assert!(model.len() <= 8, "model has {} rules", model.len());
+    }
+
+    #[test]
+    fn no_positives_yields_default_only() {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        for i in 0..50 {
+            d.push(vec![i as f64], false, 0);
+        }
+        let model = RipperConfig::default().fit(&d);
+        assert!(model.is_empty());
+        assert!(!model.predict(&[3.0]));
+    }
+
+    #[test]
+    fn all_positives_predicts_positive() {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        for i in 0..50 {
+            d.push(vec![i as f64], true, 0);
+        }
+        let model = RipperConfig::default().fit(&d);
+        assert!(model.predict(&[3.0]), "must fall back to an always-true rule");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = disjunctive_dataset(400, 20);
+        let a = RipperConfig::default().fit(&d);
+        let b = RipperConfig::default().fit(&d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_splits_but_not_quality_much() {
+        let d = disjunctive_dataset(600, 30);
+        let a = RipperConfig { seed: 1, ..Default::default() }.fit(&d);
+        let b = RipperConfig { seed: 2, ..Default::default() }.fit(&d);
+        for m in [&a, &b] {
+            let errors = d.instances().iter().filter(|i| m.predict(&i.values) != i.positive).count();
+            assert!(errors as f64 / d.len() as f64 <= 0.12);
+        }
+    }
+
+    #[test]
+    fn stats_sum_to_dataset_size() {
+        let d = disjunctive_dataset(300, 0);
+        let model = RipperConfig::default().fit(&d);
+        let rule_total: usize = model.stats().iter().map(|s| s.hits + s.misses).sum();
+        let shown = model.to_string();
+        // Default row hits+misses = everything not claimed by a rule.
+        let all = d.len();
+        assert!(rule_total <= all);
+        assert!(shown.contains(":- (default)"));
+    }
+
+    #[test]
+    fn optimization_never_leaves_empty_rules() {
+        let d = disjunctive_dataset(500, 10);
+        let model = RipperConfig::default().fit(&d);
+        for r in model.rules() {
+            assert!(!r.is_empty() || model.len() == 1, "unexpected empty rule in multi-rule set");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grow fraction")]
+    fn bad_grow_fraction_panics() {
+        let d = disjunctive_dataset(10, 0);
+        RipperConfig { grow_fraction: 1.5, ..Default::default() }.fit(&d);
+    }
+
+    #[test]
+    fn zero_optimization_rounds_still_works() {
+        let d = disjunctive_dataset(300, 0);
+        let model = RipperConfig { optimization_rounds: 0, ..Default::default() }.fit(&d);
+        assert!(model.predict(&[0.95, 0.9]));
+    }
+}

@@ -1,0 +1,331 @@
+//! Rules, conditions and ordered rule sets.
+
+use std::fmt;
+
+/// Comparison direction of a [`Condition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Attribute value must be `<=` the threshold.
+    Le,
+    /// Attribute value must be `>=` the threshold.
+    Ge,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Le => write!(f, "<="),
+            Op::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// One conjunct of a rule: `attr <op> threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Condition {
+    /// Attribute index into the dataset's attribute list.
+    pub attr: usize,
+    /// Comparison direction.
+    pub op: Op,
+    /// Threshold value.
+    pub threshold: f64,
+}
+
+impl Condition {
+    /// True when `values` satisfies this condition.
+    pub fn matches(&self, values: &[f64]) -> bool {
+        match self.op {
+            Op::Le => values[self.attr] <= self.threshold,
+            Op::Ge => values[self.attr] >= self.threshold,
+        }
+    }
+}
+
+/// A conjunctive rule predicting the positive class.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Rule {
+    conds: Vec<Condition>,
+}
+
+impl Rule {
+    /// The empty rule (matches everything).
+    pub fn new() -> Rule {
+        Rule { conds: Vec::new() }
+    }
+
+    /// Builds a rule from conditions.
+    pub fn from_conditions(conds: Vec<Condition>) -> Rule {
+        Rule { conds }
+    }
+
+    /// The conditions, in the order they were grown.
+    pub fn conditions(&self) -> &[Condition] {
+        &self.conds
+    }
+
+    /// Number of conditions.
+    pub fn len(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// True for the empty (always-matching) rule.
+    pub fn is_empty(&self) -> bool {
+        self.conds.is_empty()
+    }
+
+    /// Appends a condition.
+    pub fn push(&mut self, c: Condition) {
+        self.conds.push(c);
+    }
+
+    /// Removes the conditions after the first `keep` (rule pruning).
+    pub fn truncate(&mut self, keep: usize) {
+        self.conds.truncate(keep);
+    }
+
+    /// True when `values` satisfies every condition.
+    pub fn matches(&self, values: &[f64]) -> bool {
+        self.conds.iter().all(|c| c.matches(values))
+    }
+}
+
+/// Per-rule training statistics shown in the Figure 4 output format:
+/// `(hits/misses)` — how many training instances the rule matched
+/// correctly and incorrectly when it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleStats {
+    /// Correct firings on training data.
+    pub hits: usize,
+    /// Incorrect firings on training data.
+    pub misses: usize,
+}
+
+/// An ordered rule set with a default (negative-class) rule at the end.
+///
+/// Prediction: the first matching rule fires and predicts the positive
+/// class; when none matches, the default predicts the negative class.
+/// (With two classes, RIPPER learns rules only for one class — here the
+/// minority `LS` class, exactly as in the paper's Figure 4 where the
+/// default row is `orig`.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSet {
+    attr_names: Vec<String>,
+    pos_label: String,
+    neg_label: String,
+    rules: Vec<Rule>,
+    stats: Vec<RuleStats>,
+    default_stats: RuleStats,
+}
+
+impl RuleSet {
+    /// Builds a rule set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` is non-empty but differs in length from `rules`.
+    pub fn new(
+        attr_names: Vec<String>,
+        pos_label: impl Into<String>,
+        neg_label: impl Into<String>,
+        rules: Vec<Rule>,
+        mut stats: Vec<RuleStats>,
+        default_stats: RuleStats,
+    ) -> RuleSet {
+        if stats.is_empty() {
+            stats = vec![RuleStats::default(); rules.len()];
+        }
+        assert_eq!(stats.len(), rules.len(), "per-rule stats must match rules");
+        RuleSet { attr_names: attr_names.clone(), pos_label: pos_label.into(), neg_label: neg_label.into(), rules, stats, default_stats }
+    }
+
+    /// The rules, in firing order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules (excluding the default).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when only the default rule exists.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Per-rule training statistics.
+    pub fn stats(&self) -> &[RuleStats] {
+        &self.stats
+    }
+
+    /// Positive class name.
+    pub fn pos_label(&self) -> &str {
+        &self.pos_label
+    }
+
+    /// Negative class name.
+    pub fn neg_label(&self) -> &str {
+        &self.neg_label
+    }
+
+    /// Attribute names used when printing conditions.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Predicts whether `values` belongs to the positive class.
+    pub fn predict(&self, values: &[f64]) -> bool {
+        self.rules.iter().any(|r| r.matches(values))
+    }
+
+    /// Index of the first rule that fires, if any.
+    pub fn firing_rule(&self, values: &[f64]) -> Option<usize> {
+        self.rules.iter().position(|r| r.matches(values))
+    }
+
+    /// Total number of conditions across all rules (model size).
+    pub fn condition_count(&self) -> usize {
+        self.rules.iter().map(Rule::len).sum()
+    }
+}
+
+impl fmt::Display for RuleSet {
+    /// Renders in the paper's Figure 4 style:
+    ///
+    /// ```text
+    /// (  924/  12) list :- bbLen >= 7, calls <= 0.0857, loads >= 0.3793
+    /// (27476/1946) orig :- (default)
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (rule, st) in self.rules.iter().zip(&self.stats) {
+            write!(f, "({:>6}/{:>5}) {} :-", st.hits, st.misses, self.pos_label)?;
+            if rule.is_empty() {
+                write!(f, " (always)")?;
+            }
+            for (i, c) in rule.conditions().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                let name = self.attr_names.get(c.attr).map(String::as_str).unwrap_or("?");
+                write!(f, " {} {} {}", name, c.op, trim_float(c.threshold))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "({:>6}/{:>5}) {} :- (default)",
+            self.default_stats.hits, self.default_stats.misses, self.neg_label
+        )
+    }
+}
+
+/// Formats a threshold: integers without a decimal point, other values
+/// with Rust's shortest round-tripping representation — so a printed
+/// rule set parses back ([`parse_rule_set`]) to *exactly* the same
+/// filter, which the factory-deployment workflow relies on.
+///
+/// [`parse_rule_set`]: crate::parse_rule_set
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(attr: usize, op: Op, t: f64) -> Condition {
+        Condition { attr, op, threshold: t }
+    }
+
+    #[test]
+    fn condition_matching() {
+        let le = cond(0, Op::Le, 0.5);
+        assert!(le.matches(&[0.5]));
+        assert!(le.matches(&[0.4]));
+        assert!(!le.matches(&[0.6]));
+        let ge = cond(1, Op::Ge, 2.0);
+        assert!(ge.matches(&[0.0, 2.0]));
+        assert!(!ge.matches(&[0.0, 1.9]));
+    }
+
+    #[test]
+    fn rule_is_conjunction() {
+        let r = Rule::from_conditions(vec![cond(0, Op::Ge, 1.0), cond(1, Op::Le, 0.2)]);
+        assert!(r.matches(&[1.5, 0.1]));
+        assert!(!r.matches(&[1.5, 0.3]));
+        assert!(!r.matches(&[0.5, 0.1]));
+        assert!(Rule::new().matches(&[0.0, 0.0]), "empty rule matches everything");
+    }
+
+    #[test]
+    fn truncate_prunes_suffix() {
+        let mut r = Rule::from_conditions(vec![cond(0, Op::Ge, 1.0), cond(1, Op::Le, 0.2)]);
+        r.truncate(1);
+        assert_eq!(r.len(), 1);
+        assert!(r.matches(&[1.5, 0.9]));
+    }
+
+    fn ruleset() -> RuleSet {
+        RuleSet::new(
+            vec!["bbLen".into(), "calls".into()],
+            "list",
+            "orig",
+            vec![
+                Rule::from_conditions(vec![cond(0, Op::Ge, 7.0), cond(1, Op::Le, 0.0857)]),
+                Rule::from_conditions(vec![cond(0, Op::Ge, 5.0)]),
+            ],
+            vec![RuleStats { hits: 924, misses: 12 }, RuleStats { hits: 74, misses: 3 }],
+            RuleStats { hits: 27476, misses: 1946 },
+        )
+    }
+
+    #[test]
+    fn ruleset_prediction_order() {
+        let rs = ruleset();
+        assert!(rs.predict(&[8.0, 0.0]));
+        assert_eq!(rs.firing_rule(&[8.0, 0.0]), Some(0));
+        assert_eq!(rs.firing_rule(&[6.0, 0.5]), Some(1));
+        assert_eq!(rs.firing_rule(&[3.0, 0.0]), None);
+        assert!(!rs.predict(&[3.0, 0.0]));
+    }
+
+    #[test]
+    fn display_is_figure4_style() {
+        let s = ruleset().to_string();
+        assert!(s.contains("(   924/   12) list :- bbLen >= 7, calls <= 0.0857"), "got: {s}");
+        assert!(s.contains("( 27476/ 1946) orig :- (default)"), "got: {s}");
+    }
+
+    #[test]
+    fn condition_count_sums() {
+        assert_eq!(ruleset().condition_count(), 3);
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(7.0), "7");
+        assert_eq!(trim_float(0.0857), "0.0857");
+        assert_eq!(trim_float(0.5), "0.5");
+        assert_eq!(trim_float(0.37931), "0.37931");
+        // Round-trip exactness, the property the deployment path needs.
+        let v = 1.0 / 3.0;
+        assert_eq!(trim_float(v).parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "stats must match")]
+    fn stats_length_checked() {
+        RuleSet::new(
+            vec!["a".into()],
+            "p",
+            "n",
+            vec![Rule::new()],
+            vec![RuleStats::default(), RuleStats::default()],
+            RuleStats::default(),
+        );
+    }
+}

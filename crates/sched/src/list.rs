@@ -1,0 +1,337 @@
+//! The CPS list scheduler.
+
+use crate::policy::XorShift64;
+use crate::{ScheduleOutcome, SchedulePolicy};
+use wts_deps::{critical_paths, DepGraph};
+use wts_ir::{BasicBlock, Inst};
+use wts_machine::{CostModel, IssueState, MachineConfig};
+
+/// List scheduler over basic blocks.
+///
+/// The scheduler consults the same in-order cost estimator used for
+/// labeling (via [`IssueState`]) to determine when each candidate could
+/// start, exactly as the paper's scheduler consults its block timing
+/// simulator while making decisions (§2.2, footnote 3).
+#[derive(Debug, Clone)]
+pub struct ListScheduler<'m> {
+    machine: &'m MachineConfig,
+    policy: SchedulePolicy,
+}
+
+impl<'m> ListScheduler<'m> {
+    /// A CPS list scheduler for the given machine.
+    pub fn new(machine: &'m MachineConfig) -> ListScheduler<'m> {
+        ListScheduler { machine, policy: SchedulePolicy::CriticalPath }
+    }
+
+    /// A scheduler with an explicit selection policy.
+    pub fn with_policy(machine: &'m MachineConfig, policy: SchedulePolicy) -> ListScheduler<'m> {
+        ListScheduler { machine, policy }
+    }
+
+    /// The machine this scheduler targets.
+    pub fn machine(&self) -> &MachineConfig {
+        self.machine
+    }
+
+    /// The selection policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Schedules a block, returning the chosen order and the estimated
+    /// cycle counts before and after.
+    pub fn schedule_block(&self, block: &BasicBlock) -> ScheduleOutcome {
+        self.schedule_insts(block.insts())
+    }
+
+    /// Schedules an explicit instruction sequence.
+    pub fn schedule_insts(&self, insts: &[Inst]) -> ScheduleOutcome {
+        self.schedule_with(insts, DepGraph::build)
+    }
+
+    /// Schedules a *superblock*: a straight-line trace whose internal
+    /// branches are side exits. Pure register computation may move across
+    /// those exits (speculation with compensation, per Fisher's trace
+    /// scheduling), which is what gives superblocks their edge over
+    /// per-block scheduling (paper §3.1).
+    pub fn schedule_superblock(&self, insts: &[Inst]) -> ScheduleOutcome {
+        self.schedule_with(insts, DepGraph::build_speculative)
+    }
+
+    fn schedule_with(&self, insts: &[Inst], build: impl Fn(&[Inst]) -> DepGraph) -> ScheduleOutcome {
+        let n = insts.len();
+        let cost = CostModel::new(self.machine);
+        let cycles_before = cost.sequence_cycles(insts);
+        if n <= 1 {
+            return ScheduleOutcome { order: (0..n).collect(), cycles_before, cycles_after: cycles_before };
+        }
+
+        let graph = build(insts);
+        let cp = critical_paths(&graph, insts, self.machine);
+        let mut rng = match self.policy {
+            SchedulePolicy::Random(seed) => Some(XorShift64::new(seed)),
+            _ => None,
+        };
+
+        let mut scheduled = vec![false; n];
+        let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.preds(i).len()).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut state = IssueState::new(self.machine);
+
+        while let Some(pos) = self.select(&ready, &cp, &state, insts, rng.as_mut()) {
+            let chosen = ready.swap_remove(pos);
+            scheduled[chosen] = true;
+            state.issue(&insts[chosen]);
+            order.push(chosen);
+            for &(s, _) in graph.succs(chosen) {
+                let s = s as usize;
+                remaining_preds[s] -= 1;
+                if remaining_preds[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "scheduler must place every instruction");
+
+        let cycles_after = cost.sequence_cycles(&order.iter().map(|&i| insts[i].clone()).collect::<Vec<_>>());
+        if cycles_after > cycles_before {
+            // Greedy list scheduling is not optimal; when the estimator
+            // rates the new order worse, keep the original (the estimate
+            // is free — it was needed for the comparison anyway).
+            return ScheduleOutcome { order: (0..n).collect(), cycles_before, cycles_after: cycles_before };
+        }
+        ScheduleOutcome { order, cycles_before, cycles_after }
+    }
+
+    /// Convenience: schedule and apply in one step.
+    pub fn reschedule(&self, block: &BasicBlock) -> BasicBlock {
+        self.schedule_block(block).apply(block)
+    }
+
+    /// Picks the index *within `ready`* of the next instruction.
+    fn select(
+        &self,
+        ready: &[usize],
+        cp: &[u64],
+        state: &IssueState<'_>,
+        insts: &[Inst],
+        rng: Option<&mut XorShift64>,
+    ) -> Option<usize> {
+        if ready.is_empty() {
+            return None;
+        }
+        let pick = match self.policy {
+            SchedulePolicy::Random(_) => rng.expect("rng present for random policy").pick(ready.len()),
+            SchedulePolicy::CriticalPathOnly => {
+                // Highest critical path, ties by lowest original index.
+                let mut best = 0;
+                for (k, &ki) in ready.iter().enumerate().skip(1) {
+                    let bi = ready[best];
+                    if (cp[ki], std::cmp::Reverse(ki)) > (cp[bi], std::cmp::Reverse(bi)) {
+                        best = k;
+                    }
+                }
+                best
+            }
+            SchedulePolicy::CriticalPath | SchedulePolicy::EarliestStart => {
+                let use_cp = self.policy == SchedulePolicy::CriticalPath;
+                let mut best = 0;
+                let mut best_key = self.key(ready[0], cp, state, insts, use_cp);
+                for (k, &ki) in ready.iter().enumerate().skip(1) {
+                    let key = self.key(ki, cp, state, insts, use_cp);
+                    if key < best_key {
+                        best = k;
+                        best_key = key;
+                    }
+                }
+                best
+            }
+        };
+        Some(pick)
+    }
+
+    /// Sort key: (earliest start, negated critical path, original index).
+    fn key(&self, i: usize, cp: &[u64], state: &IssueState<'_>, insts: &[Inst], use_cp: bool) -> (u64, i64, usize) {
+        let start = state.earliest_issue(&insts[i]);
+        let prio = if use_cp { -(cp[i] as i64) } else { 0 };
+        (start, prio, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_schedule;
+    use wts_ir::{MemRef, MemSpace, Opcode, Reg};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::ppc7410()
+    }
+
+    fn load(def: u16, slot: u32) -> Inst {
+        Inst::new(Opcode::Lwz).def(Reg::gpr(def)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, slot))
+    }
+
+    fn add(def: u16, a: u16, b: u16) -> Inst {
+        Inst::new(Opcode::Add).def(Reg::gpr(def)).use_(Reg::gpr(a)).use_(Reg::gpr(b))
+    }
+
+    #[test]
+    fn empty_and_singleton_blocks() {
+        let m = machine();
+        let s = ListScheduler::new(&m);
+        let out = s.schedule_insts(&[]);
+        assert!(out.order.is_empty());
+        let out = s.schedule_insts(&[add(1, 2, 3)]);
+        assert_eq!(out.order, vec![0]);
+        assert_eq!(out.cycles_before, out.cycles_after);
+    }
+
+    #[test]
+    fn hides_load_latency() {
+        let m = machine();
+        let s = ListScheduler::new(&m);
+        // load; immediate use; independent filler.
+        let insts = vec![load(1, 0), add(2, 1, 1), add(3, 8, 8), add(4, 9, 9)];
+        let out = s.schedule_insts(&insts);
+        assert!(out.cycles_after < out.cycles_before, "filler should hide the load stall");
+        assert!(verify_schedule(&insts, &out.order).is_ok());
+        // The dependent add must still come after the load.
+        let pos = |i: usize| out.order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(1) > pos(0));
+    }
+
+    #[test]
+    fn never_degrades_on_these_cases_and_respects_deps() {
+        let m = machine();
+        let s = ListScheduler::new(&m);
+        let cases: Vec<Vec<Inst>> = vec![
+            vec![add(1, 9, 9), add(2, 1, 9), add(3, 2, 9)],
+            vec![load(1, 0), load(2, 8), add(3, 1, 2)],
+            vec![
+                Inst::new(Opcode::Fdiv).def(Reg::fpr(1)).use_(Reg::fpr(2)).use_(Reg::fpr(3)),
+                Inst::new(Opcode::Fadd).def(Reg::fpr(4)).use_(Reg::fpr(1)).use_(Reg::fpr(1)),
+                add(1, 8, 8),
+                add(2, 9, 9),
+            ],
+        ];
+        for insts in cases {
+            let out = s.schedule_insts(&insts);
+            assert!(verify_schedule(&insts, &out.order).is_ok());
+            // A competent scheduler should never pick an order the cost
+            // model rates worse than the original.
+            assert!(out.cycles_after <= out.cycles_before, "degraded: {insts:?}");
+        }
+    }
+
+    #[test]
+    fn terminator_stays_last() {
+        let m = machine();
+        let s = ListScheduler::new(&m);
+        let insts = vec![add(1, 9, 9), load(2, 0), Inst::new(Opcode::Bc).use_(Reg::cr(0))];
+        let out = s.schedule_insts(&insts);
+        assert_eq!(*out.order.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn cps_beats_or_matches_earliest_start_on_cp_case() {
+        let m = machine();
+        // Two chains: a long FP chain and short int work. CPS should
+        // prioritize starting the long chain.
+        let insts = vec![
+            Inst::new(Opcode::Lfd).def(Reg::fpr(1)).use_(Reg::gpr(1)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Fmul).def(Reg::fpr(2)).use_(Reg::fpr(1)).use_(Reg::fpr(1)),
+            Inst::new(Opcode::Fadd).def(Reg::fpr(3)).use_(Reg::fpr(2)).use_(Reg::fpr(2)),
+            add(2, 8, 8),
+            add(3, 9, 9),
+            add(4, 10, 10),
+        ];
+        let cps = ListScheduler::with_policy(&m, SchedulePolicy::CriticalPath).schedule_insts(&insts);
+        let es = ListScheduler::with_policy(&m, SchedulePolicy::EarliestStart).schedule_insts(&insts);
+        assert!(cps.cycles_after <= es.cycles_after);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let m = machine();
+        let insts = vec![add(1, 9, 9), add(2, 8, 8), add(3, 7, 7), load(4, 0), load(5, 8)];
+        let a = ListScheduler::with_policy(&m, SchedulePolicy::Random(11)).schedule_insts(&insts);
+        let b = ListScheduler::with_policy(&m, SchedulePolicy::Random(11)).schedule_insts(&insts);
+        assert_eq!(a.order, b.order);
+        assert!(verify_schedule(&insts, &a.order).is_ok());
+    }
+
+    #[test]
+    fn schedules_are_permutations_even_with_barriers() {
+        let m = machine();
+        let s = ListScheduler::new(&m);
+        let insts = vec![
+            add(1, 9, 9),
+            Inst::new(Opcode::Bl).def(Reg::lr()),
+            add(2, 8, 8),
+            Inst::new(Opcode::YieldPoint).hazard(wts_ir::Hazards::YIELD),
+            add(3, 7, 7),
+        ];
+        let out = s.schedule_insts(&insts);
+        assert!(verify_schedule(&insts, &out.order).is_ok());
+        let pos = |i: usize| out.order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(2) && pos(2) < pos(3) && pos(3) < pos(4));
+    }
+
+    #[test]
+    fn superblock_scheduling_beats_local_when_exits_block_motion() {
+        let m = machine();
+        // Trace: [load; use; branch] ++ [independent adds]. Local
+        // scheduling cannot hide the load stall (nothing independent in
+        // the first block); the speculative superblock can hoist the
+        // second block's adds above the side exit.
+        let insts = vec![
+            load(1, 0),
+            add(2, 1, 1),
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+            add(3, 8, 8),
+            add(4, 9, 9),
+            add(5, 10, 10),
+        ];
+        let s = ListScheduler::new(&m);
+        let local = s.schedule_insts(&insts);
+        let superblock = s.schedule_superblock(&insts);
+        assert!(superblock.cycles_after <= local.cycles_after);
+        assert!(
+            superblock.cycles_after < local.cycles_after,
+            "speculation should hide the stall: {} vs {}",
+            superblock.cycles_after,
+            local.cycles_after
+        );
+    }
+
+    #[test]
+    fn superblock_schedule_respects_speculative_graph() {
+        let m = machine();
+        let insts = vec![
+            Inst::new(Opcode::Stw).use_(Reg::gpr(1)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+            add(3, 8, 8),
+        ];
+        let out = ListScheduler::new(&m).schedule_superblock(&insts);
+        let pos = |i: usize| out.order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1), "store stays above the exit");
+    }
+
+    #[test]
+    fn reschedule_applies_order() {
+        let m = machine();
+        let s = ListScheduler::new(&m);
+        let mut b = BasicBlock::new(3);
+        for i in [load(1, 0), add(2, 1, 1), add(3, 8, 8)] {
+            b.push(i);
+        }
+        b.set_exec_count(77);
+        let nb = s.reschedule(&b);
+        assert_eq!(nb.len(), 3);
+        assert_eq!(nb.exec_count(), 77);
+        assert_eq!(nb.id(), b.id());
+    }
+}

@@ -1,0 +1,78 @@
+//! The result of scheduling one block.
+
+use wts_ir::BasicBlock;
+
+/// What the scheduler produced for one block.
+///
+/// `order[k]` is the original index of the instruction placed at position
+/// `k` of the new schedule. Cycle counts come from the cheap in-order
+/// cost model — the same estimator the paper uses for its labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// New order, as original indices.
+    pub order: Vec<usize>,
+    /// Estimated cycles of the original order.
+    pub cycles_before: u64,
+    /// Estimated cycles of the scheduled order.
+    pub cycles_after: u64,
+}
+
+impl ScheduleOutcome {
+    /// Estimated improvement as a fraction of the original cost
+    /// (0.10 = 10% faster). Negative when scheduling degraded the block;
+    /// zero for empty blocks.
+    pub fn improvement(&self) -> f64 {
+        if self.cycles_before == 0 {
+            return 0.0;
+        }
+        (self.cycles_before as f64 - self.cycles_after as f64) / self.cycles_before as f64
+    }
+
+    /// True when the new order differs from the original.
+    pub fn changed(&self) -> bool {
+        self.order.iter().enumerate().any(|(k, &i)| k != i)
+    }
+
+    /// Applies the schedule to `block`, returning the reordered block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was produced for a block of different length.
+    pub fn apply(&self, block: &BasicBlock) -> BasicBlock {
+        block.reordered(&self.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_ir::{Inst, Opcode, Reg};
+
+    fn outcome(before: u64, after: u64, order: Vec<usize>) -> ScheduleOutcome {
+        ScheduleOutcome { order, cycles_before: before, cycles_after: after }
+    }
+
+    #[test]
+    fn improvement_fraction() {
+        assert!((outcome(10, 9, vec![0]).improvement() - 0.1).abs() < 1e-12);
+        assert!(outcome(10, 11, vec![0]).improvement() < 0.0);
+        assert_eq!(outcome(0, 0, vec![]).improvement(), 0.0);
+    }
+
+    #[test]
+    fn changed_detects_identity() {
+        assert!(!outcome(1, 1, vec![0, 1, 2]).changed());
+        assert!(outcome(1, 1, vec![0, 2, 1]).changed());
+    }
+
+    #[test]
+    fn apply_reorders_block() {
+        let mut b = BasicBlock::new(0);
+        b.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(1));
+        b.push(Inst::new(Opcode::Li).def(Reg::gpr(2)).imm(2));
+        let out = outcome(2, 2, vec![1, 0]);
+        let r = out.apply(&b);
+        assert_eq!(r.insts()[0], b.insts()[1]);
+        assert_eq!(r.insts()[1], b.insts()[0]);
+    }
+}

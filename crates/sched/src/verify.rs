@@ -1,0 +1,124 @@
+//! Schedule verification: permutation + dependence preservation.
+
+use std::fmt;
+use wts_deps::DepGraph;
+use wts_ir::Inst;
+
+/// Why a proposed order is not a legal schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Order length differs from the instruction count.
+    LengthMismatch {
+        /// Instructions in the block.
+        expected: usize,
+        /// Entries in the order.
+        got: usize,
+    },
+    /// Order is not a permutation (an index repeats or is out of range).
+    NotAPermutation {
+        /// The offending index value.
+        index: usize,
+    },
+    /// A dependence edge is violated.
+    DependenceViolated {
+        /// Producer/earlier instruction (original index).
+        from: usize,
+        /// Consumer/later instruction (original index).
+        to: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::LengthMismatch { expected, got } => {
+                write!(f, "order has {got} entries but block has {expected} instructions")
+            }
+            VerifyError::NotAPermutation { index } => {
+                write!(f, "order is not a permutation (index {index})")
+            }
+            VerifyError::DependenceViolated { from, to } => {
+                write!(f, "dependence {from} -> {to} violated by order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks that `order` is a dependence-respecting permutation of `insts`.
+///
+/// # Errors
+///
+/// Returns the first problem found: a length mismatch, a repeated or
+/// out-of-range index, or a violated dependence edge.
+pub fn verify_schedule(insts: &[Inst], order: &[usize]) -> Result<(), VerifyError> {
+    let n = insts.len();
+    if order.len() != n {
+        return Err(VerifyError::LengthMismatch { expected: n, got: order.len() });
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (p, &i) in order.iter().enumerate() {
+        if i >= n || pos[i] != usize::MAX {
+            return Err(VerifyError::NotAPermutation { index: i });
+        }
+        pos[i] = p;
+    }
+    let graph = DepGraph::build(insts);
+    for to in 0..n {
+        for &(from, _) in graph.preds(to) {
+            if pos[from as usize] > pos[to] {
+                return Err(VerifyError::DependenceViolated { from: from as usize, to });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_ir::{Opcode, Reg};
+
+    fn add(def: u16, a: u16) -> Inst {
+        Inst::new(Opcode::Add).def(Reg::gpr(def)).use_(Reg::gpr(a)).use_(Reg::gpr(a))
+    }
+
+    #[test]
+    fn accepts_identity_and_legal_swap() {
+        let insts = vec![add(1, 9), add(2, 8)];
+        assert!(verify_schedule(&insts, &[0, 1]).is_ok());
+        assert!(verify_schedule(&insts, &[1, 0]).is_ok());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let insts = vec![add(1, 9)];
+        assert_eq!(
+            verify_schedule(&insts, &[]),
+            Err(VerifyError::LengthMismatch { expected: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates_and_out_of_range() {
+        let insts = vec![add(1, 9), add(2, 8)];
+        assert_eq!(verify_schedule(&insts, &[0, 0]), Err(VerifyError::NotAPermutation { index: 0 }));
+        assert_eq!(verify_schedule(&insts, &[0, 5]), Err(VerifyError::NotAPermutation { index: 5 }));
+    }
+
+    #[test]
+    fn rejects_dependence_violation() {
+        let insts = vec![add(1, 9), add(2, 1)]; // 1 truly depends on 0
+        assert_eq!(
+            verify_schedule(&insts, &[1, 0]),
+            Err(VerifyError::DependenceViolated { from: 0, to: 1 })
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VerifyError::DependenceViolated { from: 2, to: 5 };
+        assert!(e.to_string().contains("2 -> 5"));
+    }
+}

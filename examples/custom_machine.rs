@@ -1,0 +1,61 @@
+//! Define a custom machine model and see how the value of scheduling —
+//! and therefore of the filter — depends on the hardware's own dynamism
+//! (paper §3.1's discussion of older, less dynamic processors).
+//!
+//! ```text
+//! cargo run --release --example custom_machine
+//! ```
+
+use schedfilter::filters::{app_time_ratio, collect_trace, predicted_time_ratio, AlwaysSchedule};
+use schedfilter::machine::{FunctionalUnit, LatencyTable, UnitSet};
+use schedfilter::prelude::*;
+use schedfilter::ripper::geometric_mean;
+use wts_ir::UnitClass;
+
+fn main() {
+    // A hypothetical embedded core: single integer unit, slow memory,
+    // very slow FP, no out-of-order window at all.
+    let mut latencies = LatencyTable::ppc7410();
+    latencies.set(Opcode::Lwz, 5);
+    latencies.set(Opcode::Lfd, 6);
+    latencies.set(Opcode::Fadd, 8);
+    latencies.set(Opcode::Fmul, 10);
+    let embedded = MachineConfig::new(
+        "embedded-core",
+        1,
+        1,
+        1,
+        latencies,
+        [
+            (UnitClass::SimpleInt, UnitSet::of(&[FunctionalUnit::Iu1])),
+            (UnitClass::ComplexInt, UnitSet::of(&[FunctionalUnit::Iu1])),
+            (UnitClass::Float, UnitSet::of(&[FunctionalUnit::Fpu])),
+            (UnitClass::Branch, UnitSet::of(&[FunctionalUnit::Bru])),
+            (UnitClass::LoadStore, UnitSet::of(&[FunctionalUnit::Lsu])),
+            (UnitClass::System, UnitSet::of(&[FunctionalUnit::Su])),
+        ],
+    );
+
+    let machines = [MachineConfig::ppc7410(), MachineConfig::deep_fp(), embedded];
+    let suite = Suite::fp(0.1);
+
+    println!("How much does always-scheduling help, per machine (FP suite)?\n");
+    println!("{:<16} {:>14} {:>14}", "machine", "predicted LS%", "app-time LS");
+    for machine in &machines {
+        let mut pred = Vec::new();
+        let mut app = Vec::new();
+        for bench in suite.benchmarks() {
+            let traces = collect_trace(bench.program(), machine);
+            pred.push(predicted_time_ratio(&traces, &AlwaysSchedule));
+            app.push(app_time_ratio(&traces, &AlwaysSchedule));
+        }
+        println!(
+            "{:<16} {:>13.2}% {:>14.3}",
+            machine.name(),
+            geometric_mean(&pred),
+            geometric_mean(&app),
+        );
+    }
+    println!("\nLess dynamic hardware (smaller window, longer latencies) gains more from");
+    println!("static scheduling — which makes deciding *whether* to schedule matter more.");
+}

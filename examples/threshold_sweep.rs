@@ -1,0 +1,60 @@
+//! Sweep the labeling threshold `t` (the paper's noise-reduction knob,
+//! §4.4) and watch the efficiency/effectiveness trade-off move.
+//!
+//! ```text
+//! cargo run --release --example threshold_sweep [-- <scale>]
+//! ```
+
+use schedfilter::filters::{
+    app_time_ratio, collect_trace, sched_time_ratio, train_loocv, AlwaysSchedule, LabelConfig, TrainConfig,
+};
+use schedfilter::prelude::*;
+use schedfilter::ripper::geometric_mean;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.15);
+    let machine = MachineConfig::ppc7410();
+    let suite = Suite::specjvm98(scale);
+
+    println!("tracing SPECjvm98-like suite at scale {scale}...");
+    let mut traces = Vec::new();
+    for bench in suite.benchmarks() {
+        traces.extend(collect_trace(bench.program(), &machine));
+    }
+    let names: Vec<String> = suite.benchmarks().iter().map(|b| b.name().to_string()).collect();
+
+    let ls_app: Vec<f64> = names
+        .iter()
+        .map(|n| {
+            let own: Vec<_> = traces.iter().filter(|r| &r.benchmark == n).cloned().collect();
+            app_time_ratio(&own, &AlwaysSchedule)
+        })
+        .collect();
+    println!("\nalways-scheduling app-time ratio (geo. mean): {:.3}\n", geometric_mean(&ls_app));
+
+    println!("{:>4} {:>10} {:>12} {:>10} {:>12}", "t%", "LS insts", "sched ratio", "app ratio", "benefit kept");
+    let ls_gm = geometric_mean(&ls_app);
+    for t in (0..=50).step_by(5) {
+        let config = TrainConfig::with_threshold(t);
+        let ls_count = traces.iter().filter(|r| LabelConfig::new(t).label(r) == Some(true)).count();
+        let folds = train_loocv(&traces, &config);
+        let mut sched = Vec::new();
+        let mut app = Vec::new();
+        for (bench, filter) in &folds {
+            let own: Vec<_> = traces.iter().filter(|r| &r.benchmark == bench).cloned().collect();
+            sched.push(sched_time_ratio(&own, filter).work_ratio());
+            app.push(app_time_ratio(&own, filter));
+        }
+        let app_gm = geometric_mean(&app);
+        let kept = if ls_gm < 1.0 { (1.0 - app_gm) / (1.0 - ls_gm) * 100.0 } else { 0.0 };
+        println!(
+            "{:>4} {:>10} {:>12.3} {:>10.3} {:>11.0}%",
+            t,
+            ls_count,
+            geometric_mean(&sched),
+            app_gm,
+            kept,
+        );
+    }
+    println!("\nLower sched ratio = cheaper compiles; 'benefit kept' = share of LS's speedup retained.");
+}

@@ -1,0 +1,130 @@
+//! Shape tests: the qualitative claims of the paper's evaluation hold on
+//! the reproduced system (who wins, in which direction curves move).
+//! These run the real artifact pipeline at a reduced scale.
+
+use schedfilter::experiments::{Experiments, SuiteKind, THRESHOLDS};
+
+fn harness() -> Experiments {
+    Experiments::new(0.04)
+}
+
+#[test]
+fn most_blocks_do_not_benefit_from_scheduling() {
+    // Paper Table 5: 8173 LS vs 37280 NS at t=0 (~18% LS).
+    let e = harness();
+    let t5 = e.table5();
+    let ls: usize = t5.cell(0, 1).parse().unwrap();
+    let title = t5.title().to_string();
+    // NS count is embedded in the title: "... (NS constant at N)".
+    let ns: usize = title
+        .rsplit("at ")
+        .next()
+        .unwrap()
+        .trim_end_matches(')')
+        .parse()
+        .unwrap();
+    assert!(ls * 2 < ns, "LS ({ls}) should be well under half of NS ({ns})");
+}
+
+#[test]
+fn ls_training_counts_fall_steeply_with_threshold() {
+    let e = harness();
+    let t5 = e.table5();
+    let first: usize = t5.cell(0, 1).parse().unwrap();
+    let last: usize = t5.cell(0, THRESHOLDS.len()).parse().unwrap();
+    assert!(last * 10 < first, "t=50 LS count {last} should be a tiny fraction of t=0's {first}");
+}
+
+#[test]
+fn classification_error_improves_with_threshold() {
+    // Paper Table 3: geometric mean falls from 7.86% (t=0) to 0.06% (t=50).
+    let e = harness();
+    let t3 = e.table3();
+    let gm_col = t3.headers().len() - 1;
+    let t0: f64 = t3.cell(0, gm_col).parse().unwrap();
+    let t50: f64 = t3.cell(THRESHOLDS.len() - 1, gm_col).parse().unwrap();
+    assert!(t50 < t0 / 2.0, "error should collapse with t: {t0} -> {t50}");
+    assert!(t0 < 30.0, "t=0 error {t0}% should be far from coin-flipping");
+}
+
+#[test]
+fn filters_preserve_most_of_the_scheduling_benefit() {
+    // Paper Figure 1(b): LS .977, L/N .979 — 93% of the benefit.
+    let e = harness();
+    let pair = e.fig2();
+    let gm = pair.app_time.headers().len() - 1;
+    let ls: f64 = pair.app_time.cell(0, gm).parse().unwrap();
+    let ln0: f64 = pair.app_time.cell(1, gm).parse().unwrap();
+    assert!(ls < 1.0);
+    let kept = (1.0 - ln0) / (1.0 - ls);
+    assert!(kept > 0.6, "t=0 filter keeps {:.0}% of the benefit", kept * 100.0);
+}
+
+#[test]
+fn filters_cut_scheduling_effort_and_threshold_cuts_it_further() {
+    // Paper Figures 1(a)/2(a): 38% of LS cost at t=0 falling to ~6%.
+    let e = harness();
+    let pair = e.fig2();
+    let work_col = pair.sched_time.headers().len() - 2;
+    let t0: f64 = pair.sched_time.cell(0, work_col).parse().unwrap();
+    let t50: f64 = pair.sched_time.cell(THRESHOLDS.len() - 1, work_col).parse().unwrap();
+    assert!(t0 < 1.0, "t=0 filter must already be cheaper than LS, got {t0}");
+    assert!(t50 < t0, "t=50 must be cheaper than t=0 ({t50} vs {t0})");
+    assert!(t50 < 0.5, "t=50 should schedule almost nothing, got {t50}");
+}
+
+#[test]
+fn fp_suite_gains_more_than_jvm98() {
+    // Paper §4.5: the FP suite is where scheduling matters most.
+    let e = harness();
+    let jvm = e.fig2();
+    let fp = e.fig3();
+    let jgm = jvm.app_time.headers().len() - 1;
+    let fgm = fp.app_time.headers().len() - 1;
+    let jvm_ls: f64 = jvm.app_time.cell(0, jgm).parse().unwrap();
+    let fp_ls: f64 = fp.app_time.cell(0, fgm).parse().unwrap();
+    assert!(fp_ls < jvm_ls, "FP LS {fp_ls} should beat jvm98 LS {jvm_ls}");
+}
+
+#[test]
+fn predicted_times_improve_under_every_threshold() {
+    // Paper Table 4: "the model predicts improvements at all thresholds".
+    let e = harness();
+    let t4 = e.table4();
+    let gm = t4.headers().len() - 1;
+    for row in 0..THRESHOLDS.len() - 1 {
+        let v: f64 = t4.cell(row, gm).parse().unwrap();
+        assert!(v <= 100.0, "threshold row {row} predicts a slowdown: {v}");
+    }
+}
+
+#[test]
+fn runtime_ls_classification_shrinks_with_threshold() {
+    // Paper Table 6: LS predictions fall from 6064 to 160 as t rises.
+    let e = harness();
+    let t6 = e.table6();
+    let first: usize = t6.cell(1, 1).parse().unwrap();
+    let last: usize = t6.cell(1, THRESHOLDS.len()).parse().unwrap();
+    assert!(last < first, "LS predictions should shrink: {first} -> {last}");
+}
+
+#[test]
+fn sample_filter_uses_block_size_and_category_features() {
+    // Paper Figure 4: bbLen and the call/load/store/system fractions are
+    // the load-bearing features.
+    let e = harness();
+    let fig4 = e.fig4();
+    assert!(fig4.contains("list :-") || fig4.contains("(default)"));
+    let mentions_core_feature = ["bbLen", "loads", "calls", "stores", "integers", "floats", "peis", "systems"]
+        .iter()
+        .any(|f| fig4.contains(f));
+    assert!(mentions_core_feature, "induced rules should reference Table 1 features:\n{fig4}");
+}
+
+#[test]
+fn suite_kinds_are_distinct() {
+    let e = harness();
+    // Smoke-check the SuiteKind plumbing used throughout.
+    assert_ne!(format!("{:?}", SuiteKind::Jvm98), format!("{:?}", SuiteKind::Fp));
+    drop(e);
+}
