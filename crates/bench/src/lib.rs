@@ -4,7 +4,7 @@
 //!
 //! The benches live in `benches/`; run them with `cargo bench`.
 
-use wts_core::{collect_trace, train_loocv, LearnedFilter, TraceRecord, TrainConfig};
+use wts_core::{Experiment, LearnedFilter, TraceRecord};
 use wts_jit::Suite;
 use wts_machine::MachineConfig;
 
@@ -13,7 +13,8 @@ use wts_machine::MachineConfig;
 pub const BENCH_SCALE: f64 = 0.05;
 
 /// Everything a figure bench needs: machine, suite, traces and trained
-/// per-benchmark filters at a given threshold.
+/// per-benchmark filters at a given threshold — one [`Experiment`]
+/// pipeline run per setup.
 pub struct BenchSetup {
     /// The modelled machine.
     pub machine: MachineConfig,
@@ -38,25 +39,18 @@ impl BenchSetup {
 
     fn build(suite: Suite, t: u32) -> BenchSetup {
         let machine = MachineConfig::ppc7410();
-        let mut traces = Vec::new();
-        let mut all = Vec::new();
-        for b in suite.benchmarks() {
-            let tr = collect_trace(b.program(), &machine);
-            all.extend(tr.iter().cloned());
-            traces.push(tr);
-        }
-        let filters = train_loocv(&all, &TrainConfig::with_threshold(t));
-        BenchSetup { machine, suite, traces, filters }
+        let programs = suite.benchmarks().iter().map(|b| b.program().clone()).collect();
+        // Serial tracing keeps the wall-clock *_ns channels in `traces`
+        // contention-free (same rationale as Experiments::new); training
+        // still shards across cores.
+        let run = Experiment::new(machine.clone()).with_trace_threads(1).run(programs);
+        let filters = run.loocv_filters(t).to_vec();
+        BenchSetup { machine, suite, traces: run.traces().to_vec(), filters }
     }
 
     /// The filter trained with this benchmark held out.
     pub fn filter_for(&self, bench: &str) -> &LearnedFilter {
-        &self
-            .filters
-            .iter()
-            .find(|(n, _)| n == bench)
-            .unwrap_or_else(|| panic!("no filter for {bench}"))
-            .1
+        &self.filters.iter().find(|(n, _)| n == bench).unwrap_or_else(|| panic!("no filter for {bench}")).1
     }
 }
 

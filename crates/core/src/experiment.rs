@@ -1,0 +1,479 @@
+//! The unified §2.2 pipeline: **trace → label → train → evaluate** as
+//! one composable, parallelizable unit.
+//!
+//! The seed wired these four stages by hand at every call site —
+//! [`collect_trace`](crate::collect_trace), then
+//! [`build_dataset`](crate::build_dataset), then
+//! [`train_filter`](crate::train_filter) /
+//! [`train_loocv`](crate::train_loocv), then the eval functions — and
+//! each of the table/figure regenerators re-plumbed the same steps.
+//! [`Experiment`] owns the sequence end to end:
+//!
+//! 1. **Trace** maps to §2.2's instrumented scheduling pass: every block
+//!    of every benchmark program is feature-extracted and list-scheduled,
+//!    with cycle counts from a configurable pair of
+//!    [`CostProvider`](wts_machine::CostProvider)s (the "simplified
+//!    simulator" for labeling, the detailed model standing in for
+//!    hardware). Collection shards across methods with scoped threads
+//!    and is bit-identical to the serial path.
+//! 2. **Label** maps to §2.2's thresholding: an instance is `LS` when
+//!    scheduling improved the estimate by more than `t`%, `NS` when it
+//!    did not improve at all, and dropped in between (§4.4's
+//!    noise-reduction trick).
+//! 3. **Train** maps to §2.3: RIPPER induces an if-then rule set; the
+//!    paper's evaluation protocol is leave-one-benchmark-out
+//!    cross-validation, sharded across folds.
+//! 4. **Evaluate** maps to §3: classification accuracy (Table 3),
+//!    predicted times (Table 4), run-time classification (Table 6),
+//!    scheduling-time and application-time ratios (Figures 1–3).
+//!
+//! ```
+//! use wts_core::Experiment;
+//! use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
+//! use wts_machine::MachineConfig;
+//!
+//! let mut p = Program::new("demo");
+//! let mut m = Method::new(0, "m0");
+//! let mut b = BasicBlock::new(0);
+//! b.push(Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(9))
+//!     .mem(MemRef::slot(MemSpace::Heap, 0)));
+//! b.push(Inst::new(Opcode::Add).def(Reg::gpr(2)).use_(Reg::gpr(1)).use_(Reg::gpr(1)));
+//! b.push(Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(8)).use_(Reg::gpr(8)));
+//! m.push_block(b);
+//! p.push_method(m);
+//!
+//! let run = Experiment::new(MachineConfig::ppc7410()).run(vec![p]);
+//! assert_eq!(run.names(), ["demo"]);
+//! assert_eq!(run.all_traces().len(), 1);
+//! ```
+
+use crate::eval::{
+    app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio, ClassCounts,
+    EvalTimes,
+};
+use crate::label::{build_dataset, LabelConfig};
+use crate::trace::{collect_trace_with, TimingMode, TraceOptions, TraceRecord};
+use crate::train::{train_loocv_sharded, TrainConfig};
+use crate::{Filter, LearnedFilter};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use wts_ir::Program;
+use wts_machine::{EstimatorKind, MachineConfig};
+use wts_ripper::{ConfusionMatrix, Dataset, RipperConfig};
+use wts_sched::SchedulePolicy;
+
+/// Name-sorted `(benchmark, filter)` pairs from one LOOCV training run.
+pub type LoocvFilters = Rc<Vec<(String, LearnedFilter)>>;
+
+/// Configuration of the whole trace→label→train→evaluate pipeline.
+///
+/// Build one with [`Experiment::new`] and the `with_*` methods, then
+/// [`run`](Experiment::run) it over a suite of programs. Scheduler
+/// policy selection lives here — not at the call sites — so an ablation
+/// swaps policies by building a second `Experiment`, nothing else.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    machine: MachineConfig,
+    policy: SchedulePolicy,
+    ripper: RipperConfig,
+    trace_threads: usize,
+    train_threads: usize,
+    timing: TimingMode,
+    estimated: EstimatorKind,
+    measured: EstimatorKind,
+}
+
+impl Experiment {
+    /// A pipeline over `machine` with the paper's defaults: CPS
+    /// scheduling, cheap estimator for labels, detailed simulator as the
+    /// hardware stand-in, default RIPPER settings, one worker thread per
+    /// available core, wall-clock timing.
+    pub fn new(machine: MachineConfig) -> Experiment {
+        Experiment {
+            machine,
+            policy: SchedulePolicy::CriticalPath,
+            ripper: RipperConfig::default(),
+            trace_threads: 0,
+            train_threads: 0,
+            timing: TimingMode::WallClock,
+            estimated: EstimatorKind::Cheap,
+            measured: EstimatorKind::Detailed,
+        }
+    }
+
+    /// Selects the scheduler policy the instrumented pass runs.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Experiment {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the RIPPER learner settings.
+    pub fn with_ripper(mut self, ripper: RipperConfig) -> Experiment {
+        self.ripper = ripper;
+        self
+    }
+
+    /// Sets the worker-thread count for tracing and LOOCV training
+    /// (`0` = one per available core, `1` = fully serial).
+    pub fn with_threads(mut self, threads: usize) -> Experiment {
+        self.trace_threads = threads;
+        self.train_threads = threads;
+        self
+    }
+
+    /// Sets the trace-stage worker count alone. Serial tracing keeps the
+    /// wall-clock `*_ns` channels free of multi-worker cache contention,
+    /// which matters when those channels feed published timing artifacts;
+    /// the cycle-count channels are thread-count invariant either way.
+    pub fn with_trace_threads(mut self, threads: usize) -> Experiment {
+        self.trace_threads = threads;
+        self
+    }
+
+    /// Sets the LOOCV-training worker count alone (no wall-clock channel
+    /// is involved in training, so sharding it is always safe).
+    pub fn with_train_threads(mut self, threads: usize) -> Experiment {
+        self.train_threads = threads;
+        self
+    }
+
+    /// Switches the `*_ns` channels to the deterministic work proxies,
+    /// making traces byte-identical run to run.
+    pub fn with_timing(mut self, timing: TimingMode) -> Experiment {
+        self.timing = timing;
+        self
+    }
+
+    /// Selects which provider supplies the estimated (labeling) and
+    /// measured (hardware stand-in) cycle channels.
+    pub fn with_estimators(mut self, estimated: EstimatorKind, measured: EstimatorKind) -> Experiment {
+        self.estimated = estimated;
+        self.measured = measured;
+        self
+    }
+
+    /// The modelled machine.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The scheduler policy the pipeline runs.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// The trace-stage options this configuration denotes.
+    pub fn trace_options(&self) -> TraceOptions {
+        TraceOptions {
+            policy: self.policy,
+            threads: self.trace_threads,
+            timing: self.timing,
+            estimated: self.estimated,
+            measured: self.measured,
+        }
+    }
+
+    /// Stage 1 alone: the instrumented scheduling pass over one program,
+    /// sharded across its methods.
+    pub fn trace(&self, program: &Program) -> Vec<TraceRecord> {
+        collect_trace_with(program, &self.machine, &self.trace_options())
+    }
+
+    /// Runs the trace stage over a whole suite and packages the result
+    /// as an [`ExperimentRun`], from which labeled datasets, trained
+    /// filters and every paper artifact derive on demand.
+    pub fn run(&self, programs: Vec<Program>) -> ExperimentRun {
+        let names: Vec<String> = programs.iter().map(|p| p.name().to_string()).collect();
+        let traces: Vec<Vec<TraceRecord>> = programs.iter().map(|p| self.trace(p)).collect();
+        let all_traces: Vec<TraceRecord> = traces.iter().flat_map(|t| t.iter().cloned()).collect();
+        ExperimentRun {
+            ripper: self.ripper.clone(),
+            threads: self.train_threads,
+            names,
+            programs,
+            traces,
+            all_traces,
+            loocv_cache: RefCell::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// The output of the trace stage plus lazily computed label / train /
+/// evaluate stages, with leave-one-out filters cached per threshold.
+pub struct ExperimentRun {
+    ripper: RipperConfig,
+    threads: usize,
+    names: Vec<String>,
+    programs: Vec<Program>,
+    traces: Vec<Vec<TraceRecord>>,
+    all_traces: Vec<TraceRecord>,
+    loocv_cache: RefCell<BTreeMap<u32, LoocvFilters>>,
+}
+
+impl ExperimentRun {
+    /// Benchmark names, in program order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The traced programs, in the order given to [`Experiment::run`].
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// Per-benchmark traces, parallel to [`names`](ExperimentRun::names).
+    pub fn traces(&self) -> &[Vec<TraceRecord>] {
+        &self.traces
+    }
+
+    /// All benchmarks' traces, concatenated in program order.
+    pub fn all_traces(&self) -> &[TraceRecord] {
+        &self.all_traces
+    }
+
+    /// One benchmark's trace, by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not one of the run's benchmarks.
+    pub fn trace_for(&self, bench: &str) -> &[TraceRecord] {
+        let i = self.index_of(bench);
+        &self.traces[i]
+    }
+
+    fn index_of(&self, bench: &str) -> usize {
+        self.names.iter().position(|n| n == bench).unwrap_or_else(|| panic!("no benchmark {bench} in this run"))
+    }
+
+    /// The train config this run uses at threshold `t`.
+    pub fn train_config(&self, t: u32) -> TrainConfig {
+        TrainConfig { label: LabelConfig::new(t), ripper: self.ripper.clone() }
+    }
+
+    /// Stage 2: the labeled RIPPER dataset at threshold `t`, grouped by
+    /// benchmark for leave-one-benchmark-out CV.
+    pub fn dataset(&self, t: u32) -> (Dataset, BTreeMap<String, u32>) {
+        build_dataset(&self.all_traces, LabelConfig::new(t))
+    }
+
+    /// Stage 3 (evaluation protocol): leave-one-benchmark-out filters at
+    /// threshold `t`, cached across artifacts, trained with folds
+    /// sharded across the configured worker threads.
+    pub fn loocv_filters(&self, t: u32) -> LoocvFilters {
+        if let Some(hit) = self.loocv_cache.borrow().get(&t) {
+            return Rc::clone(hit);
+        }
+        let filters = Rc::new(train_loocv_sharded(&self.all_traces, &self.train_config(t), self.threads));
+        self.loocv_cache.borrow_mut().insert(t, Rc::clone(&filters));
+        filters
+    }
+
+    /// The filter trained for (i.e. *excluding*) the named benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not one of the run's benchmarks.
+    pub fn filter_for(&self, t: u32, bench: &str) -> LearnedFilter {
+        let filters = self.loocv_filters(t);
+        filters
+            .iter()
+            .find(|(n, _)| n == bench)
+            .map(|(_, f)| f.clone())
+            .unwrap_or_else(|| panic!("no filter for benchmark {bench}"))
+    }
+
+    /// Stage 3 ("at the factory", §3): one filter trained on the whole
+    /// corpus at threshold `t`.
+    pub fn factory_filter(&self, t: u32) -> LearnedFilter {
+        crate::train_filter(&self.all_traces, &self.train_config(t))
+    }
+
+    /// Stage 4, Table 3: confusion of `bench`'s own LOOCV filter against
+    /// its threshold-`t` labels.
+    pub fn classification(&self, t: u32, bench: &str) -> ConfusionMatrix {
+        classification_matrix(self.trace_for(bench), &self.filter_for(t, bench), LabelConfig::new(t))
+    }
+
+    /// Stage 4, Table 4: predicted (cheap-estimator) execution time under
+    /// `bench`'s LOOCV filter, percent of never-scheduling.
+    pub fn predicted_time(&self, t: u32, bench: &str) -> f64 {
+        predicted_time_ratio(self.trace_for(bench), &self.filter_for(t, bench))
+    }
+
+    /// Stage 4, Figures 1b/2b/3b: measured application-time ratio under
+    /// `bench`'s LOOCV filter (fraction of never-scheduling).
+    pub fn app_time(&self, t: u32, bench: &str) -> f64 {
+        app_time_ratio(self.trace_for(bench), &self.filter_for(t, bench))
+    }
+
+    /// Figures 1b/2b/3b reference rows: application-time ratio of an
+    /// arbitrary fixed strategy over one benchmark.
+    pub fn app_time_with(&self, bench: &str, filter: &dyn Filter) -> f64 {
+        app_time_ratio(self.trace_for(bench), filter)
+    }
+
+    /// Stage 4, Figures 1a/2a/3a: scheduling-time measurement of
+    /// `bench`'s LOOCV filter versus always-scheduling.
+    pub fn sched_time(&self, t: u32, bench: &str) -> EvalTimes {
+        sched_time_ratio(self.trace_for(bench), &self.filter_for(t, bench))
+    }
+
+    /// Stage 4, Table 6: run-time LS/NS classification counts of
+    /// `bench`'s LOOCV filter over all its blocks.
+    pub fn runtime_counts(&self, t: u32, bench: &str) -> ClassCounts {
+        runtime_classification(self.trace_for(bench), &self.filter_for(t, bench))
+    }
+
+    /// Count of trace records labeled `LS` at threshold `t` (Table 5).
+    pub fn ls_instances(&self, t: u32) -> usize {
+        let label = LabelConfig::new(t);
+        self.all_traces.iter().filter(|r| label.label(r) == Some(true)).count()
+    }
+
+    /// Count of trace records labeled `NS` (constant across thresholds).
+    pub fn ns_instances(&self) -> usize {
+        let label = LabelConfig::new(0);
+        self.all_traces.iter().filter(|r| label.label(r) == Some(false)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlwaysSchedule, NeverSchedule};
+    use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Reg};
+
+    /// A small deterministic three-benchmark suite with learnable
+    /// structure: "big" methods have load-use stalls worth scheduling,
+    /// "small" methods are single adds.
+    fn suite() -> Vec<Program> {
+        ["alpha", "beta", "gamma"]
+            .iter()
+            .enumerate()
+            .map(|(pi, name)| {
+                let mut p = Program::new(*name);
+                for mi in 0..6u32 {
+                    let mut m = Method::new(mi, format!("m{mi}"));
+                    for bi in 0..3u32 {
+                        let mut b = BasicBlock::new(bi);
+                        if (mi + bi) % 2 == 0 {
+                            // Longer than the 7410's OoO window, so
+                            // scheduling helps even on the measured channel.
+                            for k in 0..6u32 {
+                                b.push(
+                                    Inst::new(Opcode::Lwz)
+                                        .def(Reg::gpr(10 + k as u16))
+                                        .use_(Reg::gpr(3))
+                                        .mem(MemRef::slot(MemSpace::Heap, k + bi)),
+                                );
+                                b.push(
+                                    Inst::new(Opcode::Add)
+                                        .def(Reg::gpr(20 + k as u16))
+                                        .use_(Reg::gpr(10 + k as u16))
+                                        .use_(Reg::gpr(10 + k as u16)),
+                                );
+                            }
+                        } else {
+                            b.push(Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(5)).use_(Reg::gpr(6)));
+                        }
+                        b.set_exec_count((pi as u64 + 1) * (bi as u64 + 1));
+                        m.push_block(b);
+                    }
+                    p.push_method(m);
+                }
+                p
+            })
+            .collect()
+    }
+
+    fn run() -> ExperimentRun {
+        Experiment::new(MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic).run(suite())
+    }
+
+    #[test]
+    fn run_preserves_program_order_and_counts() {
+        let r = run();
+        assert_eq!(r.names(), ["alpha", "beta", "gamma"]);
+        assert_eq!(r.programs().len(), 3);
+        assert_eq!(r.traces().len(), 3);
+        assert_eq!(r.all_traces().len(), 3 * 6 * 3);
+        assert_eq!(r.trace_for("beta").len(), 18);
+    }
+
+    #[test]
+    fn loocv_filters_are_cached_and_named() {
+        let r = run();
+        let a = r.loocv_filters(0);
+        let b = r.loocv_filters(0);
+        assert!(Rc::ptr_eq(&a, &b));
+        let names: Vec<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn pipeline_stages_compose() {
+        let r = run();
+        let (data, groups) = r.dataset(0);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(data.len(), r.all_traces().len(), "t=0 labels every record");
+        let m = r.classification(0, "alpha");
+        assert!(m.total() > 0);
+        let counts = r.runtime_counts(0, "alpha");
+        assert_eq!(counts.total(), r.trace_for("alpha").len());
+        assert!(r.app_time(0, "alpha") <= 1.0 + 1e-9);
+        assert_eq!(r.app_time_with("alpha", &NeverSchedule), 1.0);
+        // The OoO hardware stand-in recovers these blocks' stalls, so the
+        // measured channel only guarantees "no worse"; the benefit shows
+        // on the estimated (cheap, in-order) channel.
+        assert!(r.app_time_with("alpha", &AlwaysSchedule) <= 1.0);
+        assert!(predicted_time_ratio(r.trace_for("alpha"), &AlwaysSchedule) < 100.0);
+    }
+
+    #[test]
+    fn ls_instances_shrink_with_threshold_ns_constant() {
+        let r = run();
+        assert!(r.ls_instances(0) >= r.ls_instances(25));
+        assert!(r.ls_instances(25) >= r.ls_instances(50));
+        assert_eq!(
+            r.ns_instances() + r.ls_instances(0),
+            r.all_traces().len(),
+            "t=0 partitions all records into LS and NS"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs_are_identical_across_thread_counts() {
+        let serial = Experiment::new(MachineConfig::ppc7410())
+            .with_threads(1)
+            .with_timing(TimingMode::Deterministic)
+            .run(suite());
+        let sharded = Experiment::new(MachineConfig::ppc7410())
+            .with_threads(7)
+            .with_timing(TimingMode::Deterministic)
+            .run(suite());
+        assert_eq!(serial.all_traces(), sharded.all_traces());
+        let a = serial.loocv_filters(10);
+        let b = sharded.loocv_filters(10);
+        assert_eq!(*a, *b, "fold-sharded training must match serial training");
+    }
+
+    #[test]
+    fn policy_lives_in_the_pipeline_config() {
+        let cps = Experiment::new(MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic);
+        let rand = cps.clone().with_policy(SchedulePolicy::Random(7));
+        assert_eq!(rand.policy(), SchedulePolicy::Random(7));
+        let p = &suite()[0];
+        let a = cps.trace(p);
+        let b = rand.trace(p);
+        let est_a: u64 = a.iter().map(|r| r.est_sched).sum();
+        let est_b: u64 = b.iter().map(|r| r.est_sched).sum();
+        assert!(est_a <= est_b, "CPS must not lose to the random policy");
+    }
+
+    #[test]
+    #[should_panic(expected = "no benchmark nope")]
+    fn unknown_benchmark_panics() {
+        run().trace_for("nope");
+    }
+}

@@ -7,7 +7,10 @@ use wts_ripper::RuleSet;
 /// A *filter* decides, from a block's static features alone, whether the
 /// scheduler should run on that block (the paper's L/N protocol chooses
 /// between List scheduling and No scheduling).
-pub trait Filter {
+///
+/// Filters are immutable once built, and `Send + Sync` so one filter can
+/// serve every shard of a parallel compile or trace collection.
+pub trait Filter: Send + Sync {
     /// True when the block should be list-scheduled.
     fn should_schedule(&self, features: &FeatureVector) -> bool;
 

@@ -63,7 +63,14 @@ pub fn write_trace(records: &[TraceRecord]) -> String {
         let _ = writeln!(
             out,
             "\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            r.est_unsched, r.est_sched, r.hw_unsched, r.hw_sched, r.sched_ns, r.feature_ns, r.sched_work, r.feature_work
+            r.est_unsched,
+            r.est_sched,
+            r.hw_unsched,
+            r.hw_sched,
+            r.sched_ns,
+            r.feature_ns,
+            r.sched_work,
+            r.feature_work
         );
     }
     out
@@ -90,7 +97,10 @@ pub fn read_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
         }
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() != expected_cols {
-            return Err(ParseTraceError::new(lineno, format!("expected {expected_cols} columns, found {}", cols.len())));
+            return Err(ParseTraceError::new(
+                lineno,
+                format!("expected {expected_cols} columns, found {}", cols.len()),
+            ));
         }
         if cols[0] != "rec" {
             return Err(ParseTraceError::new(lineno, "record lines must start with 'rec'"));
@@ -101,9 +111,7 @@ pub fn read_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
         let mut values = [0.0f64; FeatureKind::COUNT];
         for (k, slot) in values.iter_mut().enumerate() {
             let s = cols[5 + k];
-            *slot = s
-                .parse::<f64>()
-                .map_err(|_| ParseTraceError::new(lineno, format!("bad feature value '{s}'")))?;
+            *slot = s.parse::<f64>().map_err(|_| ParseTraceError::new(lineno, format!("bad feature value '{s}'")))?;
         }
         let base = 5 + FeatureKind::COUNT;
         out.push(TraceRecord {

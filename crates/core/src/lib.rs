@@ -22,6 +22,12 @@
 //!    run-time classification counts (Table 6), scheduling-time ratios
 //!    (Figures 1a/2a/3a) and application-time ratios (Figures 1b/2b/3b).
 //!
+//! The free functions are the stages; [`Experiment`] is the pipeline.
+//! It owns the whole sequence — policy and estimator selection, sharded
+//! trace collection, threshold labeling, fold-parallel LOOCV training
+//! and every evaluation artifact — behind one configurable type, and is
+//! what the table/figure regenerators and benches are built on.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,18 +44,24 @@
 //! ```
 
 mod eval;
+mod experiment;
 mod filter;
 mod io;
 mod label;
+pub mod parallel;
 mod trace;
 mod train;
 
 pub use eval::{
-    app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio,
-    ClassCounts, EvalTimes,
+    app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio, ClassCounts,
+    EvalTimes,
 };
+pub use experiment::{Experiment, ExperimentRun, LoocvFilters};
 pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
 pub use io::{read_trace, write_trace, ParseTraceError};
 pub use label::{build_dataset, LabelConfig};
-pub use trace::{collect_trace, collect_trace_with_policy, TraceRecord};
-pub use train::{train_filter, train_loocv, TrainConfig};
+pub use trace::{
+    collect_trace, collect_trace_with, collect_trace_with_policy, collect_trace_with_providers, TimingMode,
+    TraceOptions, TraceRecord,
+};
+pub use train::{train_filter, train_loocv, train_loocv_sharded, TrainConfig};

@@ -1,9 +1,16 @@
 //! Trace collection: the instrumented scheduling pass.
+//!
+//! The collector runs the paper's §2.2 instrumentation over every block
+//! of a program: extract the Table 1 features, list-schedule, and record
+//! estimated ("simplified simulator") and measured ("hardware") cycles
+//! for both orders. Which simulator plays which role is configurable via
+//! [`CostProvider`]s; the collection can be sharded across methods with
+//! scoped threads and stays bit-for-bit identical to the serial path.
 
 use std::time::Instant;
 use wts_features::FeatureVector;
-use wts_ir::{BlockId, MethodId, Program};
-use wts_machine::{MachineConfig, PipelineSim};
+use wts_ir::{BlockId, Method, MethodId, Program};
+use wts_machine::{CostProvider, EstimatorKind, MachineConfig};
 use wts_sched::{ListScheduler, SchedulePolicy};
 
 /// One line of the paper's trace file, plus the extra ground-truth and
@@ -20,17 +27,19 @@ pub struct TraceRecord {
     pub exec_count: u64,
     /// The Table 1 features.
     pub features: FeatureVector,
-    /// Cheap-estimator cycles of the original order (labeling input).
+    /// Estimated-provider cycles of the original order (labeling input).
     pub est_unsched: u64,
-    /// Cheap-estimator cycles after list scheduling (labeling input).
+    /// Estimated-provider cycles after list scheduling (labeling input).
     pub est_sched: u64,
-    /// Detailed-simulator cycles of the original order ("hardware").
+    /// Measured-provider cycles of the original order ("hardware").
     pub hw_unsched: u64,
-    /// Detailed-simulator cycles after list scheduling ("hardware").
+    /// Measured-provider cycles after list scheduling ("hardware").
     pub hw_sched: u64,
-    /// Wall-clock nanoseconds the scheduler spent on this block.
+    /// Wall-clock nanoseconds the scheduler spent on this block (or the
+    /// deterministic work proxy under [`TimingMode::Deterministic`]).
     pub sched_ns: u64,
-    /// Wall-clock nanoseconds feature extraction took.
+    /// Wall-clock nanoseconds feature extraction took (or the
+    /// deterministic work proxy under [`TimingMode::Deterministic`]).
     pub feature_ns: u64,
     /// Deterministic work proxy for scheduling (instructions + DAG edges),
     /// used where tests need run-to-run stability.
@@ -58,10 +67,61 @@ impl TraceRecord {
     }
 }
 
+/// How the per-block `*_ns` channels are filled in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Measure wall-clock time with [`Instant`]. Real, but different on
+    /// every run.
+    #[default]
+    WallClock,
+    /// Copy the deterministic work proxies into the `*_ns` channels, so
+    /// the whole record — and therefore the serialized trace file — is
+    /// byte-identical run to run and between the serial and sharded
+    /// collectors.
+    Deterministic,
+}
+
+/// Full configuration of one trace collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Scheduler policy driving the instrumented pass.
+    pub policy: SchedulePolicy,
+    /// Worker threads for method-sharded collection. `1` is the serial
+    /// path; `0` asks for [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Wall-clock or deterministic `*_ns` channels.
+    pub timing: TimingMode,
+    /// Provider of the "estimated" cycle channels (labeling input).
+    pub estimated: EstimatorKind,
+    /// Provider of the "measured" cycle channels (hardware stand-in).
+    pub measured: EstimatorKind,
+}
+
+impl Default for TraceOptions {
+    fn default() -> TraceOptions {
+        TraceOptions {
+            policy: SchedulePolicy::CriticalPath,
+            threads: 1,
+            timing: TimingMode::WallClock,
+            estimated: EstimatorKind::Cheap,
+            measured: EstimatorKind::Detailed,
+        }
+    }
+}
+
+impl TraceOptions {
+    /// Resolved worker count (`threads`, or the machine's parallelism
+    /// when `threads == 0`).
+    pub fn resolved_threads(&self) -> usize {
+        crate::parallel::resolve_threads(self.threads)
+    }
+}
+
 /// Runs the instrumented scheduling pass over every block of `program`
-/// with the default CPS policy.
+/// with the default CPS policy (serial; see [`collect_trace_with`] for
+/// sharding and estimator control).
 pub fn collect_trace(program: &Program, machine: &MachineConfig) -> Vec<TraceRecord> {
-    collect_trace_with_policy(program, machine, SchedulePolicy::CriticalPath)
+    collect_trace_with(program, machine, &TraceOptions::default())
 }
 
 /// Runs the instrumented scheduling pass with an explicit policy (used by
@@ -71,10 +131,89 @@ pub fn collect_trace_with_policy(
     machine: &MachineConfig,
     policy: SchedulePolicy,
 ) -> Vec<TraceRecord> {
-    let scheduler = ListScheduler::with_policy(machine, policy);
-    let hw = PipelineSim::new(machine);
+    collect_trace_with(program, machine, &TraceOptions { policy, ..TraceOptions::default() })
+}
+
+/// Runs the instrumented pass under full [`TraceOptions`] control,
+/// building the estimated/measured providers from their configured kinds.
+pub fn collect_trace_with(program: &Program, machine: &MachineConfig, options: &TraceOptions) -> Vec<TraceRecord> {
+    // The scheduler's own cost model *is* the cheap estimator (§2.2,
+    // footnote 3), so with the default kind the est_* channels can reuse
+    // the cycle counts scheduling already computed instead of running
+    // two more cost-model passes per block.
+    let measured = options.measured.provider(machine);
+    match options.estimated {
+        EstimatorKind::Cheap => collect_with(program, machine, options, EstSource::Scheduler, measured.as_ref()),
+        kind => {
+            let estimated = kind.provider(machine);
+            collect_with(program, machine, options, EstSource::Provider(estimated.as_ref()), measured.as_ref())
+        }
+    }
+}
+
+/// Which source fills the `est_*` channels.
+#[derive(Clone, Copy)]
+enum EstSource<'a> {
+    /// Reuse the scheduler's own cost-model output (valid only when the
+    /// estimated provider is the cheap model the scheduler runs on).
+    Scheduler,
+    /// Query an explicit provider.
+    Provider(&'a dyn CostProvider),
+}
+
+/// The fully general collector: explicit [`CostProvider`]s for the
+/// estimated and measured channels (`options.estimated` / `.measured`
+/// are ignored on this path).
+///
+/// With `options.threads != 1` the program's methods are sharded across
+/// scoped threads. Each method is traced independently and the shards are
+/// reassembled in method order, so the output is *identical* to the
+/// serial path — bit-for-bit under [`TimingMode::Deterministic`], and up
+/// to wall-clock jitter in the `*_ns` channels otherwise.
+pub fn collect_trace_with_providers(
+    program: &Program,
+    machine: &MachineConfig,
+    options: &TraceOptions,
+    estimated: &dyn CostProvider,
+    measured: &dyn CostProvider,
+) -> Vec<TraceRecord> {
+    collect_with(program, machine, options, EstSource::Provider(estimated), measured)
+}
+
+fn collect_with(
+    program: &Program,
+    machine: &MachineConfig,
+    options: &TraceOptions,
+    estimated: EstSource<'_>,
+    measured: &dyn CostProvider,
+) -> Vec<TraceRecord> {
+    let name = program.name();
+    let shards = crate::parallel::shard_map(program.methods(), options.threads, |slice| {
+        let scheduler = ListScheduler::with_policy(machine, options.policy);
+        let mut out = Vec::new();
+        for method in slice {
+            trace_method(name, method, &scheduler, estimated, measured, options.timing, &mut out);
+        }
+        out
+    });
     let mut out = Vec::with_capacity(program.block_count());
-    for (method, block) in program.iter_blocks() {
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Traces one method's blocks into `out` (the per-shard worker).
+fn trace_method(
+    benchmark: &str,
+    method: &Method,
+    scheduler: &ListScheduler<'_>,
+    estimated: EstSource<'_>,
+    measured: &dyn CostProvider,
+    timing: TimingMode,
+    out: &mut Vec<TraceRecord>,
+) {
+    for block in method.blocks() {
         let t0 = Instant::now();
         let features = FeatureVector::extract(block);
         let feature_ns = t0.elapsed().as_nanos() as u64;
@@ -84,37 +223,48 @@ pub fn collect_trace_with_policy(
         let sched_ns = t1.elapsed().as_nanos() as u64;
 
         let scheduled = outcome.apply(block);
-        let hw_unsched = hw.block_cycles(block);
-        let hw_sched = hw.block_cycles(&scheduled);
+        let (est_unsched, est_sched) = match estimated {
+            EstSource::Scheduler => (outcome.cycles_before, outcome.cycles_after),
+            EstSource::Provider(p) => (p.block_cycles(block), p.block_cycles(&scheduled)),
+        };
+        let hw_unsched = measured.block_cycles(block);
+        let hw_sched = measured.block_cycles(&scheduled);
         let graph = wts_deps::DepGraph::build(block.insts());
 
+        // Per-block setup (DAG allocation) + linear nodes/edges work +
+        // the selection loop's quadratic earliest-start queries.
+        // Matches the measured ~26:1 sched:feature cost on the
+        // generated corpus.
+        let sched_work = (16 + 2 * (block.len() + graph.edge_count()) + block.len() * block.len()) as u64;
+        let feature_work = block.len() as u64;
+        let (sched_ns, feature_ns) = match timing {
+            TimingMode::WallClock => (sched_ns, feature_ns),
+            TimingMode::Deterministic => (sched_work, feature_work),
+        };
+
         out.push(TraceRecord {
-            benchmark: program.name().to_string(),
+            benchmark: benchmark.to_string(),
             method: method.id(),
             block: block.id(),
             exec_count: block.exec_count(),
             features,
-            est_unsched: outcome.cycles_before,
-            est_sched: outcome.cycles_after,
+            est_unsched,
+            est_sched,
             hw_unsched,
             hw_sched,
             sched_ns,
             feature_ns,
-            // Per-block setup (DAG allocation) + linear nodes/edges work +
-            // the selection loop's quadratic earliest-start queries.
-            // Matches the measured ~26:1 sched:feature cost on the
-            // generated corpus.
-            sched_work: (16 + 2 * (block.len() + graph.edge_count()) + block.len() * block.len()) as u64,
-            feature_work: block.len() as u64,
+            sched_work,
+            feature_work,
         });
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Reg};
+    use wts_machine::{CostModel, PipelineSim};
 
     fn program() -> Program {
         let mut p = Program::new("trace-test");
@@ -131,6 +281,24 @@ mod tests {
         b1.push(Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(1));
         m.push_block(b1);
         p.push_method(m);
+        p
+    }
+
+    /// A multi-method program, for sharding tests.
+    fn wide_program(methods: u32) -> Program {
+        let mut p = Program::new("wide");
+        for mi in 0..methods {
+            let mut m = Method::new(mi, format!("m{mi}"));
+            for bi in 0..3u32 {
+                let mut b = BasicBlock::new(bi);
+                b.push(Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(9)).mem(MemRef::slot(MemSpace::Heap, bi)));
+                b.push(Inst::new(Opcode::Add).def(Reg::gpr(2)).use_(Reg::gpr(1)).use_(Reg::gpr(1)));
+                b.push(Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(8)).use_(Reg::gpr(8)));
+                b.set_exec_count((mi + bi) as u64 + 1);
+                m.push_block(b);
+            }
+            p.push_method(m);
+        }
         p
     }
 
@@ -178,5 +346,77 @@ mod tests {
         let t = collect_trace(&p, &machine);
         let direct = FeatureVector::extract(&p.methods()[0].blocks()[0]);
         assert_eq!(t[0].features, direct);
+    }
+
+    #[test]
+    fn estimated_channels_match_scheduler_cost_model() {
+        // With the default Cheap estimator, est_* must equal what the
+        // scheduler itself reported before the provider refactor.
+        let machine = MachineConfig::ppc7410();
+        let p = program();
+        let t = collect_trace(&p, &machine);
+        let scheduler = ListScheduler::new(&machine);
+        for (r, (_, block)) in t.iter().zip(p.iter_blocks()) {
+            let outcome = scheduler.schedule_block(block);
+            assert_eq!(r.est_unsched, outcome.cycles_before);
+            assert_eq!(r.est_sched, outcome.cycles_after);
+        }
+    }
+
+    #[test]
+    fn providers_are_swappable() {
+        // Labeling against the detailed model: est_* now come from the
+        // pipeline simulator instead of the cheap model.
+        let machine = MachineConfig::ppc7410();
+        let p = program();
+        let opts =
+            TraceOptions { estimated: EstimatorKind::Detailed, measured: EstimatorKind::Cheap, ..Default::default() };
+        let t = collect_trace_with(&p, &machine, &opts);
+        let sim = PipelineSim::new(&machine);
+        let cm = CostModel::new(&machine);
+        for (r, (_, block)) in t.iter().zip(p.iter_blocks()) {
+            assert_eq!(r.est_unsched, sim.block_cycles(block));
+            assert_eq!(r.hw_unsched, cm.block_cycles(block));
+        }
+    }
+
+    #[test]
+    fn sharded_collection_matches_serial_exactly() {
+        let machine = MachineConfig::ppc7410();
+        let p = wide_program(13);
+        let serial =
+            collect_trace_with(&p, &machine, &TraceOptions { timing: TimingMode::Deterministic, ..Default::default() });
+        for threads in [2, 3, 8, 32] {
+            let sharded = collect_trace_with(
+                &p,
+                &machine,
+                &TraceOptions { threads, timing: TimingMode::Deterministic, ..Default::default() },
+            );
+            assert_eq!(serial, sharded, "sharded ({threads} threads) trace must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn deterministic_timing_copies_work_proxies() {
+        let machine = MachineConfig::ppc7410();
+        let t = collect_trace_with(
+            &program(),
+            &machine,
+            &TraceOptions { timing: TimingMode::Deterministic, ..Default::default() },
+        );
+        for r in &t {
+            assert_eq!(r.sched_ns, r.sched_work);
+            assert_eq!(r.feature_ns, r.feature_work);
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let opts = TraceOptions { threads: 0, ..Default::default() };
+        assert!(opts.resolved_threads() >= 1);
+        // And the collection still works.
+        let machine = MachineConfig::ppc7410();
+        let t = collect_trace_with(&wide_program(4), &machine, &opts);
+        assert_eq!(t.len(), 12);
     }
 }

@@ -34,19 +34,33 @@ pub fn train_filter(traces: &[TraceRecord], config: &TrainConfig) -> LearnedFilt
 ///
 /// Returns `(benchmark, filter)` pairs in benchmark-name order.
 pub fn train_loocv(traces: &[TraceRecord], config: &TrainConfig) -> Vec<(String, LearnedFilter)> {
+    train_loocv_sharded(traces, config, 1)
+}
+
+/// [`train_loocv`] with the independent folds sharded across `threads`
+/// scoped worker threads (`0` = one per available core, `1` = serial).
+///
+/// RIPPER is deterministic and folds share nothing, so the result is
+/// identical to the serial path in every mode.
+pub fn train_loocv_sharded(
+    traces: &[TraceRecord],
+    config: &TrainConfig,
+    threads: usize,
+) -> Vec<(String, LearnedFilter)> {
     let (data, groups) = build_dataset(traces, config.label);
     let mut by_id: Vec<(u32, String)> = groups.iter().map(|(n, &g)| (g, n.clone())).collect();
     by_id.sort_unstable();
-    let mut out = Vec::new();
-    for fold in leave_one_group_out(&data) {
-        let name = by_id
-            .iter()
-            .find(|(g, _)| *g == fold.held_out)
-            .map(|(_, n)| n.clone())
-            .expect("fold group must exist");
+    let folds = leave_one_group_out(&data);
+
+    let fit_fold = |fold: &wts_ripper::GroupFold| {
+        let name =
+            by_id.iter().find(|(g, _)| *g == fold.held_out).map(|(_, n)| n.clone()).expect("fold group must exist");
         let rules = config.ripper.fit(&fold.train);
-        out.push((name, LearnedFilter::new(rules, config.label.threshold_percent)));
-    }
+        (name, LearnedFilter::new(rules, config.label.threshold_percent))
+    };
+
+    let shards = crate::parallel::shard_map(&folds, threads, |slice| slice.iter().map(&fit_fold).collect::<Vec<_>>());
+    let mut out: Vec<(String, LearnedFilter)> = shards.into_iter().flatten().collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wts_core::{
-    app_time_ratio, build_dataset, predicted_time_ratio, runtime_classification, sched_time_ratio,
-    AlwaysSchedule, Filter, LabelConfig, NeverSchedule, SizeThresholdFilter, TraceRecord,
+    app_time_ratio, build_dataset, predicted_time_ratio, runtime_classification, sched_time_ratio, AlwaysSchedule,
+    Filter, LabelConfig, NeverSchedule, SizeThresholdFilter, TraceRecord,
 };
 use wts_features::{FeatureKind, FeatureVector};
 use wts_ir::{BlockId, MethodId};

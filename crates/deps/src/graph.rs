@@ -112,9 +112,7 @@ impl DepGraph {
     /// boolean membership mask) and that are not themselves scheduled.
     pub fn ready(&self, scheduled: &[bool]) -> Vec<usize> {
         assert_eq!(scheduled.len(), self.n, "mask length mismatch");
-        (0..self.n)
-            .filter(|&i| !scheduled[i] && self.preds[i].iter().all(|&(p, _)| scheduled[p as usize]))
-            .collect()
+        (0..self.n).filter(|&i| !scheduled[i] && self.preds[i].iter().all(|&(p, _)| scheduled[p as usize])).collect()
     }
 }
 
@@ -394,11 +392,7 @@ mod tests {
 
     #[test]
     fn speculative_keeps_branches_ordered() {
-        let insts = vec![
-            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
-            add(1, 9, 9),
-            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
-        ];
+        let insts = vec![Inst::new(Opcode::Bc).use_(Reg::cr(0)), add(1, 9, 9), Inst::new(Opcode::Bc).use_(Reg::cr(0))];
         let spec = DepGraph::build_speculative(&insts);
         assert!(spec.has_edge(0, 2), "side exits stay in order");
         assert!(!spec.has_edge(0, 1));

@@ -43,8 +43,24 @@ fn main() -> ExitCode {
         artifacts.push("all".into());
     }
     let all = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2", "fig3", "fig4",
-        "calibrate", "learners", "machines", "policies", "superblocks", "adaptive", "selftrain",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "calibrate",
+        "learners",
+        "machines",
+        "policies",
+        "superblocks",
+        "adaptive",
+        "selftrain",
     ];
     if artifacts.iter().any(|a| a == "all") {
         artifacts = all.iter().map(|s| s.to_string()).collect();

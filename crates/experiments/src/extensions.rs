@@ -3,12 +3,14 @@
 
 use crate::table::{f2, f3, Table};
 use crate::{Experiments, SuiteKind};
-use wts_core::{build_dataset, collect_trace_with_policy, AlwaysSchedule, Filter, LabelConfig};
 use wts_core::{app_time_ratio, classification_matrix, predicted_time_ratio, train_filter, TrainConfig};
+use wts_core::{AlwaysSchedule, Experiment, Filter, LabelConfig};
 use wts_jit::{app_cycles, superblock_gain, CompileSession};
 use wts_machine::MachineConfig;
 use wts_ripper::leave_one_group_out;
-use wts_ripper::{geometric_mean, Classifier, ConfusionMatrix, DecisionStump, MajorityLearner, OneR, RipperConfig, ShallowTree};
+use wts_ripper::{
+    geometric_mean, Classifier, ConfusionMatrix, DecisionStump, MajorityLearner, OneR, RipperConfig, ShallowTree,
+};
 use wts_sched::SchedulePolicy;
 
 impl Experiments {
@@ -30,14 +32,14 @@ impl Experiments {
             ],
         );
         for kind in [SuiteKind::Jvm98, SuiteKind::Fp] {
-            let data = self.suite(kind);
-            let total = data.all_traces.len();
-            let ls0 = data.all_traces.iter().filter(|r| LabelConfig::new(0).label(r) == Some(true)).count();
-            let ls20 = data.all_traces.iter().filter(|r| LabelConfig::new(20).label(r) == Some(true)).count();
-            let pred: Vec<f64> = data.traces.iter().map(|tr| predicted_time_ratio(tr, &AlwaysSchedule)).collect();
-            let app: Vec<f64> = data.traces.iter().map(|tr| app_time_ratio(tr, &AlwaysSchedule)).collect();
-            let feat_ns: u64 = data.all_traces.iter().map(|r| r.feature_ns).sum::<u64>() / total as u64;
-            let sched_ns: u64 = data.all_traces.iter().map(|r| r.sched_ns).sum::<u64>() / total as u64;
+            let run = self.run(kind);
+            let total = run.all_traces().len();
+            let ls0 = run.ls_instances(0);
+            let ls20 = run.ls_instances(20);
+            let pred: Vec<f64> = run.traces().iter().map(|tr| predicted_time_ratio(tr, &AlwaysSchedule)).collect();
+            let app: Vec<f64> = run.traces().iter().map(|tr| app_time_ratio(tr, &AlwaysSchedule)).collect();
+            let feat_ns: u64 = run.all_traces().iter().map(|r| r.feature_ns).sum::<u64>() / total as u64;
+            let sched_ns: u64 = run.all_traces().iter().map(|r| r.sched_ns).sum::<u64>() / total as u64;
             t.push_row(vec![
                 match kind {
                     SuiteKind::Jvm98 => "SPECjvm98".into(),
@@ -58,8 +60,7 @@ impl Experiments {
     /// Learner comparison at a given threshold: RIPPER versus the
     /// baselines, leave-one-benchmark-out, geometric-mean error rate.
     pub fn learners(&self, t: u32) -> Table {
-        let data = self.suite(SuiteKind::Jvm98);
-        let (dataset, _) = build_dataset(&data.all_traces, LabelConfig::new(t));
+        let (dataset, _) = self.run(SuiteKind::Jvm98).dataset(t);
         let folds = leave_one_group_out(&dataset);
 
         let mut table = Table::new(
@@ -104,14 +105,19 @@ impl Experiments {
             vec!["Machine".into(), "Pred LS %".into(), "App LS".into()],
         );
         for machine in [MachineConfig::ppc7410(), MachineConfig::simple_scalar(), MachineConfig::deep_fp()] {
+            let pipeline = Experiment::new(machine);
             let mut pred = Vec::new();
             let mut app = Vec::new();
-            for program in &self.suite(SuiteKind::Fp).programs {
-                let traces = wts_core::collect_trace(program, &machine);
+            for program in self.run(SuiteKind::Fp).programs() {
+                let traces = pipeline.trace(program);
                 pred.push(predicted_time_ratio(&traces, &AlwaysSchedule));
                 app.push(app_time_ratio(&traces, &AlwaysSchedule));
             }
-            t.push_row(vec![machine.name().to_string(), f2(geometric_mean(&pred)), f3(geometric_mean(&app))]);
+            t.push_row(vec![
+                pipeline.machine().name().to_string(),
+                f2(geometric_mean(&pred)),
+                f3(geometric_mean(&app)),
+            ]);
         }
         t
     }
@@ -129,10 +135,11 @@ impl Experiments {
             SchedulePolicy::CriticalPathOnly,
             SchedulePolicy::Random(7),
         ] {
+            let pipeline = Experiment::new(self.machine().clone()).with_policy(policy);
             let mut pred = Vec::new();
             let mut app = Vec::new();
-            for program in &self.suite(SuiteKind::Fp).programs {
-                let traces = collect_trace_with_policy(program, self.machine(), policy);
+            for program in self.run(SuiteKind::Fp).programs() {
+                let traces = pipeline.trace(program);
                 pred.push(predicted_time_ratio(&traces, &AlwaysSchedule));
                 app.push(app_time_ratio(&traces, &AlwaysSchedule));
             }
@@ -152,8 +159,8 @@ impl Experiments {
             "Extension: superblock vs local scheduling (FP suite)",
             vec!["Benchmark".into(), "Local/NS %".into(), "Super/NS %".into(), "Extra %".into(), "Traces".into()],
         );
-        let data = self.suite(SuiteKind::Fp);
-        for (name, program) in data.names.iter().zip(&data.programs) {
+        let run = self.run(SuiteKind::Fp);
+        for (name, program) in run.names().iter().zip(run.programs()) {
             let g = superblock_gain(program, self.machine(), 0.7);
             let local = 100.0 * g.local as f64 / g.unscheduled.max(1) as f64;
             let sup = 100.0 * g.superblock as f64 / g.unscheduled.max(1) as f64;
@@ -176,8 +183,8 @@ impl Experiments {
             format!("Extension: adaptive JIT (hot methods only, cutoff {hot_cutoff})"),
             vec!["Strategy".into(), "Scheduled".into(), "Pass µs".into(), "App/NS".into()],
         );
-        let data = self.suite(SuiteKind::Jvm98);
-        let filter = train_filter(&data.all_traces, &TrainConfig::with_threshold(20));
+        let run = self.run(SuiteKind::Jvm98);
+        let filter = run.factory_filter(20);
         let session = CompileSession::new(self.machine());
 
         let mut rows: Vec<(String, usize, u64, f64)> = Vec::new();
@@ -190,7 +197,7 @@ impl Experiments {
             let mut pass_ns = 0;
             let mut base = 0u64;
             let mut cycles = 0u64;
-            for program in &data.programs {
+            for program in run.programs() {
                 let (compiled, stats) = if adaptive {
                     session.compile_adaptive(program, f, hot_cutoff)
                 } else {
@@ -214,14 +221,14 @@ impl Experiments {
     /// kind of upper bound on how much improvement you could get by
     /// retraining". Compares self-trained against leave-one-out filters.
     pub fn selftrain(&self, t: u32) -> Table {
-        let data = self.suite(SuiteKind::Jvm98);
+        let run = self.run(SuiteKind::Jvm98);
         let mut table = Table::new(
             format!("Extension: self-training upper bound at t={t} (error %)"),
             vec!["Benchmark".into(), "LOOCV".into(), "Self-trained".into()],
         );
-        for (i, name) in data.names.iter().enumerate() {
-            let loocv = self.filter_for(SuiteKind::Jvm98, t, name);
-            let own = &data.traces[i];
+        for name in run.names() {
+            let loocv = run.filter_for(t, name);
+            let own = run.trace_for(name);
             let selftrained = train_filter(own, &TrainConfig::with_threshold(t));
             let e_loocv = classification_matrix(own, &loocv, LabelConfig::new(t)).error_percent();
             let e_self = classification_matrix(own, &selftrained, LabelConfig::new(t)).error_percent();

@@ -1,8 +1,9 @@
-//! Figures 1–4: efficiency/effectiveness series and the sample filter.
+//! Figures 1–4: efficiency/effectiveness series and the sample filter,
+//! as views over the suite [`ExperimentRun`](wts_core::ExperimentRun)s.
 
 use crate::table::{f3, Table};
 use crate::{Experiments, SuiteKind, THRESHOLDS};
-use wts_core::{app_time_ratio, sched_time_ratio, AlwaysSchedule, TrainConfig};
+use wts_core::AlwaysSchedule;
 use wts_ripper::geometric_mean;
 
 /// The (a)/(b) pair of one figure: scheduling time and application time.
@@ -23,9 +24,9 @@ impl std::fmt::Display for FigurePair {
 
 impl Experiments {
     fn figure_pair(&self, kind: SuiteKind, title_a: &str, title_b: &str) -> FigurePair {
-        let data = self.suite(kind);
+        let run = self.run(kind);
         let mut headers = vec!["Threshold".to_string()];
-        headers.extend(data.names.iter().cloned());
+        headers.extend(run.names().iter().cloned());
         headers.push("Geo. mean".into());
 
         let mut sched_headers = headers.clone();
@@ -37,8 +38,8 @@ impl Experiments {
         // for scheduling time; measured ratio for app time).
         let mut ls_row = vec!["LS".to_string()];
         let mut ls_ratios = Vec::new();
-        for traces in &data.traces {
-            let r = app_time_ratio(traces, &AlwaysSchedule);
+        for name in run.names() {
+            let r = run.app_time_with(name, &AlwaysSchedule);
             ls_ratios.push(r);
             ls_row.push(f3(r));
         }
@@ -51,14 +52,13 @@ impl Experiments {
             let mut sratios = Vec::new();
             let mut mratios = Vec::new();
             let mut aratios = Vec::new();
-            for (i, name) in data.names.iter().enumerate() {
-                let filter = self.filter_for(kind, th, name);
-                let times = sched_time_ratio(&data.traces[i], &filter);
+            for name in run.names() {
+                let times = run.sched_time(th, name);
                 let s = times.work_ratio();
                 sratios.push(s);
                 mratios.push(times.measured_ratio());
                 srow.push(f3(s));
-                let a = app_time_ratio(&data.traces[i], &filter);
+                let a = run.app_time(th, name);
                 aratios.push(a);
                 arow.push(f3(a));
             }
@@ -104,20 +104,16 @@ impl Experiments {
     /// SPECjvm98 benchmarks (the first LOOCV fold) at the paper's best
     /// threshold t=20, printed in Ripper's format.
     pub fn fig4(&self) -> String {
-        let data = self.suite(SuiteKind::Jvm98);
-        let held_out = &data.names[0];
-        let filter = self.filter_for(SuiteKind::Jvm98, 20, held_out);
-        format!(
-            "Figure 4: Induced heuristic (trained on SPECjvm98 minus {held_out}, t=20)\n{}",
-            filter.rules()
-        )
+        let run = self.run(SuiteKind::Jvm98);
+        let held_out = &run.names()[0];
+        let filter = run.filter_for(20, held_out);
+        format!("Figure 4: Induced heuristic (trained on SPECjvm98 minus {held_out}, t=20)\n{}", filter.rules())
     }
 
     /// Trains one filter on the *whole* jvm98 corpus at threshold `t` and
     /// renders it (the "at the factory" deliverable).
     pub fn factory_filter(&self, t: u32) -> String {
-        let data = self.suite(SuiteKind::Jvm98);
-        let filter = wts_core::train_filter(&data.all_traces, &TrainConfig::with_threshold(t));
+        let filter = self.run(SuiteKind::Jvm98).factory_filter(t);
         format!("Factory filter (all SPECjvm98, t={t})\n{}", filter.rules())
     }
 }

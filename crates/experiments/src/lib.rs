@@ -1,9 +1,10 @@
 //! Regeneration of every table and figure in Cavazos & Moss (PLDI 2004).
 //!
-//! [`Experiments`] generates the two benchmark suites, runs the
-//! instrumented scheduling pass once per benchmark, caches leave-one-out
-//! filters per threshold, and exposes one method per table/figure. The
-//! `repro` binary drives it:
+//! [`Experiments`] generates the two benchmark suites and hands each to
+//! a [`wts_core::Experiment`] pipeline, which traces (method-sharded
+//! across threads), labels, trains (fold-sharded LOOCV, cached per
+//! threshold) and evaluates. Every table/figure method is a thin view
+//! over the resulting [`ExperimentRun`]s. The `repro` binary drives it:
 //!
 //! ```text
 //! repro --scale 1.0 all          # everything, paper-sized corpus
@@ -23,11 +24,7 @@ mod tables;
 pub use statics::{table1, table2, table7};
 pub use table::Table;
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::rc::Rc;
-use wts_core::{collect_trace, LearnedFilter, TraceRecord, TrainConfig, train_loocv};
-use wts_ir::Program;
+use wts_core::{Experiment, ExperimentRun};
 use wts_jit::Suite;
 use wts_machine::MachineConfig;
 
@@ -43,50 +40,26 @@ pub enum SuiteKind {
     Fp,
 }
 
-pub(crate) struct SuiteData {
-    pub names: Vec<String>,
-    pub programs: Vec<Program>,
-    pub traces: Vec<Vec<TraceRecord>>,
-    pub all_traces: Vec<TraceRecord>,
-}
-
-impl SuiteData {
-    fn build(suite: &Suite, machine: &MachineConfig) -> SuiteData {
-        let mut names = Vec::new();
-        let mut programs = Vec::new();
-        let mut traces = Vec::new();
-        let mut all_traces = Vec::new();
-        for b in suite.benchmarks() {
-            names.push(b.name().to_string());
-            programs.push(b.program().clone());
-            let t = collect_trace(b.program(), machine);
-            all_traces.extend(t.iter().cloned());
-            traces.push(t);
-        }
-        SuiteData { names, programs, traces, all_traces }
-    }
-}
-
-/// Name-sorted `(benchmark, filter)` pairs from one LOOCV training run.
-type LoocvFilters = Rc<Vec<(String, LearnedFilter)>>;
-
-/// The experiment harness: generated suites, traces and cached filters.
+/// The experiment harness: one completed pipeline run per suite.
 pub struct Experiments {
     machine: MachineConfig,
     scale: f64,
-    jvm98: SuiteData,
-    fp: SuiteData,
-    loocv_cache: RefCell<BTreeMap<(SuiteKind, u32), LoocvFilters>>,
+    jvm98: ExperimentRun,
+    fp: ExperimentRun,
 }
 
 impl Experiments {
     /// Builds the harness at the given corpus scale (1.0 = paper-sized,
-    /// ~45k jvm98 blocks; tests use 0.02–0.1).
+    /// ~45k jvm98 blocks; tests use 0.02–0.1). LOOCV training shards
+    /// across all cores; tracing stays serial so the wall-clock `*_ns`
+    /// channels behind the calibrate table and the figures' measured
+    /// column are free of multi-worker contention noise.
     pub fn new(scale: f64) -> Experiments {
         let machine = MachineConfig::ppc7410();
-        let jvm98 = SuiteData::build(&Suite::specjvm98(scale), &machine);
-        let fp = SuiteData::build(&Suite::fp(scale), &machine);
-        Experiments { machine, scale, jvm98, fp, loocv_cache: RefCell::new(BTreeMap::new()) }
+        let pipeline = Experiment::new(machine.clone()).with_trace_threads(1);
+        let jvm98 = pipeline.run(suite_programs(&Suite::specjvm98(scale)));
+        let fp = pipeline.run(suite_programs(&Suite::fp(scale)));
+        Experiments { machine, scale, jvm98, fp }
     }
 
     /// The corpus scale this harness was built at.
@@ -99,39 +72,23 @@ impl Experiments {
         &self.machine
     }
 
-    pub(crate) fn suite(&self, kind: SuiteKind) -> &SuiteData {
+    /// The completed pipeline run for one suite.
+    pub fn run(&self, kind: SuiteKind) -> &ExperimentRun {
         match kind {
             SuiteKind::Jvm98 => &self.jvm98,
             SuiteKind::Fp => &self.fp,
         }
     }
+}
 
-    /// Leave-one-benchmark-out filters for a suite at threshold `t`,
-    /// cached across artifacts (name-sorted pairs).
-    pub(crate) fn loocv(&self, kind: SuiteKind, t: u32) -> LoocvFilters {
-        if let Some(hit) = self.loocv_cache.borrow().get(&(kind, t)) {
-            return Rc::clone(hit);
-        }
-        let data = self.suite(kind);
-        let filters = Rc::new(train_loocv(&data.all_traces, &TrainConfig::with_threshold(t)));
-        self.loocv_cache.borrow_mut().insert((kind, t), Rc::clone(&filters));
-        filters
-    }
-
-    /// The filter trained for (i.e. *excluding*) the named benchmark.
-    pub(crate) fn filter_for(&self, kind: SuiteKind, t: u32, bench: &str) -> LearnedFilter {
-        let filters = self.loocv(kind, t);
-        filters
-            .iter()
-            .find(|(n, _)| n == bench)
-            .map(|(_, f)| f.clone())
-            .unwrap_or_else(|| panic!("no filter for benchmark {bench}"))
-    }
+fn suite_programs(suite: &Suite) -> Vec<wts_ir::Program> {
+    suite.benchmarks().iter().map(|b| b.program().clone()).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::rc::Rc;
 
     fn harness() -> Experiments {
         Experiments::new(0.02)
@@ -140,17 +97,17 @@ mod tests {
     #[test]
     fn builds_both_suites() {
         let e = harness();
-        assert_eq!(e.suite(SuiteKind::Jvm98).names.len(), 7);
-        assert_eq!(e.suite(SuiteKind::Fp).names.len(), 6);
-        assert!(e.suite(SuiteKind::Jvm98).all_traces.len() > 100);
+        assert_eq!(e.run(SuiteKind::Jvm98).names().len(), 7);
+        assert_eq!(e.run(SuiteKind::Fp).names().len(), 6);
+        assert!(e.run(SuiteKind::Jvm98).all_traces().len() > 100);
         assert!((e.scale() - 0.02).abs() < 1e-12);
     }
 
     #[test]
     fn loocv_is_cached() {
         let e = harness();
-        let a = e.loocv(SuiteKind::Jvm98, 0);
-        let b = e.loocv(SuiteKind::Jvm98, 0);
+        let a = e.run(SuiteKind::Jvm98).loocv_filters(0);
+        let b = e.run(SuiteKind::Jvm98).loocv_filters(0);
         assert!(Rc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 7);
     }
@@ -158,8 +115,9 @@ mod tests {
     #[test]
     fn filter_for_each_benchmark_exists() {
         let e = harness();
-        for name in &e.suite(SuiteKind::Jvm98).names.clone() {
-            let f = e.filter_for(SuiteKind::Jvm98, 0, name);
+        let run = e.run(SuiteKind::Jvm98);
+        for name in run.names().to_vec() {
+            let f = run.filter_for(0, &name);
             assert_eq!(f.threshold_percent(), 0);
         }
     }
@@ -168,6 +126,6 @@ mod tests {
     #[should_panic(expected = "no filter for benchmark")]
     fn unknown_benchmark_panics() {
         let e = harness();
-        e.filter_for(SuiteKind::Jvm98, 0, "nope");
+        e.run(SuiteKind::Jvm98).filter_for(0, "nope");
     }
 }

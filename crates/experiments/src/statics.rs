@@ -7,10 +7,8 @@ use wts_jit::Suite;
 
 /// Table 1: the features of a basic block.
 pub fn table1() -> Table {
-    let mut t = Table::new(
-        "Table 1: Features of a basic block",
-        vec!["Feature".into(), "Type".into(), "Meaning".into()],
-    );
+    let mut t =
+        Table::new("Table 1: Features of a basic block", vec!["Feature".into(), "Type".into(), "Meaning".into()]);
     for k in FeatureKind::ALL {
         let (ty, meaning) = match k {
             FeatureKind::BbLen => ("BB size", "Number of instructions in the block".to_string()),
@@ -47,10 +45,7 @@ pub fn table2() -> Table {
 
 /// Table 7: the floating-point suite.
 pub fn table7() -> Table {
-    suite_table(
-        "Table 7: Characteristics of a set of benchmarks that benefit from scheduling",
-        &Suite::fp(0.001),
-    )
+    suite_table("Table 7: Characteristics of a set of benchmarks that benefit from scheduling", &Suite::fp(0.001))
 }
 
 #[cfg(test)]

@@ -1,27 +1,26 @@
-//! Tables 3–6: the quantitative jvm98 artifacts.
+//! Tables 3–6: the quantitative jvm98 artifacts, as views over the
+//! jvm98 [`ExperimentRun`](wts_core::ExperimentRun).
 
 use crate::table::{f2, Table};
 use crate::{Experiments, SuiteKind, THRESHOLDS};
-use wts_core::{classification_matrix, predicted_time_ratio, runtime_classification, LabelConfig};
 use wts_ripper::geometric_mean;
 
 impl Experiments {
     /// Table 3: classification error rates (percent misclassified) per
     /// benchmark for each threshold, with the geometric mean.
     pub fn table3(&self) -> Table {
-        let data = self.suite(SuiteKind::Jvm98);
+        let run = self.run(SuiteKind::Jvm98);
         let mut headers = vec!["Threshold".to_string()];
-        headers.extend(data.names.iter().cloned());
+        headers.extend(run.names().iter().cloned());
         headers.push("Geo. mean".into());
         let mut t = Table::new("Table 3: Classification error rates (percent misclassified)", headers);
         for &th in &THRESHOLDS {
             let mut row = vec![format!("{th}%")];
             let mut errs = Vec::new();
-            for (i, name) in data.names.iter().enumerate() {
-                let filter = self.filter_for(SuiteKind::Jvm98, th, name);
-                let m = classification_matrix(&data.traces[i], &filter, LabelConfig::new(th));
-                errs.push(m.error_percent());
-                row.push(f2(m.error_percent()));
+            for name in run.names() {
+                let err = run.classification(th, name).error_percent();
+                errs.push(err);
+                row.push(f2(err));
             }
             row.push(f2(geometric_mean(&errs)));
             t.push_row(row);
@@ -33,17 +32,16 @@ impl Experiments {
     /// under the filter, percent of never-scheduling) per benchmark and
     /// threshold.
     pub fn table4(&self) -> Table {
-        let data = self.suite(SuiteKind::Jvm98);
+        let run = self.run(SuiteKind::Jvm98);
         let mut headers = vec!["Threshold".to_string()];
-        headers.extend(data.names.iter().cloned());
+        headers.extend(run.names().iter().cloned());
         headers.push("Geo. mean".into());
         let mut t = Table::new("Table 4: Predicted execution times (percent of no-scheduling)", headers);
         for &th in &THRESHOLDS {
             let mut row = vec![format!("{th}%")];
             let mut ratios = Vec::new();
-            for (i, name) in data.names.iter().enumerate() {
-                let filter = self.filter_for(SuiteKind::Jvm98, th, name);
-                let r = predicted_time_ratio(&data.traces[i], &filter);
+            for name in run.names() {
+                let r = run.predicted_time(th, name);
                 ratios.push(r);
                 row.push(f2(r));
             }
@@ -56,26 +54,15 @@ impl Experiments {
     /// Table 5: training-set sizes — LS instance counts per threshold
     /// (NS is constant by construction and reported in the title row).
     pub fn table5(&self) -> Table {
-        let data = self.suite(SuiteKind::Jvm98);
-        let ns_count = data
-            .all_traces
-            .iter()
-            .filter(|r| LabelConfig::new(0).label(r) == Some(false))
-            .count();
+        let run = self.run(SuiteKind::Jvm98);
+        let ns_count = run.ns_instances();
         let mut headers = vec!["Label".to_string()];
         headers.extend(THRESHOLDS.iter().map(|t| format!("t={t}")));
-        let mut t = Table::new(
-            format!("Table 5: Effect of t on training set size (NS constant at {ns_count})"),
-            headers,
-        );
+        let mut t =
+            Table::new(format!("Table 5: Effect of t on training set size (NS constant at {ns_count})"), headers);
         let mut row = vec!["LS".to_string()];
         for &th in &THRESHOLDS {
-            let ls = data
-                .all_traces
-                .iter()
-                .filter(|r| LabelConfig::new(th).label(r) == Some(true))
-                .count();
-            row.push(ls.to_string());
+            row.push(run.ls_instances(th).to_string());
         }
         t.push_row(row);
         t
@@ -84,14 +71,11 @@ impl Experiments {
     /// Table 6: run-time classification of blocks by the induced filters
     /// (sums across benchmarks of each benchmark's own LOOCV filter).
     pub fn table6(&self) -> Table {
-        let data = self.suite(SuiteKind::Jvm98);
+        let run = self.run(SuiteKind::Jvm98);
         let mut headers = vec!["Label".to_string()];
         headers.extend(THRESHOLDS.iter().map(|t| format!("t={t}")));
         let mut t = Table::new(
-            format!(
-                "Table 6: Effect of t on run time classification ({} blocks total)",
-                data.all_traces.len()
-            ),
+            format!("Table 6: Effect of t on run time classification ({} blocks total)", run.all_traces().len()),
             headers,
         );
         let mut ns_row = vec!["NS".to_string()];
@@ -99,9 +83,8 @@ impl Experiments {
         for &th in &THRESHOLDS {
             let mut ls = 0usize;
             let mut ns = 0usize;
-            for (i, name) in data.names.iter().enumerate() {
-                let filter = self.filter_for(SuiteKind::Jvm98, th, name);
-                let c = runtime_classification(&data.traces[i], &filter);
+            for name in run.names() {
+                let c = run.runtime_counts(th, name);
                 ls += c.ls;
                 ns += c.ns;
             }
@@ -160,7 +143,7 @@ mod tests {
     #[test]
     fn table6_rows_sum_to_total() {
         let e = harness();
-        let total = e.suite(SuiteKind::Jvm98).all_traces.len();
+        let total = e.run(SuiteKind::Jvm98).all_traces().len();
         let t = e.table6();
         for c in 1..=THRESHOLDS.len() {
             let ns: usize = t.cell(0, c).parse().unwrap();

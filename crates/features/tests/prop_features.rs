@@ -5,23 +5,21 @@ use wts_features::{Binner, FeatureKind, FeatureVector};
 use wts_ir::{BasicBlock, Hazards, Inst, MemRef, MemSpace, Opcode, Reg};
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
-    (prop::sample::select(Opcode::ALL.to_vec()), 0u16..8, 0u32..4, prop::bool::ANY).prop_map(
-        |(op, r, slot, pei)| {
-            let mut inst = Inst::new(op);
-            if op.is_memory() {
-                inst = inst.mem(MemRef::slot(MemSpace::Heap, slot));
-                if op.is_load() {
-                    inst = inst.def(Reg::gpr(r));
-                } else {
-                    inst = inst.use_(Reg::gpr(r));
-                }
+    (prop::sample::select(Opcode::ALL.to_vec()), 0u16..8, 0u32..4, prop::bool::ANY).prop_map(|(op, r, slot, pei)| {
+        let mut inst = Inst::new(op);
+        if op.is_memory() {
+            inst = inst.mem(MemRef::slot(MemSpace::Heap, slot));
+            if op.is_load() {
+                inst = inst.def(Reg::gpr(r));
+            } else {
+                inst = inst.use_(Reg::gpr(r));
             }
-            if pei {
-                inst = inst.hazard(Hazards::PEI);
-            }
-            inst
-        },
-    )
+        }
+        if pei {
+            inst = inst.hazard(Hazards::PEI);
+        }
+        inst
+    })
 }
 
 fn block(insts: Vec<Inst>) -> BasicBlock {

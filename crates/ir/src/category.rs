@@ -74,10 +74,7 @@ impl Category {
     /// True for the four hazard categories (unusual possible branches that
     /// disallow reordering around them).
     pub fn is_hazard(self) -> bool {
-        matches!(
-            self,
-            Category::Pei | Category::GcPoint | Category::ThreadSwitch | Category::Yield
-        )
+        matches!(self, Category::Pei | Category::GcPoint | Category::ThreadSwitch | Category::Yield)
     }
 
     fn bit(self) -> u16 {
@@ -209,10 +206,7 @@ mod tests {
     #[test]
     fn hazards_are_the_last_four() {
         let hazards: Vec<Category> = Category::ALL.iter().copied().filter(|c| c.is_hazard()).collect();
-        assert_eq!(
-            hazards,
-            vec![Category::Pei, Category::GcPoint, Category::ThreadSwitch, Category::Yield]
-        );
+        assert_eq!(hazards, vec![Category::Pei, Category::GcPoint, Category::ThreadSwitch, Category::Yield]);
     }
 
     #[test]
@@ -247,9 +241,6 @@ mod tests {
     #[test]
     fn display_is_never_empty() {
         assert_eq!(CategorySet::new().to_string(), "{}");
-        assert_eq!(
-            CategorySet::of(&[Category::Call, Category::GcPoint]).to_string(),
-            "{calls,gcpoints}"
-        );
+        assert_eq!(CategorySet::of(&[Category::Call, Category::GcPoint]).to_string(), "{calls,gcpoints}");
     }
 }

@@ -87,11 +87,7 @@ pub(crate) fn validate_block(b: &BasicBlock) -> Result<(), ValidateError> {
             return Err(ValidateError::MemRefOnNonMemoryOp { index: i, opcode: op });
         }
         if is_pure_float_alu(op) {
-            let bad = inst
-                .defs()
-                .iter()
-                .chain(inst.uses())
-                .any(|r| r.class() != RegClass::Fpr);
+            let bad = inst.defs().iter().chain(inst.uses()).any(|r| r.class() != RegClass::Fpr);
             if bad {
                 return Err(ValidateError::FloatOpOnNonFpr { index: i, opcode: op });
             }

@@ -130,7 +130,8 @@ fn gen_inst(spec: &BenchmarkSpec, chain: f64, rng: &mut Xoshiro256, regs: &mut R
                     Inst::new(Opcode::Cmp).def(Reg::cr(0)).use_(a).use_(b)
                 }
                 _ => {
-                    let op = [Opcode::Add, Opcode::Subf, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Slw][rng.below(6)];
+                    let op =
+                        [Opcode::Add, Opcode::Subf, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Slw][rng.below(6)];
                     let a = regs.pick_gpr(rng, chain);
                     let b = regs.pick_gpr(rng, 0.0);
                     Inst::new(op).def(regs.fresh_gpr()).use_(a).use_(b)
@@ -197,8 +198,9 @@ fn gen_inst(spec: &BenchmarkSpec, chain: f64, rng: &mut Xoshiro256, regs: &mut R
             }
             inst
         }
-        Kind::Safepoint => Inst::new(Opcode::YieldPoint)
-            .hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH),
+        Kind::Safepoint => {
+            Inst::new(Opcode::YieldPoint).hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH)
+        }
         Kind::System => match rng.below(3) {
             0 => Inst::new(Opcode::Mfspr).def(regs.fresh_gpr()).use_(Reg::spr(2)),
             1 => Inst::new(Opcode::Mtspr).def(Reg::spr(2)).use_(regs.pick_gpr(rng, 0.0)),
@@ -265,8 +267,9 @@ pub(crate) fn generate_program(spec: &BenchmarkSpec, scale: f64) -> Program {
             let mut block = gen_block(spec, &mut rng, block_id, bi + 1 == nblocks);
             // Method prologues carry a yield point in Jikes RVM.
             if bi == 0 && rng.chance(0.6) {
-                let mut insts = vec![Inst::new(Opcode::YieldPoint)
-                    .hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH)];
+                let mut insts =
+                    vec![Inst::new(Opcode::YieldPoint)
+                        .hazard(Hazards::YIELD | Hazards::GC_POINT | Hazards::THREAD_SWITCH)];
                 insts.extend(block.insts().iter().cloned());
                 let exec = block.exec_count();
                 block = BasicBlock::from_insts(block_id, insts);

@@ -28,6 +28,15 @@ impl CompileStats {
     pub fn pass_ns(&self) -> u64 {
         self.feature_ns + self.filter_ns + self.sched_ns
     }
+
+    /// Accumulates another shard's stats into this one.
+    fn merge(&mut self, other: CompileStats) {
+        self.total_blocks += other.total_blocks;
+        self.scheduled_blocks += other.scheduled_blocks;
+        self.feature_ns += other.feature_ns;
+        self.filter_ns += other.filter_ns;
+        self.sched_ns += other.sched_ns;
+    }
 }
 
 /// A JIT compile session: holds the machine and scheduling policy, and
@@ -58,7 +67,16 @@ impl<'m> CompileSession<'m> {
     /// extracted and the filter consulted; selected blocks are list
     /// scheduled. Returns the (possibly reordered) program and stats.
     pub fn compile(&self, program: &Program, filter: &dyn Filter) -> (Program, CompileStats) {
-        self.compile_where(program, filter, |_| true)
+        self.compile_where(program, filter, |_| true, 1)
+    }
+
+    /// [`compile`](CompileSession::compile) with the program's methods
+    /// sharded across `threads` scoped worker threads (`0` = one per
+    /// available core, `1` = serial). Methods are compiled independently
+    /// and reassembled in order, so the output program is identical to
+    /// the serial path; only the wall-clock stats channels vary.
+    pub fn compile_sharded(&self, program: &Program, filter: &dyn Filter, threads: usize) -> (Program, CompileStats) {
+        self.compile_where(program, filter, |_| true, threads)
     }
 
     /// The *adaptive-JIT* variant the paper discusses in §3.1: only
@@ -67,44 +85,75 @@ impl<'m> CompileSession<'m> {
     /// are left baseline-compiled (unscheduled, and unfiltered — the
     /// filter's cost is skipped too).
     pub fn compile_adaptive(&self, program: &Program, filter: &dyn Filter, hot_cutoff: u64) -> (Program, CompileStats) {
-        self.compile_where(program, filter, |m| {
-            m.blocks().iter().map(|b| b.exec_count()).max().unwrap_or(0) >= hot_cutoff
-        })
+        self.compile_where(
+            program,
+            filter,
+            |m| m.blocks().iter().map(|b| b.exec_count()).max().unwrap_or(0) >= hot_cutoff,
+            1,
+        )
+    }
+
+    /// Compiles one (cloned) method in place, accumulating stats.
+    fn compile_method(
+        &self,
+        scheduler: &ListScheduler<'_>,
+        method: &mut wts_ir::Method,
+        filter: &dyn Filter,
+        optimize: bool,
+        stats: &mut CompileStats,
+    ) {
+        for block in method.blocks_mut() {
+            stats.total_blocks += 1;
+            if !optimize {
+                continue;
+            }
+
+            let t0 = Instant::now();
+            let features = FeatureVector::extract(block);
+            stats.feature_ns += t0.elapsed().as_nanos() as u64;
+
+            let t1 = Instant::now();
+            let decision = filter.should_schedule(&features);
+            stats.filter_ns += t1.elapsed().as_nanos() as u64;
+
+            if decision {
+                let t2 = Instant::now();
+                let outcome = scheduler.schedule_block(block);
+                *block = outcome.apply(block);
+                stats.sched_ns += t2.elapsed().as_nanos() as u64;
+                stats.scheduled_blocks += 1;
+            }
+        }
     }
 
     fn compile_where(
         &self,
         program: &Program,
         filter: &dyn Filter,
-        mut optimize_method: impl FnMut(&wts_ir::Method) -> bool,
+        optimize_method: impl Fn(&wts_ir::Method) -> bool + Sync,
+        threads: usize,
     ) -> (Program, CompileStats) {
-        let scheduler = ListScheduler::with_policy(self.machine, self.policy);
-        let mut stats = CompileStats::default();
-        let mut out = program.clone();
-        for method in out.methods_mut() {
-            let optimize = optimize_method(method);
-            for block in method.blocks_mut() {
-                stats.total_blocks += 1;
-                if !optimize {
-                    continue;
-                }
-
-                let t0 = Instant::now();
-                let features = FeatureVector::extract(block);
-                stats.feature_ns += t0.elapsed().as_nanos() as u64;
-
-                let t1 = Instant::now();
-                let decision = filter.should_schedule(&features);
-                stats.filter_ns += t1.elapsed().as_nanos() as u64;
-
-                if decision {
-                    let t2 = Instant::now();
-                    let outcome = scheduler.schedule_block(block);
-                    *block = outcome.apply(block);
-                    stats.sched_ns += t2.elapsed().as_nanos() as u64;
-                    stats.scheduled_blocks += 1;
-                }
+        // Methods shard into contiguous chunks; each worker clones and
+        // compiles its chunk, and the chunks are reassembled in method
+        // order, so the result is identical whatever the thread count.
+        let shards = wts_core::parallel::shard_map(program.methods(), threads, |slice| {
+            let scheduler = ListScheduler::with_policy(self.machine, self.policy);
+            let mut stats = CompileStats::default();
+            let mut compiled = slice.to_vec();
+            for method in &mut compiled {
+                let optimize = optimize_method(method);
+                self.compile_method(&scheduler, method, filter, optimize, &mut stats);
             }
+            (compiled, stats)
+        });
+
+        let mut out = Program::new(program.name());
+        let mut stats = CompileStats::default();
+        for (compiled, shard_stats) in shards {
+            for method in compiled {
+                out.push_method(method);
+            }
+            stats.merge(shard_stats);
         }
         (out, stats)
     }
@@ -173,6 +222,22 @@ mod tests {
         assert!(filtered.scheduled_blocks < ls.scheduled_blocks);
         assert!(filtered.scheduled_blocks > 0);
         assert!(filtered.pass_ns() > 0);
+    }
+
+    #[test]
+    fn sharded_compile_matches_serial() {
+        let m = machine();
+        let suite = Suite::specjvm98(0.02);
+        let p = suite.benchmarks()[0].program();
+        let session = CompileSession::new(&m);
+        let filter = SizeThresholdFilter::new(5);
+        let (serial, serial_stats) = session.compile(p, &filter);
+        for threads in [0, 2, 5, 16] {
+            let (sharded, stats) = session.compile_sharded(p, &filter, threads);
+            assert_eq!(serial, sharded, "sharded compile ({threads} threads) must be identical");
+            assert_eq!(stats.total_blocks, serial_stats.total_blocks);
+            assert_eq!(stats.scheduled_blocks, serial_stats.scheduled_blocks);
+        }
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl Suite {
     /// The SPECjvm98-like suite (paper Table 2), generated at `scale`
     /// (1.0 reproduces the paper's ~45k-block corpus).
     pub fn specjvm98(scale: f64) -> Suite {
-        Suite { name: "SPECjvm98".into(), benchmarks: specjvm98_specs().into_iter().map(|s| Benchmark::generate(s, scale)).collect() }
+        Suite {
+            name: "SPECjvm98".into(),
+            benchmarks: specjvm98_specs().into_iter().map(|s| Benchmark::generate(s, scale)).collect(),
+        }
     }
 
     /// The floating-point suite (paper Table 7).
@@ -186,7 +189,11 @@ pub(crate) fn fp_specs() -> Vec<BenchmarkSpec> {
         s
     }
 
-    let mut linpack = fp_base("linpack", "A numerically intensive program used to measure floating point performance of computers", 0xF0);
+    let mut linpack = fp_base(
+        "linpack",
+        "A numerically intensive program used to measure floating point performance of computers",
+        0xF0,
+    );
     linpack.block_len_mean = 16.0;
     linpack.chain_bias = 0.34;
 
@@ -200,7 +207,8 @@ pub(crate) fn fp_specs() -> Vec<BenchmarkSpec> {
     bh.block_len_mean = 11.0;
     bh.chain_bias = 0.46;
 
-    let mut voronoi = fp_base("voronoi", "Computes the voronoi diagram of a set of points recursively on the tree", 0xF3);
+    let mut voronoi =
+        fp_base("voronoi", "Computes the voronoi diagram of a set of points recursively on the tree", 0xF3);
     voronoi.block_len_mean = 8.0;
     voronoi.chain_bias = 0.54;
     voronoi.mix.call = 0.05;

@@ -47,11 +47,8 @@ pub fn form_superblocks(method: &Method, ratio: f64) -> Vec<Superblock> {
     let mut i = 0;
     while i < blocks.len() {
         let entry = &blocks[i];
-        let mut sb = Superblock {
-            block_ids: vec![entry.id().0],
-            insts: entry.insts().to_vec(),
-            exec_count: entry.exec_count(),
-        };
+        let mut sb =
+            Superblock { block_ids: vec![entry.id().0], insts: entry.insts().to_vec(), exec_count: entry.exec_count() };
         let mut j = i;
         while j + 1 < blocks.len() && extends(&blocks[j], &blocks[j + 1], entry.exec_count(), ratio) {
             j += 1;
@@ -119,11 +116,8 @@ pub fn superblock_gain(program: &Program, machine: &MachineConfig, ratio: f64) -
             let mut local_insts = Vec::with_capacity(sb.insts.len());
             let mut offset = 0;
             for &bid in &sb.block_ids {
-                let block = method
-                    .blocks()
-                    .iter()
-                    .find(|b| b.id().0 == bid)
-                    .expect("superblock ids come from this method");
+                let block =
+                    method.blocks().iter().find(|b| b.id().0 == bid).expect("superblock ids come from this method");
                 let out = scheduler.schedule_block(block);
                 local_insts.extend(out.order.iter().map(|&k| block.insts()[k].clone()));
                 offset += block.len();

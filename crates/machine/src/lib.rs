@@ -14,6 +14,10 @@
 //!   the gap between predicted (CostModel) and "measured" (PipelineSim)
 //!   improvements mirrors the paper's predicted-vs-measured gap.
 //!
+//! Both implement [`CostProvider`], the one interface the trace/label/
+//! evaluate pipeline consumes; [`EstimatorKind`] names a provider in
+//! configuration without borrowing a machine.
+//!
 //! The default target is [`MachineConfig::ppc7410`]: two dissimilar integer
 //! units, one each of float / branch / load-store / system, and an issue
 //! limit of two non-branch instructions plus one branch per cycle.
@@ -38,10 +42,12 @@ mod config;
 mod cost;
 mod latency;
 mod pipeline;
+mod provider;
 mod unit;
 
 pub use config::MachineConfig;
 pub use cost::{CostModel, IssueState};
 pub use latency::LatencyTable;
 pub use pipeline::PipelineSim;
+pub use provider::{CostProvider, EstimatorKind};
 pub use unit::{FunctionalUnit, UnitSet};

@@ -185,10 +185,9 @@ impl<'m> PipelineSim<'m> {
                     if *budget == 0 {
                         continue;
                     }
-                    let ready = deps.completion[i]
-                        .iter()
-                        .all(|&p| issue[p as usize].is_some() && done[p as usize] <= cycle)
-                        && deps.issue[i].iter().all(|&p| issue[p as usize].is_some());
+                    let ready =
+                        deps.completion[i].iter().all(|&p| issue[p as usize].is_some() && done[p as usize] <= cycle)
+                            && deps.issue[i].iter().all(|&p| issue[p as usize].is_some());
                     if !ready {
                         continue;
                     }
@@ -297,10 +296,7 @@ mod tests {
         let chain: Vec<Inst> = (1..6u16)
             .map(|i| Inst::new(Opcode::Mullw).def(Reg::gpr(i)).use_(Reg::gpr(i - 1)).use_(Reg::gpr(i - 1)))
             .collect();
-        assert_eq!(
-            PipelineSim::new(&mach).sequence_cycles(&chain),
-            CostModel::new(&mach).sequence_cycles(&chain)
-        );
+        assert_eq!(PipelineSim::new(&mach).sequence_cycles(&chain), CostModel::new(&mach).sequence_cycles(&chain));
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! [`CostProvider`]: one interface over the cheap estimator and the
+//! detailed simulator.
+//!
+//! The paper's pipeline uses *two* notions of a block's cost: the cheap
+//! in-order estimate that labels training instances and drives the
+//! scheduler (§2.2), and the "real machine" timing that the evaluation
+//! figures are computed against. The seed hard-coded which concrete
+//! simulator played which role at every call site; `CostProvider`
+//! abstracts that choice so tracing, labeling and evaluation can swap
+//! estimators — e.g. labeling against the detailed model, or measuring
+//! on a different machine description — without touching the pipeline.
+
+use crate::{CostModel, MachineConfig, PipelineSim};
+use wts_ir::{BasicBlock, Inst};
+
+/// A source of cycle counts for instruction sequences.
+///
+/// Implementations must be cheap to query repeatedly and deterministic:
+/// the same sequence always costs the same. `Sync` is required so one
+/// provider can serve every shard of a parallel trace collection.
+pub trait CostProvider: Sync {
+    /// Cycles to execute `insts` in the given order.
+    fn sequence_cycles(&self, insts: &[Inst]) -> u64;
+
+    /// Cycles to execute `block` in its current order.
+    fn block_cycles(&self, block: &BasicBlock) -> u64 {
+        self.sequence_cycles(block.insts())
+    }
+
+    /// Short name for reports ("cheap", "pipeline", ...).
+    fn provider_name(&self) -> &'static str;
+}
+
+impl CostProvider for CostModel<'_> {
+    fn sequence_cycles(&self, insts: &[Inst]) -> u64 {
+        CostModel::sequence_cycles(self, insts)
+    }
+
+    fn provider_name(&self) -> &'static str {
+        "cheap"
+    }
+}
+
+impl CostProvider for PipelineSim<'_> {
+    fn sequence_cycles(&self, insts: &[Inst]) -> u64 {
+        PipelineSim::sequence_cycles(self, insts)
+    }
+
+    fn provider_name(&self) -> &'static str {
+        "pipeline"
+    }
+}
+
+/// Blanket impl so `&provider` can stand in anywhere a provider is taken
+/// by value-like generic.
+impl<P: CostProvider + ?Sized> CostProvider for &P {
+    fn sequence_cycles(&self, insts: &[Inst]) -> u64 {
+        (**self).sequence_cycles(insts)
+    }
+
+    fn block_cycles(&self, block: &BasicBlock) -> u64 {
+        (**self).block_cycles(block)
+    }
+
+    fn provider_name(&self) -> &'static str {
+        (**self).provider_name()
+    }
+}
+
+/// Which concrete [`CostProvider`] to build from a [`MachineConfig`].
+///
+/// This is the configuration-level handle the pipeline stores: it names
+/// a provider without borrowing the machine, and materializes one on
+/// demand with [`EstimatorKind::provider`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorKind {
+    /// The paper's simplified machine simulator ([`CostModel`]).
+    #[default]
+    Cheap,
+    /// The detailed out-of-order simulator ([`PipelineSim`]), standing in
+    /// for real hardware.
+    Detailed,
+}
+
+impl EstimatorKind {
+    /// Builds the provider this kind names, borrowing `machine`.
+    pub fn provider<'m>(self, machine: &'m MachineConfig) -> Box<dyn CostProvider + 'm> {
+        match self {
+            EstimatorKind::Cheap => Box::new(CostModel::new(machine)),
+            EstimatorKind::Detailed => Box::new(PipelineSim::new(machine)),
+        }
+    }
+}
+
+impl std::fmt::Display for EstimatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimatorKind::Cheap => write!(f, "cheap"),
+            EstimatorKind::Detailed => write!(f, "detailed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_ir::{Inst, MemRef, MemSpace, Opcode, Reg};
+
+    fn body() -> Vec<Inst> {
+        vec![
+            Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(9)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Add).def(Reg::gpr(2)).use_(Reg::gpr(1)).use_(Reg::gpr(1)),
+            Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(8)).use_(Reg::gpr(8)),
+        ]
+    }
+
+    #[test]
+    fn providers_agree_with_their_concrete_models() {
+        let m = MachineConfig::ppc7410();
+        let insts = body();
+        let cheap = EstimatorKind::Cheap.provider(&m);
+        let detailed = EstimatorKind::Detailed.provider(&m);
+        assert_eq!(cheap.sequence_cycles(&insts), CostModel::new(&m).sequence_cycles(&insts));
+        assert_eq!(detailed.sequence_cycles(&insts), PipelineSim::new(&m).sequence_cycles(&insts));
+        assert_eq!(cheap.provider_name(), "cheap");
+        assert_eq!(detailed.provider_name(), "pipeline");
+    }
+
+    #[test]
+    fn block_cycles_defaults_to_sequence() {
+        let m = MachineConfig::ppc7410();
+        let mut b = wts_ir::BasicBlock::new(0);
+        for i in body() {
+            b.push(i);
+        }
+        let p = EstimatorKind::Cheap.provider(&m);
+        assert_eq!(p.block_cycles(&b), p.sequence_cycles(b.insts()));
+    }
+
+    #[test]
+    fn detailed_never_slower_than_cheap_on_straightline() {
+        let m = MachineConfig::ppc7410();
+        let insts = body();
+        let cheap = EstimatorKind::Cheap.provider(&m);
+        let detailed = EstimatorKind::Detailed.provider(&m);
+        assert!(detailed.sequence_cycles(&insts) <= cheap.sequence_cycles(&insts));
+    }
+}

@@ -69,7 +69,8 @@ pub struct DecisionStump {
 impl DecisionStump {
     /// Fits the best stump by exhaustive threshold search.
     pub fn fit(data: &Dataset) -> DecisionStump {
-        let mut best = DecisionStump { attr: 0, threshold: f64::NEG_INFINITY, ge_positive: data.positives() * 2 > data.len() };
+        let mut best =
+            DecisionStump { attr: 0, threshold: f64::NEG_INFINITY, ge_positive: data.positives() * 2 > data.len() };
         let mut best_err = usize::MAX;
         for attr in 0..data.attr_count() {
             let mut col: Vec<(f64, bool)> = data.instances().iter().map(|i| (i.values[attr], i.positive)).collect();

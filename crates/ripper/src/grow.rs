@@ -100,11 +100,8 @@ pub(crate) fn grow_rule(data: &Dataset, grow_idx: &[u32]) -> Rule {
 /// Extends an existing rule by further growing on `grow_idx` (used for the
 /// "revision" variant during optimization).
 pub(crate) fn grow_from(mut seed: Rule, data: &Dataset, grow_idx: &[u32]) -> Rule {
-    let covered: Vec<u32> = grow_idx
-        .iter()
-        .copied()
-        .filter(|&i| seed.matches(&data.instances()[i as usize].values))
-        .collect();
+    let covered: Vec<u32> =
+        grow_idx.iter().copied().filter(|&i| seed.matches(&data.instances()[i as usize].values)).collect();
     let grown = grow_rule(data, &covered);
     for &c in grown.conditions() {
         seed.push(c);

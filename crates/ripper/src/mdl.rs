@@ -64,7 +64,14 @@ const THRESHOLD_BITS: f64 = 8.0;
 
 /// Total description length of a rule set summarized by its per-rule
 /// condition counts and its training errors.
-pub fn total_dl(rule_cond_counts: &[usize], attr_count: usize, covered: usize, fp: usize, uncovered: usize, fn_: usize) -> f64 {
+pub fn total_dl(
+    rule_cond_counts: &[usize],
+    attr_count: usize,
+    covered: usize,
+    fp: usize,
+    uncovered: usize,
+    fn_: usize,
+) -> f64 {
     let theory: f64 = rule_cond_counts.iter().map(|&c| theory_dl(c, attr_count)).sum();
     theory + data_dl(covered, fp, uncovered, fn_)
 }

@@ -72,15 +72,7 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "tp={} fp={} tn={} fn={} (error {:.2}%)",
-            self.tp,
-            self.fp,
-            self.tn,
-            self.fn_,
-            self.error_percent()
-        )
+        write!(f, "tp={} fp={} tn={} fn={} (error {:.2}%)", self.tp, self.fp, self.tn, self.fn_, self.error_percent())
     }
 }
 

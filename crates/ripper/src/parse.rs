@@ -75,9 +75,8 @@ pub fn parse_rule_set(text: &str, attr_names: &[String]) -> Result<RuleSet, Pars
             return Err(ParseRuleSetError::new(lineno, "content after the default rule"));
         }
         let (st, rest) = parse_stats(line, lineno)?;
-        let (label, body) = rest
-            .split_once(":-")
-            .ok_or_else(|| ParseRuleSetError::new(lineno, "missing ':-' separator"))?;
+        let (label, body) =
+            rest.split_once(":-").ok_or_else(|| ParseRuleSetError::new(lineno, "missing ':-' separator"))?;
         let label = label.trim().to_string();
         let body = body.trim();
         if body == "(default)" {
@@ -103,17 +102,12 @@ pub fn parse_rule_set(text: &str, attr_names: &[String]) -> Result<RuleSet, Pars
 }
 
 fn parse_stats(line: &str, lineno: usize) -> Result<(RuleStats, &str), ParseRuleSetError> {
-    let inner_start = line
-        .strip_prefix('(')
-        .ok_or_else(|| ParseRuleSetError::new(lineno, "expected '(hits/misses)' prefix"))?;
-    let close = inner_start
-        .find(')')
-        .ok_or_else(|| ParseRuleSetError::new(lineno, "unclosed stats parenthesis"))?;
+    let inner_start =
+        line.strip_prefix('(').ok_or_else(|| ParseRuleSetError::new(lineno, "expected '(hits/misses)' prefix"))?;
+    let close = inner_start.find(')').ok_or_else(|| ParseRuleSetError::new(lineno, "unclosed stats parenthesis"))?;
     let inner = &inner_start[..close];
     let rest = inner_start[close + 1..].trim();
-    let (h, m) = inner
-        .split_once('/')
-        .ok_or_else(|| ParseRuleSetError::new(lineno, "stats must be 'hits/misses'"))?;
+    let (h, m) = inner.split_once('/').ok_or_else(|| ParseRuleSetError::new(lineno, "stats must be 'hits/misses'"))?;
     let hits = h.trim().parse::<usize>().map_err(|_| ParseRuleSetError::new(lineno, "bad hits count"))?;
     let misses = m.trim().parse::<usize>().map_err(|_| ParseRuleSetError::new(lineno, "bad misses count"))?;
     Ok((RuleStats { hits, misses }, rest))

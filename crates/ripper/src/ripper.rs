@@ -291,11 +291,7 @@ mod tests {
         assert!(model.predict(&[0.1, 0.05]));
         assert!(!model.predict(&[0.1, 0.9]));
         // Training accuracy should be near perfect on separable data.
-        let errors = d
-            .instances()
-            .iter()
-            .filter(|i| model.predict(&i.values) != i.positive)
-            .count();
+        let errors = d.instances().iter().filter(|i| model.predict(&i.values) != i.positive).count();
         assert!(errors * 100 <= d.len(), "error rate {errors}/{} too high", d.len());
     }
 
@@ -303,11 +299,7 @@ mod tests {
     fn tolerates_label_noise() {
         let d = disjunctive_dataset(800, 25); // 4% label noise
         let model = RipperConfig::default().fit(&d);
-        let errors = d
-            .instances()
-            .iter()
-            .filter(|i| model.predict(&i.values) != i.positive)
-            .count();
+        let errors = d.instances().iter().filter(|i| model.predict(&i.values) != i.positive).count();
         // Should stay close to the Bayes rate (4%), not memorize noise.
         assert!(errors as f64 / d.len() as f64 <= 0.10, "error rate {} too high", errors as f64 / d.len() as f64);
         // MDL pressure keeps the model small.

@@ -135,7 +135,14 @@ impl RuleSet {
             stats = vec![RuleStats::default(); rules.len()];
         }
         assert_eq!(stats.len(), rules.len(), "per-rule stats must match rules");
-        RuleSet { attr_names: attr_names.clone(), pos_label: pos_label.into(), neg_label: neg_label.into(), rules, stats, default_stats }
+        RuleSet {
+            attr_names: attr_names.clone(),
+            pos_label: pos_label.into(),
+            neg_label: neg_label.into(),
+            rules,
+            stats,
+            default_stats,
+        }
     }
 
     /// The rules, in firing order.
@@ -211,11 +218,7 @@ impl fmt::Display for RuleSet {
             }
             writeln!(f)?;
         }
-        writeln!(
-            f,
-            "({:>6}/{:>5}) {} :- (default)",
-            self.default_stats.hits, self.default_stats.misses, self.neg_label
-        )
+        writeln!(f, "({:>6}/{:>5}) {} :- (default)", self.default_stats.hits, self.default_stats.misses, self.neg_label)
     }
 }
 

@@ -1,9 +1,7 @@
 //! Property-based tests for the RIPPER implementation and baselines.
 
 use proptest::prelude::*;
-use wts_ripper::{
-    geometric_mean, Classifier, ConfusionMatrix, Dataset, DecisionStump, MajorityLearner, RipperConfig,
-};
+use wts_ripper::{geometric_mean, Classifier, ConfusionMatrix, Dataset, DecisionStump, MajorityLearner, RipperConfig};
 
 /// A dataset whose label is a threshold on attribute 0, with optional
 /// label noise and a junk attribute.

@@ -94,10 +94,7 @@ mod tests {
     #[test]
     fn rejects_length_mismatch() {
         let insts = vec![add(1, 9)];
-        assert_eq!(
-            verify_schedule(&insts, &[]),
-            Err(VerifyError::LengthMismatch { expected: 1, got: 0 })
-        );
+        assert_eq!(verify_schedule(&insts, &[]), Err(VerifyError::LengthMismatch { expected: 1, got: 0 }));
     }
 
     #[test]
@@ -110,10 +107,7 @@ mod tests {
     #[test]
     fn rejects_dependence_violation() {
         let insts = vec![add(1, 9), add(2, 1)]; // 1 truly depends on 0
-        assert_eq!(
-            verify_schedule(&insts, &[1, 0]),
-            Err(VerifyError::DependenceViolated { from: 0, to: 1 })
-        );
+        assert_eq!(verify_schedule(&insts, &[1, 0]), Err(VerifyError::DependenceViolated { from: 0, to: 1 }));
     }
 
     #[test]

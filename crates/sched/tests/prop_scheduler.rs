@@ -15,7 +15,10 @@ fn arb_block(max: usize) -> impl Strategy<Value = Vec<Inst>> {
             0 | 1 => Inst::new(Opcode::Add).def(Reg::gpr(a + 10)).use_(Reg::gpr(b)).use_(Reg::gpr(a)),
             2 => Inst::new(Opcode::Fmul).def(Reg::fpr(a + 1)).use_(Reg::fpr(b)).use_(Reg::fpr(a)),
             3 => {
-                let mut i = Inst::new(Opcode::Lwz).def(Reg::gpr(a + 10)).use_(Reg::gpr(b)).mem(MemRef::slot(MemSpace::Heap, slot));
+                let mut i = Inst::new(Opcode::Lwz)
+                    .def(Reg::gpr(a + 10))
+                    .use_(Reg::gpr(b))
+                    .mem(MemRef::slot(MemSpace::Heap, slot));
                 if pei {
                     i = i.hazard(Hazards::PEI);
                 }

@@ -49,12 +49,7 @@ fn main() {
             pred.push(predicted_time_ratio(&traces, &AlwaysSchedule));
             app.push(app_time_ratio(&traces, &AlwaysSchedule));
         }
-        println!(
-            "{:<16} {:>13.2}% {:>14.3}",
-            machine.name(),
-            geometric_mean(&pred),
-            geometric_mean(&app),
-        );
+        println!("{:<16} {:>13.2}% {:>14.3}", machine.name(), geometric_mean(&pred), geometric_mean(&app),);
     }
     println!("\nLess dynamic hardware (smaller window, longer latencies) gains more from");
     println!("static scheduling — which makes deciding *whether* to schedule matter more.");

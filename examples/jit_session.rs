@@ -26,7 +26,12 @@ fn main() {
     // ...and deploy it on a program it has never seen (the FP suite).
     let fp = Suite::fp(scale);
     let program = fp.benchmarks()[3].program(); // voronoi
-    println!("\ncompiling {} ({} methods, {} blocks):\n", program.name(), program.methods().len(), program.block_count());
+    println!(
+        "\ncompiling {} ({} methods, {} blocks):\n",
+        program.name(),
+        program.methods().len(),
+        program.block_count()
+    );
 
     let session = CompileSession::new(&machine);
     let strategies: Vec<(&str, Box<dyn Filter>)> = vec![
@@ -35,10 +40,7 @@ fn main() {
         ("L/N learned filter", Box::new(learned)),
     ];
 
-    println!(
-        "{:<22} {:>9} {:>12} {:>14} {:>12}",
-        "strategy", "scheduled", "compile µs", "app cycles", "vs NS"
-    );
+    println!("{:<22} {:>9} {:>12} {:>14} {:>12}", "strategy", "scheduled", "compile µs", "app cycles", "vs NS");
     let baseline = app_cycles(program, &machine) as f64;
     for (name, filter) in &strategies {
         let (compiled, stats) = session.compile(program, filter.as_ref());

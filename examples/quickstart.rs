@@ -42,16 +42,9 @@ fn main() {
     // A trivial hand-written filter; learned filters come from
     // `examples/train_filter.rs`.
     let filter = SizeThresholdFilter::new(5);
-    println!(
-        "size>=5 filter says: {}",
-        if filter.should_schedule(&features) { "schedule it" } else { "skip it" }
-    );
+    println!("size>=5 filter says: {}", if filter.should_schedule(&features) { "schedule it" } else { "skip it" });
 
     // The detailed simulator standing in for real hardware.
     let hw = PipelineSim::new(&machine);
-    println!(
-        "detailed-simulator cycles: {} -> {}",
-        hw.block_cycles(&block),
-        hw.block_cycles(&outcome.apply(&block))
-    );
+    println!("detailed-simulator cycles: {} -> {}", hw.block_cycles(&block), hw.block_cycles(&outcome.apply(&block)));
 }

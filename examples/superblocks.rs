@@ -37,13 +37,7 @@ fn main() {
     let method = program
         .methods()
         .iter()
-        .max_by_key(|m| {
-            form_superblocks(m, 0.7)
-                .into_iter()
-                .map(|sb| sb.width())
-                .max()
-                .unwrap_or(0)
-        })
+        .max_by_key(|m| form_superblocks(m, 0.7).into_iter().map(|sb| sb.width()).max().unwrap_or(0))
         .expect("suite has methods");
     let sbs = form_superblocks(method, 0.7);
     let widest = sbs.iter().max_by_key(|sb| sb.width()).expect("method has traces");

@@ -47,14 +47,7 @@ fn main() {
         }
         let app_gm = geometric_mean(&app);
         let kept = if ls_gm < 1.0 { (1.0 - app_gm) / (1.0 - ls_gm) * 100.0 } else { 0.0 };
-        println!(
-            "{:>4} {:>10} {:>12.3} {:>10.3} {:>11.0}%",
-            t,
-            ls_count,
-            geometric_mean(&sched),
-            app_gm,
-            kept,
-        );
+        println!("{:>4} {:>10} {:>12.3} {:>10.3} {:>11.0}%", t, ls_count, geometric_mean(&sched), app_gm, kept,);
     }
     println!("\nLower sched ratio = cheaper compiles; 'benefit kept' = share of LS's speedup retained.");
 }

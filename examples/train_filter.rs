@@ -6,9 +6,7 @@
 //! cargo run --release --example train_filter [-- <scale> <threshold>]
 //! ```
 
-use schedfilter::filters::{
-    classification_matrix, collect_trace, train_filter, train_loocv, LabelConfig, TrainConfig,
-};
+use schedfilter::filters::{classification_matrix, collect_trace, train_filter, train_loocv, LabelConfig, TrainConfig};
 use schedfilter::prelude::*;
 
 fn main() {

@@ -17,7 +17,8 @@
 //! * [`features`] — the 13 Table 1 block features;
 //! * [`ripper`] — RIPPER rule induction and baseline learners;
 //! * [`filters`] — the paper's contribution: tracing, threshold labeling,
-//!   filter training and evaluation (crate `wts-core`);
+//!   filter training and evaluation, unified behind the
+//!   [`Experiment`](filters::Experiment) pipeline (crate `wts-core`);
 //! * [`jit`] — synthetic benchmark suites and the JIT compile session;
 //! * [`experiments`] — regeneration of every table and figure.
 //!
@@ -55,12 +56,15 @@ pub use wts_sched as sched;
 
 /// Commonly used items, importable with one `use`.
 pub mod prelude {
-    pub use wts_core::{Filter, LabelConfig, LearnedFilter, SizeThresholdFilter, TraceRecord};
+    pub use wts_core::{
+        Experiment, ExperimentRun, Filter, LabelConfig, LearnedFilter, SizeThresholdFilter, TimingMode, TraceOptions,
+        TraceRecord,
+    };
     pub use wts_deps::DepGraph;
     pub use wts_features::{FeatureKind, FeatureVector};
     pub use wts_ir::{BasicBlock, Category, Hazards, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
     pub use wts_jit::{Benchmark, CompileSession, Suite};
-    pub use wts_machine::{CostModel, MachineConfig, PipelineSim};
+    pub use wts_machine::{CostModel, CostProvider, EstimatorKind, MachineConfig, PipelineSim};
     pub use wts_ripper::{Dataset, RipperConfig, RuleSet};
     pub use wts_sched::{ListScheduler, SchedulePolicy};
 }

@@ -53,11 +53,7 @@ fn loocv_filters_generalize_to_held_out_benchmarks() {
         let own: Vec<TraceRecord> = traces.iter().filter(|r| &r.benchmark == bench).cloned().collect();
         let m = classification_matrix(&own, filter, LabelConfig::new(0));
         assert!(m.total() > 0);
-        assert!(
-            m.error_percent() < 35.0,
-            "{bench}: error {:.1}% is worse than near-trivial",
-            m.error_percent()
-        );
+        assert!(m.error_percent() < 35.0, "{bench}: error {:.1}% is worse than near-trivial", m.error_percent());
     }
 }
 
@@ -68,12 +64,7 @@ fn threshold_raises_efficiency_and_shrinks_ls_predictions() {
     let f40 = train_filter(&traces, &TrainConfig::with_threshold(40));
     let c0 = runtime_classification(&traces, &f0);
     let c40 = runtime_classification(&traces, &f40);
-    assert!(
-        c40.ls < c0.ls,
-        "higher threshold should schedule fewer blocks ({} vs {})",
-        c40.ls,
-        c0.ls
-    );
+    assert!(c40.ls < c0.ls, "higher threshold should schedule fewer blocks ({} vs {})", c40.ls, c0.ls);
     let w0 = sched_time_ratio(&traces, &f0).work_ratio();
     let w40 = sched_time_ratio(&traces, &f40).work_ratio();
     assert!(w40 < w0, "t=40 must be cheaper than t=0 ({w40} vs {w0})");

@@ -18,10 +18,7 @@ fn speculative_graphs_are_weaker_than_normal_graphs() {
             let spec = DepGraph::build_speculative(block.insts());
             for i in 0..normal.len() {
                 for &(s, _) in spec.succs(i) {
-                    assert!(
-                        normal.has_edge(i, s as usize),
-                        "speculative edge {i}->{s} missing from the normal graph"
-                    );
+                    assert!(normal.has_edge(i, s as usize), "speculative edge {i}->{s} missing from the normal graph");
                 }
             }
             checked += 1;
@@ -92,8 +89,5 @@ fn speculative_scheduling_wins_in_aggregate() {
             }
         }
     }
-    assert!(
-        spec_total <= local_total,
-        "speculation should win in aggregate: {spec_total} vs {local_total}"
-    );
+    assert!(spec_total <= local_total, "speculation should win in aggregate: {spec_total} vs {local_total}");
 }

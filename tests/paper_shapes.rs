@@ -16,13 +16,7 @@ fn most_blocks_do_not_benefit_from_scheduling() {
     let ls: usize = t5.cell(0, 1).parse().unwrap();
     let title = t5.title().to_string();
     // NS count is embedded in the title: "... (NS constant at N)".
-    let ns: usize = title
-        .rsplit("at ")
-        .next()
-        .unwrap()
-        .trim_end_matches(')')
-        .parse()
-        .unwrap();
+    let ns: usize = title.rsplit("at ").next().unwrap().trim_end_matches(')').parse().unwrap();
     assert!(ls * 2 < ns, "LS ({ls}) should be well under half of NS ({ns})");
 }
 
@@ -115,9 +109,8 @@ fn sample_filter_uses_block_size_and_category_features() {
     let e = harness();
     let fig4 = e.fig4();
     assert!(fig4.contains("list :-") || fig4.contains("(default)"));
-    let mentions_core_feature = ["bbLen", "loads", "calls", "stores", "integers", "floats", "peis", "systems"]
-        .iter()
-        .any(|f| fig4.contains(f));
+    let mentions_core_feature =
+        ["bbLen", "loads", "calls", "stores", "integers", "floats", "peis", "systems"].iter().any(|f| fig4.contains(f));
     assert!(mentions_core_feature, "induced rules should reference Table 1 features:\n{fig4}");
 }
 
