@@ -1,0 +1,53 @@
+//! Scaling of the cross-machine experiment matrix: the machines×methods
+//! shard list should let a registry-wide sweep approach the throughput
+//! of a single-machine trace run per added core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wts_core::{Experiment, ExperimentMatrix, TimingMode};
+use wts_ir::Program;
+use wts_jit::Suite;
+use wts_machine::{registry, MachineConfig};
+
+fn programs() -> Vec<Program> {
+    Suite::fp(0.02).benchmarks().iter().map(|b| b.program().clone()).collect()
+}
+
+fn matrix_scaling(c: &mut Criterion) {
+    let programs = programs();
+    let template = Experiment::new(MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic);
+    let machines = registry();
+
+    let mut group = c.benchmark_group("matrix_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function(format!("trace/{}-machines/serial", machines.len()), |b| {
+        let matrix = ExperimentMatrix::new(machines.clone()).with_template(template.clone()).with_threads(1);
+        b.iter(|| {
+            let run = matrix.run(black_box(&programs));
+            black_box(run.runs().len())
+        });
+    });
+    group.bench_function(format!("trace/{}-machines/sharded", machines.len()), |b| {
+        let matrix = ExperimentMatrix::new(machines.clone()).with_template(template.clone()).with_threads(0);
+        b.iter(|| {
+            let run = matrix.run(black_box(&programs));
+            black_box(run.runs().len())
+        });
+    });
+    // The single-machine baseline the sweep's per-machine cost is read against.
+    group.bench_function("trace/1-machine/serial", |b| {
+        let matrix =
+            ExperimentMatrix::new(vec![MachineConfig::ppc7410()]).with_template(template.clone()).with_threads(1);
+        b.iter(|| {
+            let run = matrix.run(black_box(&programs));
+            black_box(run.runs().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, matrix_scaling);
+criterion_main!(benches);

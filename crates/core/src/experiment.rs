@@ -102,6 +102,15 @@ impl Experiment {
         }
     }
 
+    /// Retargets the pipeline at a different machine, keeping every other
+    /// setting. The cross-machine [`ExperimentMatrix`](crate::ExperimentMatrix)
+    /// stamps one pipeline per registry machine out of a single template
+    /// this way.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Experiment {
+        self.machine = machine;
+        self
+    }
+
     /// Selects the scheduler policy the instrumented pass runs.
     pub fn with_policy(mut self, policy: SchedulePolicy) -> Experiment {
         self.policy = policy;
@@ -184,8 +193,18 @@ impl Experiment {
     /// as an [`ExperimentRun`], from which labeled datasets, trained
     /// filters and every paper artifact derive on demand.
     pub fn run(&self, programs: Vec<Program>) -> ExperimentRun {
-        let names: Vec<String> = programs.iter().map(|p| p.name().to_string()).collect();
         let traces: Vec<Vec<TraceRecord>> = programs.iter().map(|p| self.trace(p)).collect();
+        self.run_precomputed(Rc::new(programs), traces)
+    }
+
+    /// Packages already-collected per-program traces as an
+    /// [`ExperimentRun`] under this configuration. The matrix runner
+    /// shards trace collection itself (over machines×methods) and hands
+    /// the reassembled pieces here; the shared `Rc` lets every
+    /// per-machine run borrow one corpus instead of deep-copying it.
+    pub(crate) fn run_precomputed(&self, programs: Rc<Vec<Program>>, traces: Vec<Vec<TraceRecord>>) -> ExperimentRun {
+        debug_assert_eq!(programs.len(), traces.len(), "one trace vector per program");
+        let names: Vec<String> = programs.iter().map(|p| p.name().to_string()).collect();
         let all_traces: Vec<TraceRecord> = traces.iter().flat_map(|t| t.iter().cloned()).collect();
         ExperimentRun {
             ripper: self.ripper.clone(),
@@ -195,6 +214,7 @@ impl Experiment {
             traces,
             all_traces,
             loocv_cache: RefCell::new(BTreeMap::new()),
+            factory_cache: RefCell::new(BTreeMap::new()),
         }
     }
 }
@@ -205,10 +225,11 @@ pub struct ExperimentRun {
     ripper: RipperConfig,
     threads: usize,
     names: Vec<String>,
-    programs: Vec<Program>,
+    programs: Rc<Vec<Program>>,
     traces: Vec<Vec<TraceRecord>>,
     all_traces: Vec<TraceRecord>,
     loocv_cache: RefCell<BTreeMap<u32, LoocvFilters>>,
+    factory_cache: RefCell<BTreeMap<u32, LearnedFilter>>,
 }
 
 impl ExperimentRun {
@@ -284,9 +305,15 @@ impl ExperimentRun {
     }
 
     /// Stage 3 ("at the factory", §3): one filter trained on the whole
-    /// corpus at threshold `t`.
+    /// corpus at threshold `t`, cached across artifacts like the LOOCV
+    /// filters (the cross-machine transfer table queries it repeatedly).
     pub fn factory_filter(&self, t: u32) -> LearnedFilter {
-        crate::train_filter(&self.all_traces, &self.train_config(t))
+        if let Some(hit) = self.factory_cache.borrow().get(&t) {
+            return hit.clone();
+        }
+        let filter = crate::train_filter(&self.all_traces, &self.train_config(t));
+        self.factory_cache.borrow_mut().insert(t, filter.clone());
+        filter
     }
 
     /// Stage 4, Table 3: confusion of `bench`'s own LOOCV filter against

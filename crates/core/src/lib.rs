@@ -27,6 +27,10 @@
 //! trace collection, threshold labeling, fold-parallel LOOCV training
 //! and every evaluation artifact — behind one configurable type, and is
 //! what the table/figure regenerators and benches are built on.
+//! [`ExperimentMatrix`] lifts the pipeline across the whole machine
+//! registry: one `Experiment` per machine model, sharded as a single
+//! machines×methods work list, with per-machine rule sets and a
+//! cross-machine transfer table on top.
 //!
 //! # Examples
 //!
@@ -48,6 +52,7 @@ mod experiment;
 mod filter;
 mod io;
 mod label;
+mod matrix;
 pub mod parallel;
 mod trace;
 mod train;
@@ -60,8 +65,9 @@ pub use experiment::{Experiment, ExperimentRun, LoocvFilters};
 pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
 pub use io::{read_trace, write_trace, ParseTraceError};
 pub use label::{build_dataset, LabelConfig};
+pub use matrix::{ExperimentMatrix, MatrixRun};
 pub use trace::{
-    collect_trace, collect_trace_with, collect_trace_with_policy, collect_trace_with_providers, TimingMode,
-    TraceOptions, TraceRecord,
+    collect_method_trace, collect_trace, collect_trace_with, collect_trace_with_policy, collect_trace_with_providers,
+    TimingMode, TraceOptions, TraceRecord,
 };
 pub use train::{train_filter, train_loocv, train_loocv_sharded, TrainConfig};

@@ -1,0 +1,368 @@
+//! The cross-machine experiment matrix: one full trace→label→train→
+//! evaluate [`Experiment`] per registered machine model, sharded as a
+//! single machines×methods work list.
+//!
+//! The paper argues induced filters are cheap to re-derive when the
+//! target machine changes (§4); checking that claim needs the *same*
+//! corpus pushed through the pipeline on several machine descriptions
+//! and the induced rule sets compared side by side. [`ExperimentMatrix`]
+//! owns that sweep:
+//!
+//! * **Sharding.** The unit of work is one `(machine, method)` pair —
+//!   the whole cross product is flattened into one task list and pushed
+//!   through [`shard_map`](crate::parallel::shard_map), so a 6-machine
+//!   sweep saturates the cores even when one machine's corpus alone
+//!   would not. Pieces are reassembled positionally, which keeps the
+//!   sharded output bit-identical to running each machine serially
+//!   (under [`TimingMode::Deterministic`](crate::TimingMode)).
+//! * **Per-machine runs.** Each machine gets its own
+//!   [`ExperimentRun`], so every artifact the single-machine pipeline
+//!   offers (LOOCV filters, factory rule sets, threshold sweeps) is
+//!   available per machine.
+//! * **Transfer.** [`MatrixRun::transfer_errors`] trains a factory
+//!   filter on machine A's labels and scores it against machine B's —
+//!   the "does the rule set transfer?" table of the reproduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use wts_core::{ExperimentMatrix, TimingMode, Experiment};
+//! use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
+//! use wts_machine::MachineConfig;
+//!
+//! let mut p = Program::new("demo");
+//! let mut m = Method::new(0, "m0");
+//! let mut b = BasicBlock::new(0);
+//! b.push(Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(9))
+//!     .mem(MemRef::slot(MemSpace::Heap, 0)));
+//! b.push(Inst::new(Opcode::Add).def(Reg::gpr(2)).use_(Reg::gpr(1)).use_(Reg::gpr(1)));
+//! b.push(Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(8)).use_(Reg::gpr(8)));
+//! m.push_block(b);
+//! p.push_method(m);
+//!
+//! let machines = vec![MachineConfig::ppc7410(), MachineConfig::embedded()];
+//! let matrix = ExperimentMatrix::new(machines).run(&[p]);
+//! assert_eq!(matrix.machine_names(), ["ppc7410", "embedded"]);
+//! assert_eq!(matrix.run_for("embedded").all_traces().len(), 1);
+//! ```
+
+use crate::eval::classification_matrix;
+use crate::experiment::{Experiment, ExperimentRun};
+use crate::label::LabelConfig;
+use crate::trace::{collect_method_trace, TraceRecord};
+use crate::LearnedFilter;
+use wts_ir::Program;
+use wts_machine::MachineConfig;
+
+/// Configuration of a cross-machine sweep: one pipeline template (policy,
+/// learner, timing, estimators) applied to every machine in the list.
+#[derive(Debug, Clone)]
+pub struct ExperimentMatrix {
+    template: Experiment,
+    machines: Vec<MachineConfig>,
+    threads: usize,
+}
+
+impl ExperimentMatrix {
+    /// A matrix over the given machines with the paper's default pipeline
+    /// settings and one worker per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is empty.
+    pub fn new(machines: Vec<MachineConfig>) -> ExperimentMatrix {
+        assert!(!machines.is_empty(), "matrix needs at least one machine");
+        let template = Experiment::new(machines[0].clone());
+        ExperimentMatrix { template, machines, threads: 0 }
+    }
+
+    /// A matrix over every machine in the
+    /// [`wts_machine::registry`] — the standard cross-machine sweep.
+    pub fn over_registry() -> ExperimentMatrix {
+        ExperimentMatrix::new(wts_machine::registry())
+    }
+
+    /// Replaces the pipeline template (policy, learner settings, timing,
+    /// estimators). The template's own machine is ignored — it is
+    /// restamped per matrix machine.
+    pub fn with_template(mut self, template: Experiment) -> ExperimentMatrix {
+        self.template = template;
+        self
+    }
+
+    /// Worker threads for the machines×methods sharding (`0` = one per
+    /// core, `1` = fully serial).
+    pub fn with_threads(mut self, threads: usize) -> ExperimentMatrix {
+        self.threads = threads;
+        self
+    }
+
+    /// The machines this matrix sweeps, in run order.
+    pub fn machines(&self) -> &[MachineConfig] {
+        &self.machines
+    }
+
+    /// Runs the full pipeline's trace stage for every machine over the
+    /// same programs, sharding the flattened machines×methods work list
+    /// across scoped worker threads, and packages one [`ExperimentRun`]
+    /// per machine. Label/train/evaluate stages stay lazy inside each
+    /// run, exactly as in the single-machine pipeline.
+    pub fn run(&self, programs: &[Program]) -> MatrixRun {
+        let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+        for mi in 0..self.machines.len() {
+            for (pi, p) in programs.iter().enumerate() {
+                for ki in 0..p.methods().len() {
+                    tasks.push((mi, pi, ki));
+                }
+            }
+        }
+        // Workers trace one method serially; all parallelism comes from
+        // sharding the outer machines×methods product.
+        let mut options = self.template.trace_options();
+        options.threads = 1;
+        let shards = crate::parallel::shard_map(&tasks, self.threads, |slice| {
+            slice
+                .iter()
+                .map(|&(mi, pi, ki)| {
+                    let p = &programs[pi];
+                    collect_method_trace(p.name(), &p.methods()[ki], &self.machines[mi], &options)
+                })
+                .collect::<Vec<_>>()
+        });
+        // Tasks were emitted machine-major, then program, then method;
+        // consuming the flattened pieces in the same order reassembles
+        // each machine's per-program traces positionally. Every run
+        // shares one Rc'd corpus rather than deep-copying it per machine.
+        let shared: std::rc::Rc<Vec<Program>> = std::rc::Rc::new(programs.to_vec());
+        let mut pieces = shards.into_iter().flatten();
+        let runs: Vec<ExperimentRun> = self
+            .machines
+            .iter()
+            .map(|machine| {
+                let traces: Vec<Vec<TraceRecord>> = programs
+                    .iter()
+                    .map(|p| {
+                        let mut t = Vec::with_capacity(p.block_count());
+                        for _ in 0..p.methods().len() {
+                            t.extend(pieces.next().expect("one trace piece per task"));
+                        }
+                        t
+                    })
+                    .collect();
+                self.template.clone().with_machine(machine.clone()).run_precomputed(shared.clone(), traces)
+            })
+            .collect();
+        MatrixRun { machines: self.machines.clone(), runs }
+    }
+}
+
+/// The completed sweep: one [`ExperimentRun`] per machine, plus the
+/// cross-machine comparisons built on top of them.
+pub struct MatrixRun {
+    machines: Vec<MachineConfig>,
+    runs: Vec<ExperimentRun>,
+}
+
+impl MatrixRun {
+    /// The machines, in run order.
+    pub fn machines(&self) -> &[MachineConfig] {
+        &self.machines
+    }
+
+    /// Machine names, in run order.
+    pub fn machine_names(&self) -> Vec<&str> {
+        self.machines.iter().map(|m| m.name()).collect()
+    }
+
+    /// Per-machine pipeline runs, parallel to [`machines`](MatrixRun::machines).
+    pub fn runs(&self) -> &[ExperimentRun] {
+        &self.runs
+    }
+
+    /// One machine's pipeline run, by machine name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not part of this matrix.
+    pub fn run_for(&self, machine: &str) -> &ExperimentRun {
+        let i = self
+            .machines
+            .iter()
+            .position(|m| m.name() == machine)
+            .unwrap_or_else(|| panic!("no machine {machine} in this matrix"));
+        &self.runs[i]
+    }
+
+    /// The per-machine induced rule sets: one factory filter (trained on
+    /// the whole corpus, §3's "at the factory") per machine at threshold
+    /// `t`, paired with the machine name.
+    pub fn factory_filters(&self, t: u32) -> Vec<(String, LearnedFilter)> {
+        self.machines.iter().zip(&self.runs).map(|(m, run)| (m.name().to_string(), run.factory_filter(t))).collect()
+    }
+
+    /// The transfer table: cell `[i][j]` is the classification error
+    /// (percent) of the filter trained on machine `i`'s labels when
+    /// scored against machine `j`'s labels, both at threshold `t`. The
+    /// diagonal is self-error; a row whose off-diagonal cells stay close
+    /// to the diagonal transfers well.
+    pub fn transfer_errors(&self, t: u32) -> Vec<Vec<f64>> {
+        let label = LabelConfig::new(t);
+        let filters: Vec<LearnedFilter> = self.runs.iter().map(|run| run.factory_filter(t)).collect();
+        filters
+            .iter()
+            .map(|filter| {
+                self.runs
+                    .iter()
+                    .map(|eval| classification_matrix(eval.all_traces(), filter, label).error_percent())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Threshold sweep, side by side: for each machine, the LS instance
+    /// count at every threshold in `thresholds` (Table 5, per machine).
+    pub fn ls_sweep(&self, thresholds: &[u32]) -> Vec<(String, Vec<usize>)> {
+        self.machines
+            .iter()
+            .zip(&self.runs)
+            .map(|(m, run)| (m.name().to_string(), thresholds.iter().map(|&t| run.ls_instances(t)).collect()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimingMode;
+    use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Reg};
+
+    /// The same learnable three-benchmark suite the Experiment tests use.
+    fn suite() -> Vec<Program> {
+        ["alpha", "beta", "gamma"]
+            .iter()
+            .enumerate()
+            .map(|(pi, name)| {
+                let mut p = Program::new(*name);
+                for mi in 0..5u32 {
+                    let mut m = Method::new(mi, format!("m{mi}"));
+                    for bi in 0..3u32 {
+                        let mut b = BasicBlock::new(bi);
+                        if (mi + bi) % 2 == 0 {
+                            for k in 0..6u32 {
+                                b.push(
+                                    Inst::new(Opcode::Lwz)
+                                        .def(Reg::gpr(10 + k as u16))
+                                        .use_(Reg::gpr(3))
+                                        .mem(MemRef::slot(MemSpace::Heap, k + bi)),
+                                );
+                                b.push(
+                                    Inst::new(Opcode::Add)
+                                        .def(Reg::gpr(20 + k as u16))
+                                        .use_(Reg::gpr(10 + k as u16))
+                                        .use_(Reg::gpr(10 + k as u16)),
+                                );
+                            }
+                        } else {
+                            b.push(Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(5)).use_(Reg::gpr(6)));
+                        }
+                        b.set_exec_count((pi as u64 + 1) * (bi as u64 + 1));
+                        m.push_block(b);
+                    }
+                    p.push_method(m);
+                }
+                p
+            })
+            .collect()
+    }
+
+    fn deterministic() -> ExperimentMatrix {
+        ExperimentMatrix::over_registry().with_template(
+            Experiment::new(wts_machine::MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic),
+        )
+    }
+
+    #[test]
+    fn one_run_per_registry_machine() {
+        let m = deterministic().run(&suite());
+        assert_eq!(m.runs().len(), wts_machine::registry().len());
+        assert_eq!(m.machine_names(), wts_machine::registry_names());
+        for run in m.runs() {
+            assert_eq!(run.names(), ["alpha", "beta", "gamma"]);
+            assert_eq!(run.all_traces().len(), 3 * 5 * 3);
+        }
+    }
+
+    #[test]
+    fn sharded_matrix_is_bit_identical_to_serial_per_machine_runs() {
+        let programs = suite();
+        let sharded = deterministic().with_threads(7).run(&programs);
+        for machine in wts_machine::registry() {
+            let serial = Experiment::new(machine.clone())
+                .with_threads(1)
+                .with_timing(TimingMode::Deterministic)
+                .run(programs.clone());
+            assert_eq!(
+                serial.all_traces(),
+                sharded.run_for(machine.name()).all_traces(),
+                "{}: matrix sharding must not change the trace",
+                machine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn machines_disagree_on_cycle_counts_but_share_features() {
+        let m = deterministic().run(&suite());
+        let ppc = m.run_for("ppc7410").all_traces();
+        let emb = m.run_for("embedded").all_traces();
+        assert!(
+            ppc.iter().zip(emb).any(|(a, b)| a.est_unsched != b.est_unsched),
+            "different latency tables must produce different estimates"
+        );
+        for (a, b) in ppc.iter().zip(m.run_for("embedded").all_traces()) {
+            assert_eq!(a.features, b.features, "features are machine-independent");
+        }
+    }
+
+    #[test]
+    fn factory_filters_and_sweep_cover_every_machine() {
+        let m = deterministic().run(&suite());
+        let filters = m.factory_filters(0);
+        assert_eq!(filters.len(), m.machines().len());
+        for ((name, f), expect) in filters.iter().zip(m.machine_names()) {
+            assert_eq!(name, expect);
+            assert_eq!(f.threshold_percent(), 0);
+        }
+        let sweep = m.ls_sweep(&[0, 25, 50]);
+        for (_, counts) in &sweep {
+            assert_eq!(counts.len(), 3);
+            assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "LS shrinks with t: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_table_is_square_with_sane_errors() {
+        let m = deterministic().run(&suite());
+        let n = m.machines().len();
+        let errors = m.transfer_errors(0);
+        assert_eq!(errors.len(), n);
+        for row in &errors {
+            assert_eq!(row.len(), n);
+            for &e in row {
+                assert!((0.0..=100.0).contains(&e), "error {e}% out of range");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no machine nope")]
+    fn unknown_machine_panics() {
+        deterministic().run(&suite()).run_for("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_machine_list_rejected() {
+        ExperimentMatrix::new(Vec::new());
+    }
+}

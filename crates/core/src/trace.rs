@@ -151,6 +151,48 @@ pub fn collect_trace_with(program: &Program, machine: &MachineConfig, options: &
     }
 }
 
+/// Traces a single method — the machines×methods sharding unit of the
+/// cross-machine [`ExperimentMatrix`](crate::ExperimentMatrix).
+///
+/// Output is exactly the slice of [`collect_trace_with`]'s result that
+/// covers `method`, so a matrix run reassembling per-method pieces in
+/// method order reproduces the per-program collector bit for bit (under
+/// [`TimingMode::Deterministic`]; up to wall-clock jitter otherwise).
+pub fn collect_method_trace(
+    benchmark: &str,
+    method: &Method,
+    machine: &MachineConfig,
+    options: &TraceOptions,
+) -> Vec<TraceRecord> {
+    let scheduler = ListScheduler::with_policy(machine, options.policy);
+    let measured = options.measured.provider(machine);
+    let mut out = Vec::new();
+    match options.estimated {
+        EstimatorKind::Cheap => trace_method(
+            benchmark,
+            method,
+            &scheduler,
+            EstSource::Scheduler,
+            measured.as_ref(),
+            options.timing,
+            &mut out,
+        ),
+        kind => {
+            let estimated = kind.provider(machine);
+            trace_method(
+                benchmark,
+                method,
+                &scheduler,
+                EstSource::Provider(estimated.as_ref()),
+                measured.as_ref(),
+                options.timing,
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
 /// Which source fills the `est_*` channels.
 #[derive(Clone, Copy)]
 enum EstSource<'a> {
@@ -393,6 +435,20 @@ mod tests {
                 &TraceOptions { threads, timing: TimingMode::Deterministic, ..Default::default() },
             );
             assert_eq!(serial, sharded, "sharded ({threads} threads) trace must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn method_trace_is_a_slice_of_the_program_trace() {
+        let p = wide_program(5);
+        let opts = TraceOptions { timing: TimingMode::Deterministic, ..Default::default() };
+        for machine in wts_machine::registry() {
+            let whole = collect_trace_with(&p, &machine, &opts);
+            let mut stitched = Vec::new();
+            for method in p.methods() {
+                stitched.extend(collect_method_trace(p.name(), method, &machine, &opts));
+            }
+            assert_eq!(whole, stitched, "{}: per-method pieces must reassemble exactly", machine.name());
         }
     }
 

@@ -6,14 +6,14 @@
 //! ARTIFACTs: table1 table2 table3 table4 table5 table6 table7
 //!            fig1 fig2 fig3 fig4
 //!            calibrate learners machines policies factory
-//!            superblocks adaptive selftrain
+//!            superblocks adaptive selftrain matrix
 //!            all          (default: everything above)
 //! ```
 
 use std::process::ExitCode;
 use wts_experiments::{table1, table2, table7, Experiments};
 
-const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|adaptive|selftrain|all]...";
+const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|adaptive|selftrain|matrix|all]...";
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
@@ -61,6 +61,7 @@ fn main() -> ExitCode {
         "superblocks",
         "adaptive",
         "selftrain",
+        "matrix",
     ];
     if artifacts.iter().any(|a| a == "all") {
         artifacts = all.iter().map(|s| s.to_string()).collect();
@@ -105,6 +106,12 @@ fn main() -> ExitCode {
                     "superblocks" => println!("{}", e.superblocks()),
                     "adaptive" => println!("{}", e.adaptive(100)),
                     "selftrain" => println!("{}", e.selftrain(20)),
+                    "matrix" => {
+                        eprintln!("# tracing the FP suite on every registry machine...");
+                        let m = e.matrix();
+                        println!("{}", e.machine_sweep(&m));
+                        println!("{}", e.cross_machine(&m, 0));
+                    }
                     "factory" => println!("{}", e.factory_filter(20)),
                     _ => unreachable!("validated above"),
                 }

@@ -10,6 +10,7 @@
 //! repro --scale 1.0 all          # everything, paper-sized corpus
 //! repro table3                   # one artifact
 //! repro --scale 0.1 fig2         # quick look
+//! repro --scale 0.1 matrix       # cross-machine sweep over the registry
 //! ```
 //!
 //! Methods return [`Table`]s (or strings for Figure 4) so tests can assert
@@ -17,6 +18,7 @@
 
 mod extensions;
 mod figures;
+mod matrix;
 mod statics;
 mod table;
 mod tables;

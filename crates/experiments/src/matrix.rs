@@ -1,0 +1,120 @@
+//! Cross-machine artifacts: the machine registry pushed through the
+//! full pipeline, the induced rule sets compared side by side, and the
+//! transfer table answering the reproduction's re-derivation question —
+//! does a rule set induced for one machine work on another, or must the
+//! filter be retrained per target (paper §4)?
+
+use crate::table::{f2, Table};
+use crate::{Experiments, SuiteKind, THRESHOLDS};
+use wts_core::{Experiment, ExperimentMatrix, MatrixRun, TimingMode};
+
+impl Experiments {
+    /// Runs the full pipeline for every registry machine over the FP
+    /// suite's programs, sharding the machines×methods product across
+    /// all cores. The result feeds [`cross_machine`] and
+    /// [`machine_sweep`]; build it once and derive both tables.
+    ///
+    /// Deterministic timing keeps the sweep reproducible — no published
+    /// artifact reads the matrix's wall-clock channels.
+    ///
+    /// [`cross_machine`]: Experiments::cross_machine
+    /// [`machine_sweep`]: Experiments::machine_sweep
+    pub fn matrix(&self) -> MatrixRun {
+        let template = Experiment::new(self.machine().clone()).with_timing(TimingMode::Deterministic);
+        ExperimentMatrix::over_registry().with_template(template).run(self.run(SuiteKind::Fp).programs())
+    }
+
+    /// The transfer table: train the t=`t` factory rule set on the row
+    /// machine's labels, score it on the column machine's labels. The
+    /// diagonal is self-error; a large off-diagonal excess is the
+    /// paper's case for re-deriving the filter per target machine.
+    pub fn cross_machine(&self, matrix: &MatrixRun, t: u32) -> Table {
+        let names = matrix.machine_names();
+        let mut headers = vec![format!("Train\\Eval (t={t})")];
+        headers.extend(names.iter().map(|n| n.to_string()));
+        let mut table = Table::new("Cross-machine transfer: classification error % of induced rule sets", headers);
+        for (name, row) in names.iter().zip(matrix.transfer_errors(t)) {
+            let mut cells = vec![name.to_string()];
+            cells.extend(row.iter().map(|&e| f2(e)));
+            table.push_row(cells);
+        }
+        table
+    }
+
+    /// Per-machine threshold sweep, side by side: LS instance counts at
+    /// every paper threshold (Table 5 per machine), plus each machine's
+    /// induced t=0 rule count — how much structure there is to learn on
+    /// each target.
+    pub fn machine_sweep(&self, matrix: &MatrixRun) -> Table {
+        let mut headers = vec!["Machine".to_string()];
+        headers.extend(THRESHOLDS.iter().map(|t| format!("t={t}")));
+        headers.push("Rules(t=0)".into());
+        let mut table = Table::new("Cross-machine threshold sweep: LS instances per machine", headers);
+        let sweep = matrix.ls_sweep(&THRESHOLDS);
+        let filters = matrix.factory_filters(0);
+        for ((name, counts), (_, filter)) in sweep.iter().zip(&filters) {
+            let mut cells = vec![name.clone()];
+            cells.extend(counts.iter().map(|c| c.to_string()));
+            cells.push(filter.rules().len().to_string());
+            table.push_row(cells);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wts_machine::registry_names;
+
+    fn harness() -> Experiments {
+        Experiments::new(0.02)
+    }
+
+    #[test]
+    fn cross_machine_table_is_square_over_the_registry() {
+        let e = harness();
+        let m = e.matrix();
+        let t = e.cross_machine(&m, 0);
+        let n = registry_names().len();
+        assert_eq!(t.row_count(), n);
+        assert_eq!(t.headers().len(), n + 1);
+        for row in 0..n {
+            assert_eq!(t.cell(row, 0), registry_names()[row]);
+            for col in 1..=n {
+                let e: f64 = t.cell(row, col).parse().unwrap();
+                assert!((0.0..=100.0).contains(&e), "error {e}% out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn machine_sweep_counts_fall_with_threshold() {
+        let e = harness();
+        let m = e.matrix();
+        let t = e.machine_sweep(&m);
+        assert_eq!(t.row_count(), registry_names().len());
+        for row in 0..t.row_count() {
+            let counts: Vec<usize> = (1..=THRESHOLDS.len()).map(|c| t.cell(row, c).parse().unwrap()).collect();
+            for w in counts.windows(2) {
+                assert!(w[1] <= w[0], "LS counts must fall with t: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_pays_off_more_on_the_embedded_core() {
+        let e = harness();
+        let m = e.matrix();
+        let sweep = m.ls_sweep(&[0]);
+        let count_for = |name: &str| sweep.iter().find(|(n, _)| n == name).map(|(_, c)| c[0]).unwrap();
+        // The slow-memory in-order core leaves far more blocks worth
+        // scheduling than the wide OoO machine recovers on its own.
+        assert!(
+            count_for("embedded") >= count_for("wide4"),
+            "embedded {} vs wide4 {}",
+            count_for("embedded"),
+            count_for("wide4")
+        );
+    }
+}

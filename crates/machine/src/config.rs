@@ -59,57 +59,82 @@ impl MachineConfig {
         MachineConfig { name: name.into(), issue_width, branch_width, window, latencies, unit_map: map }
     }
 
+    /// Starts a [`MachineBuilder`] with single-issue in-order defaults,
+    /// 7410 latencies and the conventional one-unit-per-class mapping.
+    pub fn builder(name: impl Into<String>) -> MachineBuilder {
+        MachineBuilder::new(name)
+    }
+
     /// The PowerPC 7410 model used in the paper's experiments: two
     /// dissimilar integer units, one each of FPU/BRU/LSU/SU, two non-branch
     /// plus one branch issue per cycle, and a small out-of-order window.
     pub fn ppc7410() -> MachineConfig {
         use FunctionalUnit::*;
-        MachineConfig::new(
-            "ppc7410",
-            2,
-            1,
-            8,
-            LatencyTable::ppc7410(),
-            [
-                (UnitClass::SimpleInt, UnitSet::of(&[Iu1, Iu2])),
-                (UnitClass::ComplexInt, UnitSet::of(&[Iu2])),
-                (UnitClass::Float, UnitSet::of(&[Fpu])),
-                (UnitClass::Branch, UnitSet::of(&[Bru])),
-                (UnitClass::LoadStore, UnitSet::of(&[Lsu])),
-                (UnitClass::System, UnitSet::of(&[Su])),
-            ],
-        )
+        MachineConfig::builder("ppc7410")
+            .issue_width(2)
+            .window(8)
+            .units(UnitClass::SimpleInt, &[Iu1, Iu2])
+            .units(UnitClass::ComplexInt, &[Iu2])
+            .build()
     }
 
     /// A single-issue, fully in-order machine (ablation: "older processors
     /// with less dynamic scheduling", paper §3.1). Scheduling matters more
     /// here because the hardware recovers nothing.
     pub fn simple_scalar() -> MachineConfig {
-        use FunctionalUnit::*;
-        MachineConfig::new(
-            "simple-scalar",
-            1,
-            1,
-            1,
-            LatencyTable::ppc7410(),
-            [
-                (UnitClass::SimpleInt, UnitSet::of(&[Iu1])),
-                (UnitClass::ComplexInt, UnitSet::of(&[Iu1])),
-                (UnitClass::Float, UnitSet::of(&[Fpu])),
-                (UnitClass::Branch, UnitSet::of(&[Bru])),
-                (UnitClass::LoadStore, UnitSet::of(&[Lsu])),
-                (UnitClass::System, UnitSet::of(&[Su])),
-            ],
-        )
+        MachineConfig::builder("simple-scalar").build()
     }
 
     /// Like the 7410 but with doubled floating-point latencies (ablation:
     /// an FP-weak core where scheduling FP code pays off even more).
+    /// Derived from [`ppc7410`](MachineConfig::ppc7410) rather than
+    /// restated, so the two can never silently diverge in shape.
     pub fn deep_fp() -> MachineConfig {
         let mut m = MachineConfig::ppc7410();
         m.name = "deep-fp".into();
         m.latencies = m.latencies.with_scaled_float(2);
         m
+    }
+
+    /// A wide 4-issue superscalar: both integer units take complex ops,
+    /// two branches per cycle, a deep out-of-order window and the fast
+    /// [`LatencyTable::wide4`] cache. The hardware recovers most stalls
+    /// itself, so induced filters should learn to schedule *less* here.
+    pub fn wide4() -> MachineConfig {
+        use FunctionalUnit::*;
+        MachineConfig::builder("wide4")
+            .issue_width(4)
+            .branch_width(2)
+            .window(32)
+            .units(UnitClass::SimpleInt, &[Iu1, Iu2])
+            .units(UnitClass::ComplexInt, &[Iu1, Iu2])
+            .latencies(LatencyTable::wide4())
+            .build()
+    }
+
+    /// A single-issue embedded core with the long-memory-latency
+    /// [`LatencyTable::embedded`] profile and no dynamic scheduling at
+    /// all. The opposite end of the spectrum from [`wide4`]: almost every
+    /// block with a load benefits from static scheduling.
+    ///
+    /// [`wide4`]: MachineConfig::wide4
+    pub fn embedded() -> MachineConfig {
+        MachineConfig::builder("embedded").latencies(LatencyTable::embedded()).build()
+    }
+
+    /// A deep-pipeline, high-branch-cost profile
+    /// ([`LatencyTable::deep_pipe`]): dual-issue with a modest window,
+    /// where control transfers dominate block cost and the win from
+    /// scheduling concentrates in branch-light blocks.
+    pub fn deep_pipe() -> MachineConfig {
+        use FunctionalUnit::*;
+        MachineConfig::builder("deep-pipe")
+            .issue_width(2)
+            .window(16)
+            .units(UnitClass::SimpleInt, &[Iu1, Iu2])
+            .units(UnitClass::ComplexInt, &[Iu2])
+            .latencies(LatencyTable::deep_pipe())
+            .build()
     }
 
     /// Machine name.
@@ -151,6 +176,118 @@ impl MachineConfig {
 impl Default for MachineConfig {
     fn default() -> MachineConfig {
         MachineConfig::ppc7410()
+    }
+}
+
+/// Step-by-step construction of a [`MachineConfig`].
+///
+/// The builder starts from a conservative baseline — single-issue,
+/// fully in-order, [`LatencyTable::ppc7410`] latencies, one unit per
+/// class (both integer classes on IU1) — and every named machine in the
+/// [registry](crate::registry) is a handful of overrides on top of it,
+/// which is also how downstream users add their own targets.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ir::UnitClass;
+/// use wts_machine::{FunctionalUnit, MachineConfig};
+///
+/// let m = MachineConfig::builder("my-core")
+///     .issue_width(2)
+///     .window(4)
+///     .units(UnitClass::SimpleInt, &[FunctionalUnit::Iu1, FunctionalUnit::Iu2])
+///     .build();
+/// assert_eq!(m.name(), "my-core");
+/// assert_eq!(m.issue_width(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    name: String,
+    issue_width: u32,
+    branch_width: u32,
+    window: usize,
+    latencies: LatencyTable,
+    unit_map: [UnitSet; 6],
+}
+
+impl MachineBuilder {
+    /// A builder with the conservative single-issue baseline.
+    pub fn new(name: impl Into<String>) -> MachineBuilder {
+        use FunctionalUnit::*;
+        let mut unit_map = [UnitSet::new(); 6];
+        for (class, set) in [
+            (UnitClass::SimpleInt, UnitSet::of(&[Iu1])),
+            (UnitClass::ComplexInt, UnitSet::of(&[Iu1])),
+            (UnitClass::Float, UnitSet::of(&[Fpu])),
+            (UnitClass::Branch, UnitSet::of(&[Bru])),
+            (UnitClass::LoadStore, UnitSet::of(&[Lsu])),
+            (UnitClass::System, UnitSet::of(&[Su])),
+        ] {
+            unit_map[class_index(class)] = set;
+        }
+        MachineBuilder {
+            name: name.into(),
+            issue_width: 1,
+            branch_width: 1,
+            window: 1,
+            latencies: LatencyTable::ppc7410(),
+            unit_map,
+        }
+    }
+
+    /// Maximum non-branch issues per cycle.
+    pub fn issue_width(mut self, width: u32) -> MachineBuilder {
+        self.issue_width = width;
+        self
+    }
+
+    /// Maximum branch issues per cycle.
+    pub fn branch_width(mut self, width: u32) -> MachineBuilder {
+        self.branch_width = width;
+        self
+    }
+
+    /// Out-of-order window depth of the detailed simulator (1 = in-order).
+    pub fn window(mut self, window: usize) -> MachineBuilder {
+        self.window = window;
+        self
+    }
+
+    /// Replaces the whole latency table.
+    pub fn latencies(mut self, table: LatencyTable) -> MachineBuilder {
+        self.latencies = table;
+        self
+    }
+
+    /// Overrides a single opcode's latency on the current table.
+    pub fn latency(mut self, op: wts_ir::Opcode, cycles: u32) -> MachineBuilder {
+        self.latencies.set(op, cycles);
+        self
+    }
+
+    /// Maps a unit class onto an explicit unit set.
+    pub fn units(mut self, class: UnitClass, units: &[FunctionalUnit]) -> MachineBuilder {
+        self.unit_map[class_index(class)] = UnitSet::of(units);
+        self
+    }
+
+    /// Validates and builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MachineConfig::new`]: zero
+    /// widths or window, or a unit class left with no units.
+    pub fn build(self) -> MachineConfig {
+        let unit_map = [
+            (UnitClass::SimpleInt, self.unit_map[class_index(UnitClass::SimpleInt)]),
+            (UnitClass::ComplexInt, self.unit_map[class_index(UnitClass::ComplexInt)]),
+            (UnitClass::Float, self.unit_map[class_index(UnitClass::Float)]),
+            (UnitClass::Branch, self.unit_map[class_index(UnitClass::Branch)]),
+            (UnitClass::LoadStore, self.unit_map[class_index(UnitClass::LoadStore)]),
+            (UnitClass::System, self.unit_map[class_index(UnitClass::System)]),
+        ];
+        MachineConfig::new(self.name, self.issue_width, self.branch_width, self.window, self.latencies, unit_map)
     }
 }
 
@@ -209,5 +346,67 @@ mod tests {
     #[test]
     fn default_is_ppc7410() {
         assert_eq!(MachineConfig::default(), MachineConfig::ppc7410());
+    }
+
+    #[test]
+    fn builder_defaults_are_the_conservative_baseline() {
+        let m = MachineConfig::builder("base").build();
+        assert_eq!(m.name(), "base");
+        assert_eq!(m.issue_width(), 1);
+        assert_eq!(m.branch_width(), 1);
+        assert_eq!(m.window(), 1);
+        assert_eq!(m.latencies(), &LatencyTable::ppc7410());
+        for class in UnitClass::ALL {
+            assert_eq!(m.units_for(class).len(), 1, "{class} defaults to one unit");
+        }
+        assert_eq!(m, MachineConfig::builder("base").build(), "builder is deterministic");
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let m = MachineConfig::builder("tweaked")
+            .issue_width(3)
+            .branch_width(2)
+            .window(12)
+            .latency(Opcode::Lwz, 9)
+            .units(UnitClass::Float, &[FunctionalUnit::Fpu, FunctionalUnit::Su])
+            .build();
+        assert_eq!(m.issue_width(), 3);
+        assert_eq!(m.branch_width(), 2);
+        assert_eq!(m.window(), 12);
+        assert_eq!(m.latency(Opcode::Lwz), 9);
+        assert_eq!(m.units_for(UnitClass::Float).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no units")]
+    fn builder_rejects_empty_unit_class() {
+        MachineConfig::builder("broken").units(UnitClass::Float, &[]).build();
+    }
+
+    #[test]
+    fn wide4_is_wide_and_fast() {
+        let m = MachineConfig::wide4();
+        assert_eq!(m.issue_width(), 4);
+        assert_eq!(m.branch_width(), 2);
+        assert!(m.window() > MachineConfig::ppc7410().window());
+        assert_eq!(m.units_for(UnitClass::ComplexInt).len(), 2, "both integer units take complex ops");
+        assert!(m.latency(Opcode::Lwz) < MachineConfig::ppc7410().latency(Opcode::Lwz));
+    }
+
+    #[test]
+    fn embedded_is_narrow_with_slow_memory() {
+        let m = MachineConfig::embedded();
+        assert_eq!(m.issue_width(), 1);
+        assert_eq!(m.window(), 1, "no dynamic scheduling at all");
+        assert!(m.latency(Opcode::Lwz) >= 8, "long memory latency is the point");
+    }
+
+    #[test]
+    fn deep_pipe_pays_for_branches() {
+        let m = MachineConfig::deep_pipe();
+        assert_eq!(m.issue_width(), 2);
+        assert!(m.latency(Opcode::Bc) > MachineConfig::ppc7410().latency(Opcode::Bc));
+        assert!(m.latency(Opcode::Bl) > MachineConfig::ppc7410().latency(Opcode::Bl));
     }
 }

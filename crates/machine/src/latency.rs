@@ -61,6 +61,74 @@ impl LatencyTable {
         t
     }
 
+    /// A wide, fast-cache superscalar table: loads hit in 2 cycles,
+    /// multiplies in 3, and divides are shorter — the profile of a core
+    /// that spends its transistors on bandwidth rather than depth.
+    pub fn wide4() -> LatencyTable {
+        let mut t = LatencyTable::ppc7410();
+        use Opcode::*;
+        for (ops, cycles) in [
+            (&[Lwz, Lbz, Lhz, Lha][..], 2),
+            (&[Lfs, Lfd][..], 3),
+            (&[Stw, Stb, Sth, Stfs, Stfd][..], 2),
+            (&[Mullw, Mulhw][..], 3),
+            (&[Divw, Divwu][..], 12),
+            (&[Fdiv][..], 24),
+        ] {
+            for &op in ops {
+                t.set(op, cycles);
+            }
+        }
+        t
+    }
+
+    /// A single-issue embedded-core table dominated by its memory system:
+    /// no L1 to speak of, so loads take 8–10 cycles and stores 6, with
+    /// slow multi-cycle FP. Long load-use distances are exactly what list
+    /// scheduling hides, so this profile makes the filter's LS class big.
+    pub fn embedded() -> LatencyTable {
+        let mut t = LatencyTable::ppc7410();
+        use Opcode::*;
+        for (ops, cycles) in [
+            (&[Lwz, Lbz, Lhz, Lha][..], 8),
+            (&[Lfs, Lfd][..], 10),
+            (&[Stw, Stb, Sth, Stfs, Stfd][..], 6),
+            (&[Mullw, Mulhw][..], 6),
+            (&[Divw, Divwu][..], 34),
+            (&[Fadd, Fsub, Fmul][..], 8),
+            (&[Fmadd][..], 10),
+            (&[Fdiv][..], 48),
+        ] {
+            for &op in ops {
+                t.set(op, cycles);
+            }
+        }
+        t
+    }
+
+    /// A deep-pipeline table: taken control transfers pay a heavy
+    /// front-end refill (5-cycle branches, 8-cycle calls) and every
+    /// multi-cycle op stretches a little — the profile of a
+    /// high-frequency design with a long fetch/decode pipe.
+    pub fn deep_pipe() -> LatencyTable {
+        let mut t = LatencyTable::ppc7410();
+        use Opcode::*;
+        for (ops, cycles) in [
+            (&[B, Bc, Bctr, Blr][..], 5),
+            (&[Bl, Bctrl][..], 8),
+            (&[Lwz, Lbz, Lhz, Lha][..], 4),
+            (&[Lfs, Lfd][..], 5),
+            (&[Fadd, Fsub, Fmul][..], 6),
+            (&[Fmadd][..], 7),
+            (&[Mullw, Mulhw][..], 5),
+        ] {
+            for &op in ops {
+                t.set(op, cycles);
+            }
+        }
+        t
+    }
+
     /// Latency of `op` in cycles (always at least 1).
     pub fn latency(&self, op: Opcode) -> u32 {
         self.latency[op.index()]
@@ -160,6 +228,24 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn zero_latency_rejected() {
         LatencyTable::uniform(1).set(Opcode::Add, 0);
+    }
+
+    #[test]
+    fn profile_tables_keep_their_signature_shapes() {
+        let base = LatencyTable::ppc7410();
+        let wide = LatencyTable::wide4();
+        let emb = LatencyTable::embedded();
+        let deep = LatencyTable::deep_pipe();
+        for t in [&wide, &emb, &deep] {
+            for &op in Opcode::ALL {
+                assert!(t.latency(op) >= 1, "{op} has zero latency");
+            }
+            assert!(t.is_non_pipelined(Opcode::Fdiv), "divides stay non-pipelined in every profile");
+        }
+        assert!(wide.latency(Opcode::Lwz) < base.latency(Opcode::Lwz), "wide4 has the fast cache");
+        assert!(emb.latency(Opcode::Lwz) > base.latency(Opcode::Lwz), "embedded pays for memory");
+        assert!(deep.latency(Opcode::Bc) > base.latency(Opcode::Bc), "deep pipe pays for branches");
+        assert_eq!(deep.latency(Opcode::Add), base.latency(Opcode::Add), "simple ALU stays single-cycle");
     }
 
     #[test]

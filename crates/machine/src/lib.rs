@@ -20,7 +20,12 @@
 //!
 //! The default target is [`MachineConfig::ppc7410`]: two dissimilar integer
 //! units, one each of float / branch / load-store / system, and an issue
-//! limit of two non-branch instructions plus one branch per cycle.
+//! limit of two non-branch instructions plus one branch per cycle. It is
+//! one entry in the named machine [`registry`](crate::registry), which
+//! spans the dynamism spectrum from a single-issue embedded core with
+//! slow memory to a 4-issue deep-window superscalar; new targets are a
+//! [`MachineBuilder`] plus a registry row (see the module docs of
+//! [`registry`](crate::registry)).
 //!
 //! # Examples
 //!
@@ -43,11 +48,13 @@ mod cost;
 mod latency;
 mod pipeline;
 mod provider;
+pub mod registry;
 mod unit;
 
-pub use config::MachineConfig;
+pub use config::{MachineBuilder, MachineConfig};
 pub use cost::{CostModel, IssueState};
 pub use latency::LatencyTable;
 pub use pipeline::PipelineSim;
 pub use provider::{CostProvider, EstimatorKind};
+pub use registry::{registry, registry_names, REGISTRY};
 pub use unit::{FunctionalUnit, UnitSet};

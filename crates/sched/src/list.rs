@@ -74,7 +74,6 @@ impl<'m> ListScheduler<'m> {
             _ => None,
         };
 
-        let mut scheduled = vec![false; n];
         let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.preds(i).len()).collect();
         let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
@@ -82,7 +81,6 @@ impl<'m> ListScheduler<'m> {
 
         while let Some(pos) = self.select(&ready, &cp, &state, insts, rng.as_mut()) {
             let chosen = ready.swap_remove(pos);
-            scheduled[chosen] = true;
             state.issue(&insts[chosen]);
             order.push(chosen);
             for &(s, _) in graph.succs(chosen) {
@@ -95,7 +93,10 @@ impl<'m> ListScheduler<'m> {
         }
         debug_assert_eq!(order.len(), n, "scheduler must place every instruction");
 
-        let cycles_after = cost.sequence_cycles(&order.iter().map(|&i| insts[i].clone()).collect::<Vec<_>>());
+        // The running state issued every instruction in the chosen order,
+        // so its completion time *is* the new order's cost — no clone and
+        // re-simulate pass (this is the hottest loop in trace collection).
+        let cycles_after = state.completion_time();
         if cycles_after > cycles_before {
             // Greedy list scheduling is not optimal; when the estimator
             // rates the new order worse, keep the original (the estimate
@@ -124,23 +125,11 @@ impl<'m> ListScheduler<'m> {
         }
         let pick = match self.policy {
             SchedulePolicy::Random(_) => rng.expect("rng present for random policy").pick(ready.len()),
-            SchedulePolicy::CriticalPathOnly => {
-                // Highest critical path, ties by lowest original index.
+            SchedulePolicy::CriticalPath | SchedulePolicy::EarliestStart | SchedulePolicy::CriticalPathOnly => {
                 let mut best = 0;
+                let mut best_key = self.key(ready[0], cp, state, insts);
                 for (k, &ki) in ready.iter().enumerate().skip(1) {
-                    let bi = ready[best];
-                    if (cp[ki], std::cmp::Reverse(ki)) > (cp[bi], std::cmp::Reverse(bi)) {
-                        best = k;
-                    }
-                }
-                best
-            }
-            SchedulePolicy::CriticalPath | SchedulePolicy::EarliestStart => {
-                let use_cp = self.policy == SchedulePolicy::CriticalPath;
-                let mut best = 0;
-                let mut best_key = self.key(ready[0], cp, state, insts, use_cp);
-                for (k, &ki) in ready.iter().enumerate().skip(1) {
-                    let key = self.key(ki, cp, state, insts, use_cp);
+                    let key = self.key(ki, cp, state, insts);
                     if key < best_key {
                         best = k;
                         best_key = key;
@@ -152,11 +141,30 @@ impl<'m> ListScheduler<'m> {
         Some(pick)
     }
 
-    /// Sort key: (earliest start, negated critical path, original index).
-    fn key(&self, i: usize, cp: &[u64], state: &IssueState<'_>, insts: &[Inst], use_cp: bool) -> (u64, i64, usize) {
-        let start = state.earliest_issue(&insts[i]);
-        let prio = if use_cp { -(cp[i] as i64) } else { 0 };
-        (start, prio, i)
+    /// The one selection key every deterministic policy minimizes:
+    /// `(earliest start, Reverse(critical path), original index)`.
+    ///
+    /// `CriticalPath` uses all three components; `EarliestStart` ignores
+    /// the critical path; `CriticalPathOnly` ignores the start time. The
+    /// critical path is kept as `Reverse<u64>` — latency-weighted paths
+    /// are `u64` and a negated `as i64` cast would wrap on pathological
+    /// blocks, inverting the priority.
+    fn key(
+        &self,
+        i: usize,
+        cp: &[u64],
+        state: &IssueState<'_>,
+        insts: &[Inst],
+    ) -> (u64, std::cmp::Reverse<u64>, usize) {
+        let start = match self.policy {
+            SchedulePolicy::CriticalPathOnly => 0,
+            _ => state.earliest_issue(&insts[i]),
+        };
+        let prio = match self.policy {
+            SchedulePolicy::EarliestStart => 0,
+            _ => cp[i],
+        };
+        (start, std::cmp::Reverse(prio), i)
     }
 }
 
@@ -251,6 +259,32 @@ mod tests {
         let cps = ListScheduler::with_policy(&m, SchedulePolicy::CriticalPath).schedule_insts(&insts);
         let es = ListScheduler::with_policy(&m, SchedulePolicy::EarliestStart).schedule_insts(&insts);
         assert!(cps.cycles_after <= es.cycles_after);
+    }
+
+    #[test]
+    fn tie_breaking_is_consistent_across_policies() {
+        let m = machine();
+        // Tie-heavy block: six independent single-cycle adds — identical
+        // critical paths, identical start times. Every deterministic
+        // policy must resolve the ties the same way (lowest original
+        // index first), pinning the shared-key behaviour.
+        let ties: Vec<Inst> = (0..6u16).map(|i| add(i + 1, 20 + i, 26 + i)).collect();
+        for policy in [SchedulePolicy::CriticalPath, SchedulePolicy::EarliestStart, SchedulePolicy::CriticalPathOnly] {
+            let out = ListScheduler::with_policy(&m, policy).schedule_insts(&ties);
+            assert_eq!(out.order, vec![0, 1, 2, 3, 4, 5], "{policy} must break ties by original index");
+        }
+        // And when critical paths differ, both cp-aware policies agree on
+        // pulling the long chain forward past an equal-start rival.
+        let insts = vec![
+            add(1, 20, 20),                                                               // short, independent
+            Inst::new(Opcode::Fdiv).def(Reg::fpr(1)).use_(Reg::fpr(2)).use_(Reg::fpr(3)), // heads the long chain
+            Inst::new(Opcode::Fadd).def(Reg::fpr(4)).use_(Reg::fpr(1)).use_(Reg::fpr(1)),
+        ];
+        for policy in [SchedulePolicy::CriticalPath, SchedulePolicy::CriticalPathOnly] {
+            let out = ListScheduler::with_policy(&m, policy).schedule_insts(&insts);
+            let pos = |i: usize| out.order.iter().position(|&x| x == i).unwrap();
+            assert!(pos(1) < pos(0), "{policy} must start the critical chain first");
+        }
     }
 
     #[test]

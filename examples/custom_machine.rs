@@ -1,42 +1,29 @@
-//! Define a custom machine model and see how the value of scheduling —
-//! and therefore of the filter — depends on the hardware's own dynamism
-//! (paper §3.1's discussion of older, less dynamic processors).
+//! Define a custom machine model with the builder, stand it next to the
+//! registry, and see how the value of scheduling — and therefore of the
+//! filter — depends on the hardware's own dynamism (paper §3.1's
+//! discussion of older, less dynamic processors).
 //!
 //! ```text
 //! cargo run --release --example custom_machine
 //! ```
 
 use schedfilter::filters::{app_time_ratio, collect_trace, predicted_time_ratio, AlwaysSchedule};
-use schedfilter::machine::{FunctionalUnit, LatencyTable, UnitSet};
 use schedfilter::prelude::*;
 use schedfilter::ripper::geometric_mean;
-use wts_ir::UnitClass;
 
 fn main() {
-    // A hypothetical embedded core: single integer unit, slow memory,
-    // very slow FP, no out-of-order window at all.
-    let mut latencies = LatencyTable::ppc7410();
-    latencies.set(Opcode::Lwz, 5);
-    latencies.set(Opcode::Lfd, 6);
-    latencies.set(Opcode::Fadd, 8);
-    latencies.set(Opcode::Fmul, 10);
-    let embedded = MachineConfig::new(
-        "embedded-core",
-        1,
-        1,
-        1,
-        latencies,
-        [
-            (UnitClass::SimpleInt, UnitSet::of(&[FunctionalUnit::Iu1])),
-            (UnitClass::ComplexInt, UnitSet::of(&[FunctionalUnit::Iu1])),
-            (UnitClass::Float, UnitSet::of(&[FunctionalUnit::Fpu])),
-            (UnitClass::Branch, UnitSet::of(&[FunctionalUnit::Bru])),
-            (UnitClass::LoadStore, UnitSet::of(&[FunctionalUnit::Lsu])),
-            (UnitClass::System, UnitSet::of(&[FunctionalUnit::Su])),
-        ],
-    );
+    // A hypothetical in-order core sitting between the registry's
+    // "embedded" (slow everything) and "ppc7410" (the paper's target):
+    // slow memory and very slow FP, but regular integer latencies.
+    let hybrid = MachineConfig::builder("hybrid-core")
+        .latency(Opcode::Lwz, 5)
+        .latency(Opcode::Lfd, 6)
+        .latency(Opcode::Fadd, 8)
+        .latency(Opcode::Fmul, 10)
+        .build();
 
-    let machines = [MachineConfig::ppc7410(), MachineConfig::deep_fp(), embedded];
+    let mut machines = registry();
+    machines.push(hybrid);
     let suite = Suite::fp(0.1);
 
     println!("How much does always-scheduling help, per machine (FP suite)?\n");
@@ -53,4 +40,5 @@ fn main() {
     }
     println!("\nLess dynamic hardware (smaller window, longer latencies) gains more from");
     println!("static scheduling — which makes deciding *whether* to schedule matter more.");
+    println!("Add your own target: MachineConfig::builder(..) + a row in wts_machine::REGISTRY.");
 }

@@ -57,14 +57,16 @@ pub use wts_sched as sched;
 /// Commonly used items, importable with one `use`.
 pub mod prelude {
     pub use wts_core::{
-        Experiment, ExperimentRun, Filter, LabelConfig, LearnedFilter, SizeThresholdFilter, TimingMode, TraceOptions,
-        TraceRecord,
+        Experiment, ExperimentMatrix, ExperimentRun, Filter, LabelConfig, LearnedFilter, MatrixRun,
+        SizeThresholdFilter, TimingMode, TraceOptions, TraceRecord,
     };
     pub use wts_deps::DepGraph;
     pub use wts_features::{FeatureKind, FeatureVector};
     pub use wts_ir::{BasicBlock, Category, Hazards, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
     pub use wts_jit::{Benchmark, CompileSession, Suite};
-    pub use wts_machine::{CostModel, CostProvider, EstimatorKind, MachineConfig, PipelineSim};
+    pub use wts_machine::{
+        registry, CostModel, CostProvider, EstimatorKind, MachineBuilder, MachineConfig, PipelineSim,
+    };
     pub use wts_ripper::{Dataset, RipperConfig, RuleSet};
     pub use wts_sched::{ListScheduler, SchedulePolicy};
 }

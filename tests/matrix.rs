@@ -1,0 +1,91 @@
+//! Cross-machine experiment-matrix integration: the registry-wide sweep
+//! produces per-machine rule sets and a transfer table, and its sharded
+//! trace stage is bit-identical to running each machine serially.
+//!
+//! The `#[ignore]`d smoke test runs the sweep over a generated suite at
+//! a realistic scale; CI runs it via `cargo test --test matrix -- --ignored`.
+
+use schedfilter::prelude::*;
+
+fn generated_programs(scale: f64) -> Vec<Program> {
+    Suite::fp(scale).benchmarks().iter().map(|b| b.program().clone()).collect()
+}
+
+fn deterministic_matrix() -> ExperimentMatrix {
+    ExperimentMatrix::over_registry()
+        .with_template(Experiment::new(MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic))
+}
+
+#[test]
+fn registry_sweep_produces_per_machine_rule_sets_and_transfer_table() {
+    let programs = generated_programs(0.01);
+    let matrix = deterministic_matrix().run(&programs);
+
+    let machines = registry();
+    assert!(machines.len() >= 4, "acceptance: at least 4 registry machines");
+    assert_eq!(matrix.machine_names().len(), machines.len());
+
+    let filters = matrix.factory_filters(0);
+    assert_eq!(filters.len(), machines.len(), "one induced rule set per machine");
+
+    let transfer = matrix.transfer_errors(0);
+    assert_eq!(transfer.len(), machines.len());
+    for (i, row) in transfer.iter().enumerate() {
+        assert_eq!(row.len(), machines.len());
+        for (j, &e) in row.iter().enumerate() {
+            assert!((0.0..=100.0).contains(&e), "transfer[{i}][{j}] = {e}% out of range");
+        }
+    }
+
+    let sweep = matrix.ls_sweep(&[0, 20, 50]);
+    for (name, counts) in &sweep {
+        assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "{name}: LS must shrink with t: {counts:?}");
+    }
+}
+
+#[test]
+fn sharded_matrix_matches_serial_per_machine_pipelines() {
+    let programs = generated_programs(0.01);
+    let sharded = deterministic_matrix().with_threads(8).run(&programs);
+    for machine in registry() {
+        let serial = Experiment::new(machine.clone())
+            .with_threads(1)
+            .with_timing(TimingMode::Deterministic)
+            .run(programs.clone());
+        assert_eq!(
+            serial.all_traces(),
+            sharded.run_for(machine.name()).all_traces(),
+            "{}: sharded sweep must be bit-identical to the serial pipeline",
+            machine.name()
+        );
+    }
+}
+
+/// The CI-enabled smoke test: a realistic-scale sweep, checking the
+/// cross-machine signal the registry was built to expose — the slow
+/// in-order embedded core leaves more schedulable blocks than the wide
+/// out-of-order machine, and every machine induces a usable rule set.
+#[test]
+#[ignore = "matrix smoke test: realistic scale; CI runs it with -- --ignored"]
+fn matrix_smoke_registry_sweep_at_scale() {
+    let programs = generated_programs(0.05);
+    let matrix = deterministic_matrix().run(&programs);
+
+    let sweep = matrix.ls_sweep(&[0]);
+    let ls_for = |name: &str| sweep.iter().find(|(n, _)| n == name).map(|(_, c)| c[0]).unwrap();
+    assert!(
+        ls_for("embedded") >= ls_for("wide4"),
+        "embedded {} blocks benefit vs wide4 {}",
+        ls_for("embedded"),
+        ls_for("wide4")
+    );
+
+    let transfer = matrix.transfer_errors(0);
+    for (i, (name, filter)) in matrix.factory_filters(0).into_iter().enumerate() {
+        let run = matrix.run_for(&name);
+        let own = transfer[i][i];
+        assert!(own <= 50.0, "{name}: self-error {own}% means the rule set learned nothing");
+        assert!(run.all_traces().len() > 100, "{name}: corpus too small to mean anything");
+        let _ = filter.rules(); // every machine's rule set is printable
+    }
+}
