@@ -1,0 +1,440 @@
+//! The compiled filter engine.
+//!
+//! The paper's economics only work if evaluating the filter is *vastly*
+//! cheaper than running the scheduler (§3.1); related selector work
+//! (Chmiela et al. on scheduling heuristics in branch-and-bound,
+//! Streeter & Smith on portfolios) makes the same point — the selector's
+//! own overhead is a first-class term of the objective. This module is
+//! the engineering half of that argument:
+//!
+//! * [`CompiledFilter`] lowers any filter — an induced
+//!   [`RuleSet`](wts_ripper::RuleSet), the fixed LS/NS strategies, or
+//!   the size-threshold baseline — into one flat, cache-friendly
+//!   condition table walked with short-circuit evaluation. No rule or
+//!   condition objects are chased at decision time.
+//! * Every compiled filter carries a [`FeatureMask`] *demand mask*: the
+//!   features its conditions actually read (via
+//!   [`RuleSet::referenced_attrs`](wts_ripper::RuleSet::referenced_attrs)),
+//!   which drives demand-driven extraction
+//!   ([`FeatureVector::extract_masked`]) — induced rule sets typically
+//!   consult two or three of the thirteen Table 1 features.
+//! * [`FeatureBatch`] lays feature vectors out as contiguous
+//!   structure-of-arrays columns so batch classification
+//!   ([`CompiledFilter::classify_batch`]) streams each demanded column,
+//!   sharded across cores with [`shard_map`](crate::parallel::shard_map).
+//! * Decision *work* is observable: [`CompiledFilter::decide_counted`]
+//!   reports the number of conditions actually evaluated before the
+//!   decision (short-circuit aware), which
+//!   [`sched_time_ratio`](crate::sched_time_ratio) charges instead of a
+//!   flat constant.
+//!
+//! Compiled decisions are bit-identical to the interpreted path
+//! ([`RuleSet::predict`](wts_ripper::RuleSet::predict)); a property
+//! suite pins that on random rule sets and on every trained LOOCV fold
+//! across the machine registry.
+//!
+//! # Examples
+//!
+//! ```
+//! use wts_core::{CompiledFilter, Filter, SizeThresholdFilter};
+//! use wts_features::{FeatureKind, FeatureMask};
+//!
+//! let compiled = SizeThresholdFilter::new(5).compile();
+//! assert_eq!(compiled.demand(), FeatureMask::of([FeatureKind::BbLen]));
+//! assert_eq!(compiled.condition_count(), 1);
+//! let mut v = [0.0; FeatureKind::COUNT];
+//! v[FeatureKind::BbLen.index()] = 8.0;
+//! assert!(compiled.decide(&v));
+//! ```
+
+use crate::filter::Filter;
+use crate::trace::TraceRecord;
+use std::fmt;
+use wts_features::{FeatureKind, FeatureMask, FeatureVector};
+use wts_ir::BasicBlock;
+use wts_ripper::{Op, RuleSet};
+
+/// One lowered condition: `values[attr] <op> threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompiledCond {
+    attr: u32,
+    op: Op,
+    threshold: f64,
+}
+
+impl CompiledCond {
+    #[inline]
+    fn holds(&self, v: f64) -> bool {
+        match self.op {
+            Op::Le => v <= self.threshold,
+            Op::Ge => v >= self.threshold,
+        }
+    }
+}
+
+/// A filter lowered to a flat condition table plus a feature demand mask.
+///
+/// Semantics mirror the interpreted ordered rule set exactly: the block
+/// is scheduled iff some rule's conditions all hold; rules are tried in
+/// order and each rule short-circuits on its first failing condition.
+/// The fixed strategies compile to degenerate tables (LS = one empty
+/// rule that always fires, NS = no rules), so one engine serves every
+/// filter kind in trace collection, evaluation and the benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFilter {
+    name: String,
+    /// All rules' conditions, concatenated in firing order.
+    conds: Vec<CompiledCond>,
+    /// Exclusive end offset of each rule's conditions within `conds`.
+    rule_ends: Vec<u32>,
+    demand: FeatureMask,
+}
+
+impl CompiledFilter {
+    /// Lowers an induced rule set. The demand mask is derived from the
+    /// attributes the rules actually reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule references an attribute outside the thirteen
+    /// Table 1 features.
+    pub fn from_rule_set(rules: &RuleSet, name: impl Into<String>) -> CompiledFilter {
+        let mut conds = Vec::with_capacity(rules.condition_count());
+        let mut rule_ends = Vec::with_capacity(rules.len());
+        for rule in rules.rules() {
+            for c in rule.conditions() {
+                conds.push(CompiledCond { attr: c.attr as u32, op: c.op, threshold: c.threshold });
+            }
+            rule_ends.push(conds.len() as u32);
+        }
+        let demand = FeatureMask::of(rules.referenced_attrs().into_iter().map(|a| {
+            FeatureKind::from_index(a).unwrap_or_else(|| panic!("rule attribute {a} is not a Table 1 feature"))
+        }));
+        CompiledFilter { name: name.into(), conds, rule_ends, demand }
+    }
+
+    /// The fixed LS strategy: a single empty rule that always fires.
+    pub fn always() -> CompiledFilter {
+        CompiledFilter { name: "LS".into(), conds: Vec::new(), rule_ends: vec![0], demand: FeatureMask::EMPTY }
+    }
+
+    /// The fixed NS strategy: no rules, nothing ever fires.
+    pub fn never() -> CompiledFilter {
+        CompiledFilter { name: "NS".into(), conds: Vec::new(), rule_ends: Vec::new(), demand: FeatureMask::EMPTY }
+    }
+
+    /// The size-threshold baseline: one rule, `bbLen >= min_len`.
+    pub fn size_threshold(min_len: usize) -> CompiledFilter {
+        CompiledFilter {
+            name: format!("size>={min_len}"),
+            conds: vec![CompiledCond {
+                attr: FeatureKind::BbLen.index() as u32,
+                op: Op::Ge,
+                threshold: min_len as f64,
+            }],
+            rule_ends: vec![1],
+            demand: FeatureMask::of([FeatureKind::BbLen]),
+        }
+    }
+
+    /// The features this filter's conditions read. Extraction only needs
+    /// to materialize these ([`FeatureVector::extract_masked`]).
+    pub fn demand(&self) -> FeatureMask {
+        self.demand
+    }
+
+    /// Number of rules in the table.
+    pub fn rule_count(&self) -> usize {
+        self.rule_ends.len()
+    }
+
+    /// Total number of lowered conditions (model size).
+    pub fn condition_count(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// The decision for one feature vector (dense Table 1 layout).
+    #[inline]
+    pub fn decide(&self, values: &[f64]) -> bool {
+        self.decide_counted(values).0
+    }
+
+    /// The decision plus the number of conditions actually evaluated
+    /// before it was reached — the filter's honest per-block cost, with
+    /// short-circuiting accounted for.
+    #[inline]
+    pub fn decide_counted(&self, values: &[f64]) -> (bool, u64) {
+        self.walk(|attr| values[attr])
+    }
+
+    /// The one rule-table walk every decision path shares, parameterized
+    /// over how a feature value is fetched (dense slice or SoA column) so
+    /// the short-circuit and firing-order semantics cannot diverge
+    /// between the scalar and batch paths.
+    #[inline]
+    fn walk(&self, mut value: impl FnMut(usize) -> f64) -> (bool, u64) {
+        let mut evaluated = 0u64;
+        let mut start = 0u32;
+        for &end in &self.rule_ends {
+            let mut fired = true;
+            for cond in &self.conds[start as usize..end as usize] {
+                evaluated += 1;
+                if !cond.holds(value(cond.attr as usize)) {
+                    fired = false;
+                    break;
+                }
+            }
+            if fired {
+                return (true, evaluated);
+            }
+            start = end;
+        }
+        (false, evaluated)
+    }
+
+    /// Conditions evaluated for one feature vector (the
+    /// [`Filter::eval_work`] hook, on raw values).
+    pub fn eval_work_values(&self, values: &[f64]) -> u64 {
+        self.decide_counted(values).1
+    }
+
+    /// Deterministic work proxy for demand-masked feature extraction on
+    /// a block of `bb_len` instructions (see
+    /// [`FeatureMask::extraction_work`]).
+    pub fn extraction_work(&self, bb_len: u64) -> u64 {
+        self.demand.extraction_work(bb_len)
+    }
+
+    /// Extracts exactly the demanded features of `block` and decides —
+    /// the deployed fast path: one masked pass, then the flat table.
+    pub fn classify_block(&self, block: &BasicBlock) -> bool {
+        self.decide(FeatureVector::extract_masked(block, self.demand).as_slice())
+    }
+
+    /// Classifies every row of a batch, sharding rows across `threads`
+    /// scoped workers (`0` = one per core, `1` = serial) with
+    /// [`shard_map`](crate::parallel::shard_map). Output order matches
+    /// the batch; the result is identical for every thread count.
+    pub fn classify_batch(&self, batch: &FeatureBatch, threads: usize) -> Vec<bool> {
+        let rows: Vec<u32> = (0..batch.len() as u32).collect();
+        let shards = crate::parallel::shard_map(&rows, threads, |slice| {
+            slice.iter().map(|&row| self.decide_row(batch, row as usize)).collect::<Vec<bool>>()
+        });
+        shards.into_iter().flatten().collect()
+    }
+
+    /// One row's decision against the SoA columns.
+    #[inline]
+    fn decide_row(&self, batch: &FeatureBatch, row: usize) -> bool {
+        self.walk(|attr| batch.value(attr, row)).0
+    }
+}
+
+impl Filter for CompiledFilter {
+    fn should_schedule(&self, features: &FeatureVector) -> bool {
+        self.decide(features.as_slice())
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn compile(&self) -> CompiledFilter {
+        self.clone()
+    }
+
+    fn eval_work(&self, features: &FeatureVector) -> u64 {
+        self.eval_work_values(features.as_slice())
+    }
+}
+
+impl fmt::Display for CompiledFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} rules, {} conditions, demand {}]",
+            self.name,
+            self.rule_count(),
+            self.condition_count(),
+            self.demand
+        )
+    }
+}
+
+/// Feature vectors in structure-of-arrays layout: one contiguous column
+/// per Table 1 feature, so batch classification streams only the
+/// demanded columns instead of striding through per-record structs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureBatch {
+    /// Column-major values: column `a` occupies `data[a*len .. (a+1)*len]`.
+    data: Vec<f64>,
+    len: usize,
+}
+
+impl FeatureBatch {
+    /// Packs feature vectors into columns.
+    pub fn from_vectors<'a>(vectors: impl IntoIterator<Item = &'a FeatureVector>) -> FeatureBatch {
+        let rows: Vec<&FeatureVector> = vectors.into_iter().collect();
+        let len = rows.len();
+        let mut data = vec![0.0; FeatureKind::COUNT * len];
+        for (row, fv) in rows.iter().enumerate() {
+            for (attr, &v) in fv.as_slice().iter().enumerate() {
+                data[attr * len + row] = v;
+            }
+        }
+        FeatureBatch { data, len }
+    }
+
+    /// Packs the feature vectors of a trace.
+    pub fn from_traces(traces: &[TraceRecord]) -> FeatureBatch {
+        FeatureBatch::from_vectors(traces.iter().map(|r| &r.features))
+    }
+
+    /// Number of rows (feature vectors).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value of feature `attr` in row `row`.
+    #[inline]
+    pub fn value(&self, attr: usize, row: usize) -> f64 {
+        self.data[attr * self.len + row]
+    }
+
+    /// One feature's contiguous column.
+    pub fn column(&self, kind: FeatureKind) -> &[f64] {
+        let a = kind.index();
+        &self.data[a * self.len..(a + 1) * self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlwaysSchedule, LearnedFilter, NeverSchedule, SizeThresholdFilter};
+    use wts_ripper::{Condition, Rule, RuleStats};
+
+    fn fv(bb_len: f64, loads: f64, calls: f64) -> FeatureVector {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = bb_len;
+        v[FeatureKind::Loads.index()] = loads;
+        v[FeatureKind::Calls.index()] = calls;
+        FeatureVector::from_values(v)
+    }
+
+    fn two_rule_set() -> RuleSet {
+        let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();
+        RuleSet::new(
+            attr_names,
+            "list",
+            "orig",
+            vec![
+                Rule::from_conditions(vec![
+                    Condition { attr: FeatureKind::BbLen.index(), op: Op::Ge, threshold: 7.0 },
+                    Condition { attr: FeatureKind::Loads.index(), op: Op::Ge, threshold: 0.3 },
+                ]),
+                Rule::from_conditions(vec![Condition { attr: FeatureKind::Calls.index(), op: Op::Le, threshold: 0.1 }]),
+            ],
+            vec![],
+            RuleStats::default(),
+        )
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_on_the_sample_set() {
+        let rs = two_rule_set();
+        let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
+        for v in [fv(8.0, 0.5, 0.9), fv(8.0, 0.1, 0.05), fv(3.0, 0.9, 0.9), fv(0.0, 0.0, 0.0)] {
+            assert_eq!(compiled.decide(v.as_slice()), rs.predict(v.as_slice()), "{v}");
+        }
+        assert_eq!(compiled.rule_count(), 2);
+        assert_eq!(compiled.condition_count(), 3);
+        assert_eq!(compiled.demand(), FeatureMask::of([FeatureKind::BbLen, FeatureKind::Loads, FeatureKind::Calls]));
+    }
+
+    #[test]
+    fn condition_counting_is_short_circuit_aware() {
+        let compiled = CompiledFilter::from_rule_set(&two_rule_set(), "L/N");
+        // Rule 1 fires on its 2 conditions: stop there.
+        assert_eq!(compiled.decide_counted(fv(8.0, 0.5, 0.9).as_slice()), (true, 2));
+        // Rule 1 fails at its first condition; rule 2 fires: 1 + 1.
+        assert_eq!(compiled.decide_counted(fv(3.0, 0.9, 0.05).as_slice()), (true, 2));
+        // Rule 1 fails at its second condition; rule 2 fails: 2 + 1.
+        assert_eq!(compiled.decide_counted(fv(8.0, 0.1, 0.9).as_slice()), (false, 3));
+    }
+
+    #[test]
+    fn fixed_strategies_compile_to_degenerate_tables() {
+        let always = CompiledFilter::always();
+        assert_eq!(always.decide_counted(fv(0.0, 0.0, 0.0).as_slice()), (true, 0));
+        assert!(always.demand().is_empty());
+        let never = CompiledFilter::never();
+        assert_eq!(never.decide_counted(fv(99.0, 1.0, 0.0).as_slice()), (false, 0));
+        assert_eq!(never.extraction_work(1000), 0, "NS never touches the block");
+    }
+
+    #[test]
+    fn size_threshold_lowering() {
+        let c = CompiledFilter::size_threshold(5);
+        assert!(c.decide(fv(5.0, 0.0, 0.0).as_slice()));
+        assert!(!c.decide(fv(4.0, 0.0, 0.0).as_slice()));
+        assert_eq!(c.eval_work_values(fv(4.0, 0.0, 0.0).as_slice()), 1);
+        assert_eq!(c.extraction_work(1000), 0, "bbLen is known without an instruction pass");
+    }
+
+    #[test]
+    fn trait_compile_hooks_agree_with_the_interpreted_filters() {
+        let learned = LearnedFilter::new(two_rule_set(), 20);
+        let compiled = learned.compile();
+        for v in [fv(8.0, 0.5, 0.9), fv(8.0, 0.1, 0.9), fv(3.0, 0.0, 0.05)] {
+            assert_eq!(compiled.should_schedule(&v), learned.should_schedule(&v));
+            assert_eq!(compiled.eval_work(&v), learned.eval_work(&v));
+        }
+        assert_eq!(compiled.name(), learned.name());
+        assert_eq!(AlwaysSchedule.compile().name(), "LS");
+        assert_eq!(NeverSchedule.compile().name(), "NS");
+        assert_eq!(SizeThresholdFilter::new(9).compile().name(), "size>=9");
+        assert_eq!(compiled.compile(), compiled, "recompiling is the identity");
+    }
+
+    #[test]
+    fn batch_layout_is_columnar_and_decisions_match_scalar() {
+        let vectors = [fv(8.0, 0.5, 0.9), fv(3.0, 0.9, 0.05), fv(8.0, 0.1, 0.9), fv(1.0, 0.0, 0.5)];
+        let batch = FeatureBatch::from_vectors(vectors.iter());
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.column(FeatureKind::BbLen), &[8.0, 3.0, 8.0, 1.0]);
+        let compiled = CompiledFilter::from_rule_set(&two_rule_set(), "L/N");
+        for threads in [1, 2, 7] {
+            let decisions = compiled.classify_batch(&batch, threads);
+            let scalar: Vec<bool> = vectors.iter().map(|v| compiled.decide(v.as_slice())).collect();
+            assert_eq!(decisions, scalar, "{threads} threads");
+        }
+        assert!(FeatureBatch::from_traces(&[]).is_empty());
+        assert!(compiled.classify_batch(&FeatureBatch::default(), 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Table 1 feature")]
+    fn out_of_range_attribute_rejected() {
+        let rs = RuleSet::new(
+            vec!["a".into()],
+            "p",
+            "n",
+            vec![Rule::from_conditions(vec![Condition { attr: 40, op: Op::Ge, threshold: 0.0 }])],
+            vec![],
+            RuleStats::default(),
+        );
+        CompiledFilter::from_rule_set(&rs, "bad");
+    }
+
+    #[test]
+    fn display_summarizes_the_table() {
+        let s = CompiledFilter::from_rule_set(&two_rule_set(), "L/N(t=20)").to_string();
+        assert!(s.contains("2 rules") && s.contains("3 conditions") && s.contains("bbLen"), "got: {s}");
+    }
+}

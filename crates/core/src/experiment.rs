@@ -346,6 +346,27 @@ impl ExperimentRun {
         sched_time_ratio(self.trace_for(bench), &self.filter_for(t, bench))
     }
 
+    /// The compiled engine form of `bench`'s LOOCV filter — flat
+    /// condition table plus feature demand mask, ready for the deployed
+    /// fast path ([`filtered_schedule_pass`](crate::filtered_schedule_pass))
+    /// or batch classification.
+    pub fn compiled_filter_for(&self, t: u32, bench: &str) -> crate::CompiledFilter {
+        self.filter_for(t, bench).compile()
+    }
+
+    /// Aggregate scheduling-time measurement of the threshold-`t` LOOCV
+    /// filters over *all* benchmarks — the per-machine row of the
+    /// filter-cost table: how much work the filters themselves add
+    /// (`filter_work` + `feature_work`) against the full always-schedule
+    /// cost.
+    pub fn sched_time_total(&self, t: u32) -> EvalTimes {
+        let mut total = EvalTimes::default();
+        for bench in &self.names {
+            total.accumulate(&self.sched_time(t, bench));
+        }
+        total
+    }
+
     /// Stage 4, Table 6: run-time LS/NS classification counts of
     /// `bench`'s LOOCV filter over all its blocks.
     pub fn runtime_counts(&self, t: u32, bench: &str) -> ClassCounts {
@@ -369,49 +390,11 @@ impl ExperimentRun {
 mod tests {
     use super::*;
     use crate::{AlwaysSchedule, NeverSchedule};
-    use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Reg};
 
-    /// A small deterministic three-benchmark suite with learnable
-    /// structure: "big" methods have load-use stalls worth scheduling,
-    /// "small" methods are single adds.
+    /// The shared learnable three-benchmark suite, at six methods per
+    /// program.
     fn suite() -> Vec<Program> {
-        ["alpha", "beta", "gamma"]
-            .iter()
-            .enumerate()
-            .map(|(pi, name)| {
-                let mut p = Program::new(*name);
-                for mi in 0..6u32 {
-                    let mut m = Method::new(mi, format!("m{mi}"));
-                    for bi in 0..3u32 {
-                        let mut b = BasicBlock::new(bi);
-                        if (mi + bi) % 2 == 0 {
-                            // Longer than the 7410's OoO window, so
-                            // scheduling helps even on the measured channel.
-                            for k in 0..6u32 {
-                                b.push(
-                                    Inst::new(Opcode::Lwz)
-                                        .def(Reg::gpr(10 + k as u16))
-                                        .use_(Reg::gpr(3))
-                                        .mem(MemRef::slot(MemSpace::Heap, k + bi)),
-                                );
-                                b.push(
-                                    Inst::new(Opcode::Add)
-                                        .def(Reg::gpr(20 + k as u16))
-                                        .use_(Reg::gpr(10 + k as u16))
-                                        .use_(Reg::gpr(10 + k as u16)),
-                                );
-                            }
-                        } else {
-                            b.push(Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(5)).use_(Reg::gpr(6)));
-                        }
-                        b.set_exec_count((pi as u64 + 1) * (bi as u64 + 1));
-                        m.push_block(b);
-                    }
-                    p.push_method(m);
-                }
-                p
-            })
-            .collect()
+        crate::testutil::learnable_suite(6)
     }
 
     fn run() -> ExperimentRun {

@@ -1,5 +1,6 @@
 //! The filter abstraction and its implementations.
 
+use crate::engine::CompiledFilter;
 use std::fmt;
 use wts_features::{FeatureKind, FeatureVector};
 use wts_ripper::RuleSet;
@@ -16,6 +17,18 @@ pub trait Filter: Send + Sync {
 
     /// Short name for reports.
     fn name(&self) -> String;
+
+    /// Lowers this filter into the [`CompiledFilter`] engine: a flat
+    /// condition table plus the feature demand mask. Decisions are
+    /// bit-identical to [`should_schedule`](Filter::should_schedule).
+    fn compile(&self) -> CompiledFilter;
+
+    /// Work units (conditions actually evaluated, short-circuit aware)
+    /// this filter spends deciding `features` — the honest per-block
+    /// cost [`sched_time_ratio`](crate::sched_time_ratio) charges.
+    fn eval_work(&self, features: &FeatureVector) -> u64 {
+        self.compile().eval_work_values(features.as_slice())
+    }
 }
 
 /// The fixed `LS` strategy: schedule every block.
@@ -30,6 +43,14 @@ impl Filter for AlwaysSchedule {
     fn name(&self) -> String {
         "LS".into()
     }
+
+    fn compile(&self) -> CompiledFilter {
+        CompiledFilter::always()
+    }
+
+    fn eval_work(&self, _features: &FeatureVector) -> u64 {
+        0
+    }
 }
 
 /// The fixed `NS` strategy: never schedule.
@@ -43,6 +64,14 @@ impl Filter for NeverSchedule {
 
     fn name(&self) -> String {
         "NS".into()
+    }
+
+    fn compile(&self) -> CompiledFilter {
+        CompiledFilter::never()
+    }
+
+    fn eval_work(&self, _features: &FeatureVector) -> u64 {
+        0
     }
 }
 
@@ -73,6 +102,14 @@ impl Filter for SizeThresholdFilter {
 
     fn name(&self) -> String {
         format!("size>={}", self.min_len)
+    }
+
+    fn compile(&self) -> CompiledFilter {
+        CompiledFilter::size_threshold(self.min_len)
+    }
+
+    fn eval_work(&self, _features: &FeatureVector) -> u64 {
+        1
     }
 }
 
@@ -108,6 +145,32 @@ impl Filter for LearnedFilter {
 
     fn name(&self) -> String {
         format!("L/N(t={})", self.threshold_percent)
+    }
+
+    fn compile(&self) -> CompiledFilter {
+        CompiledFilter::from_rule_set(&self.rules, self.name())
+    }
+
+    /// Conditions evaluated by the interpreted walk — identical to the
+    /// compiled engine's count (both short-circuit per rule and stop at
+    /// the first firing rule), which the engine property suite pins.
+    fn eval_work(&self, features: &FeatureVector) -> u64 {
+        let values = features.as_slice();
+        let mut evaluated = 0u64;
+        for rule in self.rules.rules() {
+            let mut fired = true;
+            for c in rule.conditions() {
+                evaluated += 1;
+                if !c.matches(values) {
+                    fired = false;
+                    break;
+                }
+            }
+            if fired {
+                break;
+            }
+        }
+        evaluated
     }
 }
 

@@ -42,12 +42,49 @@ impl std::fmt::Display for ParseTraceError {
 
 impl std::error::Error for ParseTraceError {}
 
+/// An error produced while writing a trace file: a benchmark name that
+/// would corrupt the tab-separated format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceWriteError {
+    benchmark: String,
+}
+
+impl TraceWriteError {
+    /// The offending benchmark name.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+}
+
+impl std::fmt::Display for TraceWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "benchmark name {:?} contains a tab, newline or carriage return and would corrupt the \
+             tab-separated trace format; rename the benchmark before tracing",
+            self.benchmark
+        )
+    }
+}
+
+impl std::error::Error for TraceWriteError {}
+
 /// Serializes records to the trace-file text format.
 ///
 /// The first line is a header naming every column; one record per line
 /// follows, tab-separated. Feature values are printed with full
 /// precision (`{:?}` on `f64` round-trips exactly).
-pub fn write_trace(records: &[TraceRecord]) -> String {
+///
+/// # Errors
+///
+/// Returns a [`TraceWriteError`] naming the offending benchmark when a
+/// record's benchmark name contains `\t`, `\n` or `\r` — written as-is
+/// those would silently split the line, and the reader would only fail
+/// much later with an opaque column-count error.
+pub fn write_trace(records: &[TraceRecord]) -> Result<String, TraceWriteError> {
+    if let Some(r) = records.iter().find(|r| r.benchmark.contains(['\t', '\n', '\r'])) {
+        return Err(TraceWriteError { benchmark: r.benchmark.clone() });
+    }
     let mut out = String::new();
     out.push_str(MAGIC);
     out.push_str("\tbenchmark\tmethod\tblock\texec");
@@ -73,7 +110,7 @@ pub fn write_trace(records: &[TraceRecord]) -> String {
             r.feature_work
         );
     }
-    out
+    Ok(out)
 }
 
 /// Parses a trace file written by [`write_trace`].
@@ -161,15 +198,39 @@ mod tests {
     #[test]
     fn round_trip_is_exact() {
         let records = vec![record("compress", 100, 80), record("jess", 10, 10)];
-        let text = write_trace(&records);
+        let text = write_trace(&records).expect("plain names serialize");
         let back = read_trace(&text).expect("own output must parse");
         assert_eq!(back, records);
     }
 
     #[test]
     fn empty_record_list_round_trips() {
-        let text = write_trace(&[]);
+        let text = write_trace(&[]).unwrap();
         assert_eq!(read_trace(&text).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn hostile_but_legal_names_round_trip() {
+        // Spaces, quotes, unicode, backslashes and separators other than
+        // tabs are all fine — the format only splits on '\t'.
+        for name in ["with space", "quo\"te", "naïve-β", r"back\slash", "semi;colon,comma"] {
+            let records = vec![record(name, 9, 7)];
+            let text = write_trace(&records).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(read_trace(&text).expect("parses"), records, "{name}");
+        }
+    }
+
+    #[test]
+    fn names_that_would_corrupt_the_format_are_rejected_by_name() {
+        for name in ["tab\tseparated", "new\nline", "carriage\rreturn"] {
+            let err = write_trace(&[record("ok", 5, 4), record(name, 5, 4)])
+                .expect_err("corrupting name must be rejected at write time");
+            assert_eq!(err.benchmark(), name);
+            assert!(err.to_string().contains("benchmark name"), "got: {err}");
+            // The message must identify the culprit (escaped, so it is
+            // printable even with the control character inside).
+            assert!(err.to_string().contains("tab") || !name.contains('\t'), "got: {err}");
+        }
     }
 
     #[test]
@@ -181,7 +242,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_column_count() {
-        let mut text = write_trace(&[record("a", 5, 4)]);
+        let mut text = write_trace(&[record("a", 5, 4)]).unwrap();
         text.push_str("rec\tonly\tthree\n");
         let err = read_trace(&text).unwrap_err();
         assert!(err.to_string().contains("columns"));
@@ -190,14 +251,14 @@ mod tests {
 
     #[test]
     fn rejects_malformed_numbers() {
-        let good = write_trace(&[record("a", 5, 4)]);
+        let good = write_trace(&[record("a", 5, 4)]).unwrap();
         let bad = good.replace("\t42\t", "\tforty-two\t");
         assert!(read_trace(&bad).is_err());
     }
 
     #[test]
     fn blank_lines_are_tolerated() {
-        let mut text = write_trace(&[record("a", 5, 4)]);
+        let mut text = write_trace(&[record("a", 5, 4)]).unwrap();
         text.push('\n');
         assert_eq!(read_trace(&text).unwrap().len(), 1);
     }

@@ -22,6 +22,14 @@
 //!    run-time classification counts (Table 6), scheduling-time ratios
 //!    (Figures 1a/2a/3a) and application-time ratios (Figures 1b/2b/3b).
 //!
+//! Deployment is served by the compiled engine: [`CompiledFilter`]
+//! lowers any filter into a flat condition table with a feature demand
+//! mask, so classification runs over demand-masked extraction
+//! ([`wts_features::FeatureVector::extract_masked`]) and contiguous
+//! [`FeatureBatch`] columns, and every evaluation artifact charges the
+//! filter's *honest* cost — conditions actually evaluated plus masked
+//! extraction work — instead of flat constants.
+//!
 //! The free functions are the stages; [`Experiment`] is the pipeline.
 //! It owns the whole sequence — policy and estimator selection, sharded
 //! trace collection, threshold labeling, fold-parallel LOOCV training
@@ -47,6 +55,7 @@
 //! assert!(filter.should_schedule(&FeatureVector::extract(&b)));
 //! ```
 
+mod engine;
 mod eval;
 mod experiment;
 mod filter;
@@ -54,20 +63,23 @@ mod io;
 mod label;
 mod matrix;
 pub mod parallel;
+#[doc(hidden)]
+pub mod testutil;
 mod trace;
 mod train;
 
+pub use engine::{CompiledFilter, FeatureBatch};
 pub use eval::{
     app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio, ClassCounts,
     EvalTimes,
 };
 pub use experiment::{Experiment, ExperimentRun, LoocvFilters};
 pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
-pub use io::{read_trace, write_trace, ParseTraceError};
+pub use io::{read_trace, write_trace, ParseTraceError, TraceWriteError};
 pub use label::{build_dataset, LabelConfig};
 pub use matrix::{ExperimentMatrix, MatrixRun};
 pub use trace::{
     collect_method_trace, collect_trace, collect_trace_with, collect_trace_with_policy, collect_trace_with_providers,
-    TimingMode, TraceOptions, TraceRecord,
+    filtered_schedule_pass, FilteredPass, TimingMode, TraceOptions, TraceRecord,
 };
 pub use train::{train_filter, train_loocv, train_loocv_sharded, TrainConfig};

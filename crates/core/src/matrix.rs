@@ -77,7 +77,8 @@ impl ExperimentMatrix {
     }
 
     /// A matrix over every machine in the
-    /// [`wts_machine::registry`] — the standard cross-machine sweep.
+    /// [`wts_machine::registry`](fn@wts_machine::registry) — the
+    /// standard cross-machine sweep.
     pub fn over_registry() -> ExperimentMatrix {
         ExperimentMatrix::new(wts_machine::registry())
     }
@@ -219,6 +220,18 @@ impl MatrixRun {
             .collect()
     }
 
+    /// The filter-cost table's rows: for each machine, the aggregate
+    /// [`EvalTimes`](crate::EvalTimes) of its threshold-`t` LOOCV
+    /// filters over the whole corpus — honest per-condition filter work
+    /// and demand-masked extraction work against the machine's full
+    /// always-schedule cost
+    /// ([`overhead_fraction`](crate::EvalTimes::overhead_fraction) is
+    /// the headline number; the paper's premise is that it stays near
+    /// zero on every target).
+    pub fn filter_cost(&self, t: u32) -> Vec<(String, crate::EvalTimes)> {
+        self.machines.iter().zip(&self.runs).map(|(m, run)| (m.name().to_string(), run.sched_time_total(t))).collect()
+    }
+
     /// Threshold sweep, side by side: for each machine, the LS instance
     /// count at every threshold in `thresholds` (Table 5, per machine).
     pub fn ls_sweep(&self, thresholds: &[u32]) -> Vec<(String, Vec<usize>)> {
@@ -234,45 +247,11 @@ impl MatrixRun {
 mod tests {
     use super::*;
     use crate::TimingMode;
-    use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Reg};
 
-    /// The same learnable three-benchmark suite the Experiment tests use.
+    /// The shared learnable three-benchmark suite, at five methods per
+    /// program.
     fn suite() -> Vec<Program> {
-        ["alpha", "beta", "gamma"]
-            .iter()
-            .enumerate()
-            .map(|(pi, name)| {
-                let mut p = Program::new(*name);
-                for mi in 0..5u32 {
-                    let mut m = Method::new(mi, format!("m{mi}"));
-                    for bi in 0..3u32 {
-                        let mut b = BasicBlock::new(bi);
-                        if (mi + bi) % 2 == 0 {
-                            for k in 0..6u32 {
-                                b.push(
-                                    Inst::new(Opcode::Lwz)
-                                        .def(Reg::gpr(10 + k as u16))
-                                        .use_(Reg::gpr(3))
-                                        .mem(MemRef::slot(MemSpace::Heap, k + bi)),
-                                );
-                                b.push(
-                                    Inst::new(Opcode::Add)
-                                        .def(Reg::gpr(20 + k as u16))
-                                        .use_(Reg::gpr(10 + k as u16))
-                                        .use_(Reg::gpr(10 + k as u16)),
-                                );
-                            }
-                        } else {
-                            b.push(Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(5)).use_(Reg::gpr(6)));
-                        }
-                        b.set_exec_count((pi as u64 + 1) * (bi as u64 + 1));
-                        m.push_block(b);
-                    }
-                    p.push_method(m);
-                }
-                p
-            })
-            .collect()
+        crate::testutil::learnable_suite(5)
     }
 
     fn deterministic() -> ExperimentMatrix {
@@ -351,6 +330,23 @@ mod tests {
             for &e in row {
                 assert!((0.0..=100.0).contains(&e), "error {e}% out of range");
             }
+        }
+    }
+
+    #[test]
+    fn filter_cost_reports_small_positive_overhead_per_machine() {
+        let m = deterministic().run(&suite());
+        let costs = m.filter_cost(0);
+        assert_eq!(costs.len(), m.machines().len());
+        for ((name, times), expect) in costs.iter().zip(m.machine_names()) {
+            assert_eq!(name, expect);
+            assert_eq!(times.total_blocks, 3 * 5 * 3, "all benchmarks aggregated");
+            assert!(times.always_work > 0);
+            let overhead = times.overhead_fraction();
+            assert!(
+                (0.0..0.5).contains(&overhead),
+                "{name}: filter overhead {overhead} should be a small fraction of scheduling work"
+            );
         }
     }
 

@@ -1,0 +1,51 @@
+//! Shared deterministic test corpora.
+//!
+//! Hidden from the public API docs: these exist so the crate's unit
+//! tests and the workspace's integration/property suites exercise the
+//! *same* corpus instead of hand-synchronized copies.
+
+use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
+
+/// A small three-benchmark suite with learnable structure: alternating
+/// blocks either carry load-use stalls worth scheduling (twelve
+/// instructions, longer than the 7410's out-of-order window) or are
+/// single adds with nothing to reorder. RIPPER reliably separates the
+/// two from the Table 1 features, so pipelines trained on it produce
+/// non-trivial rule sets.
+pub fn learnable_suite(methods: u32) -> Vec<Program> {
+    ["alpha", "beta", "gamma"]
+        .iter()
+        .enumerate()
+        .map(|(pi, name)| {
+            let mut p = Program::new(*name);
+            for mi in 0..methods {
+                let mut m = Method::new(mi, format!("m{mi}"));
+                for bi in 0..3u32 {
+                    let mut b = BasicBlock::new(bi);
+                    if (mi + bi) % 2 == 0 {
+                        for k in 0..6u32 {
+                            b.push(
+                                Inst::new(Opcode::Lwz)
+                                    .def(Reg::gpr(10 + k as u16))
+                                    .use_(Reg::gpr(3))
+                                    .mem(MemRef::slot(MemSpace::Heap, k + bi)),
+                            );
+                            b.push(
+                                Inst::new(Opcode::Add)
+                                    .def(Reg::gpr(20 + k as u16))
+                                    .use_(Reg::gpr(10 + k as u16))
+                                    .use_(Reg::gpr(10 + k as u16)),
+                            );
+                        }
+                    } else {
+                        b.push(Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(5)).use_(Reg::gpr(6)));
+                    }
+                    b.set_exec_count((pi as u64 + 1) * (bi as u64 + 1));
+                    m.push_block(b);
+                }
+                p.push_method(m);
+            }
+            p
+        })
+        .collect()
+}

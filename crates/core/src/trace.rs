@@ -7,6 +7,7 @@
 //! [`CostProvider`]s; the collection can be sharded across methods with
 //! scoped threads and stays bit-for-bit identical to the serial path.
 
+use crate::engine::CompiledFilter;
 use std::time::Instant;
 use wts_features::FeatureVector;
 use wts_ir::{BlockId, Method, MethodId, Program};
@@ -271,13 +272,8 @@ fn trace_method(
         };
         let hw_unsched = measured.block_cycles(block);
         let hw_sched = measured.block_cycles(&scheduled);
-        let graph = wts_deps::DepGraph::build(block.insts());
 
-        // Per-block setup (DAG allocation) + linear nodes/edges work +
-        // the selection loop's quadratic earliest-start queries.
-        // Matches the measured ~26:1 sched:feature cost on the
-        // generated corpus.
-        let sched_work = (16 + 2 * (block.len() + graph.edge_count()) + block.len() * block.len()) as u64;
+        let sched_work = sched_work_proxy(block);
         let feature_work = block.len() as u64;
         let (sched_ns, feature_ns) = match timing {
             TimingMode::WallClock => (sched_ns, feature_ns),
@@ -302,9 +298,127 @@ fn trace_method(
     }
 }
 
+/// Deterministic scheduling-work proxy for one block: per-block setup
+/// (DAG allocation) + linear nodes/edges work + the selection loop's
+/// quadratic earliest-start queries. Matches the measured ~26:1
+/// sched:feature cost on the generated corpus.
+fn sched_work_proxy(block: &wts_ir::BasicBlock) -> u64 {
+    let graph = wts_deps::DepGraph::build(block.insts());
+    (16 + 2 * (block.len() + graph.edge_count()) + block.len() * block.len()) as u64
+}
+
+/// Deterministic totals of one production-style *filtered* scheduling
+/// pass ([`filtered_schedule_pass`]): what the deployed compiler would
+/// actually spend with a compiled filter installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilteredPass {
+    /// Blocks seen.
+    pub total_blocks: usize,
+    /// Blocks the filter sent to the scheduler.
+    pub scheduled_blocks: usize,
+    /// Filter conditions evaluated across all blocks (short-circuit
+    /// aware; the engine's honest decision cost).
+    pub conditions_evaluated: u64,
+    /// Demand-masked feature-extraction work across all blocks
+    /// ([`FeatureMask::extraction_work`](wts_features::FeatureMask::extraction_work)).
+    pub extraction_work: u64,
+    /// Scheduling work of the selected blocks (same proxy as
+    /// [`TraceRecord::sched_work`]).
+    pub sched_work: u64,
+    /// Summed per-worker busy nanoseconds in the pass's hot loop
+    /// (extraction + decision + scheduling; bookkeeping excluded).
+    /// Under sharding this is aggregate CPU time across workers, *not*
+    /// wall-clock — run with `threads: 1` to measure the serial pass,
+    /// and never compare this channel across thread counts. It jitters
+    /// run to run, unlike the work channels.
+    pub pass_ns: u64,
+}
+
+impl FilteredPass {
+    /// Accumulates a shard's totals.
+    fn merge(&mut self, other: &FilteredPass) {
+        self.total_blocks += other.total_blocks;
+        self.scheduled_blocks += other.scheduled_blocks;
+        self.conditions_evaluated += other.conditions_evaluated;
+        self.extraction_work += other.extraction_work;
+        self.sched_work += other.sched_work;
+        self.pass_ns += other.pass_ns;
+    }
+
+    /// The share of this pass's *total* work spent on the filter itself
+    /// (extraction + conditions, against extraction + conditions +
+    /// scheduling). A pass that filtered hard but scheduled nothing
+    /// correctly reads as 1.0 — all filter, no payoff — and 0.0 means
+    /// the pass did no filter work at all (the fixed strategies).
+    ///
+    /// Note the denominator differs from
+    /// [`EvalTimes::overhead_fraction`](crate::EvalTimes::overhead_fraction),
+    /// which compares against the filter-independent always-schedule
+    /// work of a collected trace; this type only observes the work the
+    /// pass actually performed.
+    pub fn overhead_fraction(&self) -> f64 {
+        let overhead = self.conditions_evaluated + self.extraction_work;
+        if overhead == 0 {
+            return 0.0;
+        }
+        overhead as f64 / (overhead + self.sched_work) as f64
+    }
+}
+
+/// Runs the deployed fast path over every block of `program`: one
+/// demand-masked feature pass, the compiled condition table, and list
+/// scheduling only for the selected blocks — the loop a JIT with the
+/// filter installed would run, with the filter's true cost tallied
+/// per block instead of assumed.
+///
+/// Methods shard across `options.threads` scoped workers exactly like
+/// [`collect_trace_with`]; the work-channel totals are identical for
+/// every thread count (only `pass_ns` jitters).
+pub fn filtered_schedule_pass(
+    program: &Program,
+    machine: &MachineConfig,
+    filter: &CompiledFilter,
+    options: &TraceOptions,
+) -> FilteredPass {
+    let shards = crate::parallel::shard_map(program.methods(), options.threads, |slice| {
+        let scheduler = ListScheduler::with_policy(machine, options.policy);
+        let mut totals = FilteredPass::default();
+        for method in slice {
+            for block in method.blocks() {
+                // Time only what the deployed pass would run: masked
+                // extraction, the condition table, and the scheduler.
+                let t0 = Instant::now();
+                let features = FeatureVector::extract_masked(block, filter.demand());
+                let (decision, conditions) = filter.decide_counted(features.as_slice());
+                if decision {
+                    std::hint::black_box(scheduler.schedule_block(block));
+                }
+                totals.pass_ns += t0.elapsed().as_nanos() as u64;
+
+                // Bookkeeping (including the work proxy's own DepGraph
+                // rebuild) stays outside the timed window.
+                totals.total_blocks += 1;
+                totals.conditions_evaluated += conditions;
+                totals.extraction_work += filter.extraction_work(block.len() as u64);
+                if decision {
+                    totals.scheduled_blocks += 1;
+                    totals.sched_work += sched_work_proxy(block);
+                }
+            }
+        }
+        totals
+    });
+    let mut totals = FilteredPass::default();
+    for shard in &shards {
+        totals.merge(shard);
+    }
+    totals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Filter;
     use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Reg};
     use wts_machine::{CostModel, PipelineSim};
 
@@ -463,6 +577,47 @@ mod tests {
         for r in &t {
             assert_eq!(r.sched_ns, r.sched_work);
             assert_eq!(r.feature_ns, r.feature_work);
+        }
+    }
+
+    #[test]
+    fn filtered_pass_extremes_match_the_fixed_strategies() {
+        let machine = MachineConfig::ppc7410();
+        let p = wide_program(6);
+        let opts = TraceOptions { timing: TimingMode::Deterministic, ..Default::default() };
+        let ls = filtered_schedule_pass(&p, &machine, &crate::AlwaysSchedule.compile(), &opts);
+        assert_eq!(ls.total_blocks, p.block_count());
+        assert_eq!(ls.scheduled_blocks, p.block_count());
+        assert_eq!(ls.conditions_evaluated + ls.extraction_work, 0, "LS consults nothing");
+        let trace = collect_trace_with(&p, &machine, &opts);
+        assert_eq!(ls.sched_work, trace.iter().map(|r| r.sched_work).sum::<u64>(), "same work proxy as tracing");
+        let ns = filtered_schedule_pass(&p, &machine, &crate::NeverSchedule.compile(), &opts);
+        assert_eq!(ns.scheduled_blocks, 0);
+        assert_eq!(ns.sched_work, 0);
+        assert_eq!(ns.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn filtered_pass_agrees_with_trace_classification_and_shards_identically() {
+        let machine = MachineConfig::ppc7410();
+        let p = wide_program(9);
+        let opts = TraceOptions { timing: TimingMode::Deterministic, ..Default::default() };
+        let compiled = crate::SizeThresholdFilter::new(3).compile();
+        let serial = filtered_schedule_pass(&p, &machine, &compiled, &opts);
+        // Same decisions as classifying the collected trace.
+        let trace = collect_trace_with(&p, &machine, &opts);
+        let counts = crate::runtime_classification(&trace, &crate::SizeThresholdFilter::new(3));
+        assert_eq!(serial.scheduled_blocks, counts.ls);
+        assert_eq!(serial.conditions_evaluated, p.block_count() as u64, "one condition per block");
+        // Work channels are thread-count invariant.
+        for threads in [2, 4, 16] {
+            let sharded = filtered_schedule_pass(&p, &machine, &compiled, &TraceOptions { threads, ..opts });
+            assert_eq!(
+                (sharded.total_blocks, sharded.scheduled_blocks, sharded.conditions_evaluated),
+                (serial.total_blocks, serial.scheduled_blocks, serial.conditions_evaluated),
+                "{threads} threads"
+            );
+            assert_eq!((sharded.extraction_work, sharded.sched_work), (serial.extraction_work, serial.sched_work));
         }
     }
 

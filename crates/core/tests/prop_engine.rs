@@ -1,0 +1,205 @@
+//! The compiled filter engine's correctness contract: bit-identical to
+//! the interpreted rule-set path — on random rule sets and feature
+//! vectors, through the batch API at any thread count, and on every
+//! trained LOOCV fold across every registry machine.
+
+use proptest::prelude::*;
+use wts_core::{CompiledFilter, Experiment, FeatureBatch, Filter, LearnedFilter, TimingMode};
+use wts_features::{FeatureKind, FeatureMask, FeatureVector};
+use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Opcode, Program, Reg};
+use wts_ripper::{Condition, Op, Rule, RuleSet, RuleStats};
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    (0usize..FeatureKind::COUNT, prop::bool::ANY, 0u32..40).prop_map(|(attr, ge, t)| Condition {
+        attr,
+        op: if ge { Op::Ge } else { Op::Le },
+        // Thresholds straddle both the bbLen scale and the fraction
+        // scale so conditions on either kind of feature can go both ways.
+        threshold: t as f64 / 8.0,
+    })
+}
+
+fn arb_rule_set() -> impl Strategy<Value = RuleSet> {
+    prop::collection::vec(prop::collection::vec(arb_condition(), 0..5), 0..5).prop_map(|rules| {
+        let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();
+        RuleSet::new(
+            attr_names,
+            "list",
+            "orig",
+            rules.into_iter().map(Rule::from_conditions).collect(),
+            vec![],
+            RuleStats::default(),
+        )
+    })
+}
+
+fn arb_vector() -> impl Strategy<Value = FeatureVector> {
+    let fracs = prop::collection::vec(0u32..17, FeatureKind::CATEGORY_COUNT..FeatureKind::CATEGORY_COUNT + 1);
+    (0u32..200, fracs).prop_map(|(bb_len, fracs)| {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = bb_len as f64;
+        for (i, f) in fracs.iter().enumerate() {
+            v[i + 1] = *f as f64 / 16.0;
+        }
+        FeatureVector::from_values(v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_decisions_equal_interpreted_predict(rs in arb_rule_set(),
+                                                    vectors in prop::collection::vec(arb_vector(), 1..20)) {
+        let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
+        for v in &vectors {
+            prop_assert_eq!(compiled.decide(v.as_slice()), rs.predict(v.as_slice()), "{}", v);
+        }
+    }
+
+    #[test]
+    fn batch_classification_is_thread_invariant_and_matches_scalar(rs in arb_rule_set(),
+                                                                   vectors in prop::collection::vec(arb_vector(), 0..40),
+                                                                   threads in 1usize..8) {
+        let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
+        let batch = FeatureBatch::from_vectors(vectors.iter());
+        let batched = compiled.classify_batch(&batch, threads);
+        let scalar: Vec<bool> = vectors.iter().map(|v| compiled.decide(v.as_slice())).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn eval_work_agrees_between_interpreted_and_compiled(rs in arb_rule_set(), v in arb_vector()) {
+        let learned = LearnedFilter::new(rs, 0);
+        let compiled = learned.compile();
+        prop_assert_eq!(learned.eval_work(&v), compiled.eval_work(&v));
+        // Work is bounded by the model size and by what a decision can
+        // possibly cost.
+        prop_assert!(compiled.eval_work(&v) <= compiled.condition_count() as u64);
+    }
+
+    #[test]
+    fn demand_mask_covers_exactly_the_referenced_attributes(rs in arb_rule_set()) {
+        let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
+        let referenced = rs.referenced_attrs();
+        for kind in FeatureKind::ALL {
+            prop_assert_eq!(compiled.demand().contains(kind), referenced.contains(&kind.index()));
+        }
+    }
+
+    #[test]
+    fn masked_extraction_preserves_decisions(rs in arb_rule_set(), lens in prop::collection::vec(1usize..12, 1..6)) {
+        // Decisions over demand-masked vectors must equal decisions over
+        // fully extracted ones: the mask covers everything the table reads.
+        let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
+        for (i, len) in lens.iter().enumerate() {
+            let mut b = BasicBlock::new(i as u32);
+            for k in 0..*len {
+                if k % 3 == 0 {
+                    b.push(
+                        Inst::new(Opcode::Lwz)
+                            .def(Reg::gpr(1 + k as u16))
+                            .use_(Reg::gpr(9))
+                            .mem(MemRef::slot(MemSpace::Heap, k as u32)),
+                    );
+                } else {
+                    b.push(Inst::new(Opcode::Add).def(Reg::gpr(1 + k as u16)).use_(Reg::gpr(9)).use_(Reg::gpr(9)));
+                }
+            }
+            let full = FeatureVector::extract(&b);
+            let masked = FeatureVector::extract_masked(&b, compiled.demand());
+            prop_assert_eq!(compiled.decide(masked.as_slice()), compiled.decide(full.as_slice()));
+            prop_assert_eq!(compiled.classify_block(&b), compiled.decide(full.as_slice()));
+        }
+    }
+}
+
+/// The shared learnable three-benchmark suite the core pipeline tests use.
+fn suite() -> Vec<Program> {
+    wts_core::testutil::learnable_suite(5)
+}
+
+/// The acceptance bar: on every registry machine, every trained LOOCV
+/// fold's compiled form is bit-identical to the interpreted filter — on
+/// every trace record, through the batch API, and with demand-masked
+/// extraction straight off the blocks.
+#[test]
+fn compiled_loocv_folds_match_interpreted_on_all_registry_machines() {
+    let programs = suite();
+    for machine in wts_machine::registry() {
+        let run = Experiment::new(machine.clone()).with_timing(TimingMode::Deterministic).run(programs.clone());
+        for t in [0, 20] {
+            for (bench, learned) in run.loocv_filters(t).iter() {
+                let compiled = run.compiled_filter_for(t, bench);
+                assert_eq!(compiled, learned.compile());
+                // Per-record decisions and work, interpreted vs compiled.
+                for r in run.all_traces() {
+                    assert_eq!(
+                        compiled.decide(r.features.as_slice()),
+                        learned.should_schedule(&r.features),
+                        "{}/{bench}/t={t}: decision mismatch on {}",
+                        machine.name(),
+                        r.features
+                    );
+                    assert_eq!(compiled.eval_work(&r.features), learned.eval_work(&r.features));
+                }
+                // Batch decisions, across thread counts.
+                let batch = FeatureBatch::from_traces(run.all_traces());
+                let scalar: Vec<bool> = run.all_traces().iter().map(|r| learned.should_schedule(&r.features)).collect();
+                for threads in [1, 4] {
+                    assert_eq!(compiled.classify_batch(&batch, threads), scalar, "{}/{bench}", machine.name());
+                }
+                // Demand-masked extraction straight off the IR agrees
+                // with full extraction + the interpreted filter.
+                let demand = compiled.demand();
+                assert!(demand.count() <= FeatureKind::COUNT);
+                for p in run.programs() {
+                    for (_, block) in p.iter_blocks() {
+                        let full = FeatureVector::extract(block);
+                        let masked = FeatureVector::extract_masked(block, demand);
+                        assert_eq!(
+                            compiled.decide(masked.as_slice()),
+                            learned.should_schedule(&full),
+                            "{}/{bench}: masked extraction changed a decision",
+                            machine.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fixed strategies and the size baseline also lower correctly —
+/// the engine serves every filter kind, not just learned ones.
+#[test]
+fn fixed_and_baseline_filters_lower_faithfully() {
+    use wts_core::{AlwaysSchedule, NeverSchedule, SizeThresholdFilter};
+    let machine = wts_machine::MachineConfig::ppc7410();
+    let run = Experiment::new(machine).with_timing(TimingMode::Deterministic).run(suite());
+    let filters: Vec<Box<dyn Filter>> =
+        vec![Box::new(AlwaysSchedule), Box::new(NeverSchedule), Box::new(SizeThresholdFilter::new(5))];
+    for f in &filters {
+        let compiled = f.compile();
+        for r in run.all_traces() {
+            assert_eq!(compiled.decide(r.features.as_slice()), f.should_schedule(&r.features), "{}", f.name());
+            assert_eq!(compiled.eval_work(&r.features), f.eval_work(&r.features), "{}", f.name());
+        }
+    }
+}
+
+/// The masked work model never exceeds the full-extraction model, so
+/// demand-driven extraction can only make the accounting cheaper.
+#[test]
+fn demand_masked_extraction_work_is_bounded_by_full() {
+    for bb_len in [0u64, 1, 7, 100] {
+        let full = FeatureMask::ALL.extraction_work(bb_len);
+        for kinds in [
+            FeatureMask::EMPTY,
+            FeatureMask::of([FeatureKind::BbLen]),
+            FeatureMask::of([FeatureKind::BbLen, FeatureKind::Loads, FeatureKind::Calls]),
+        ] {
+            assert!(kinds.extraction_work(bb_len) <= full);
+        }
+    }
+}

@@ -87,9 +87,19 @@ proptest! {
         prop_assert_eq!(always.scheduled_blocks, recs.len());
         prop_assert_eq!(never.scheduled_blocks, 0);
         prop_assert!(never.filtered_work < always.filtered_work);
-        // Always-schedule pays filter overhead on top of full scheduling.
-        prop_assert!(always.work_ratio() >= 1.0);
-        prop_assert!(never.work_ratio() > 0.0 && never.work_ratio() < 1.0);
+        // The fixed strategies consult no features and evaluate no
+        // conditions, so their honest work is exactly the scheduling
+        // they trigger: all of it (LS) or none of it (NS).
+        prop_assert_eq!(always.filter_work + always.feature_work, 0);
+        prop_assert!((always.work_ratio() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(never.filtered_work, 0);
+        prop_assert_eq!(never.work_ratio(), 0.0);
+        // A real filter pays per condition: its work sits strictly
+        // between NS and LS-plus-overhead.
+        let sized = sched_time_ratio(&recs, &SizeThresholdFilter::new(20));
+        prop_assert_eq!(sized.filter_work, recs.len() as u64, "one condition per block");
+        prop_assert!(sized.filtered_work > never.filtered_work);
+        prop_assert!(sized.overhead_fraction() > 0.0);
     }
 
     #[test]

@@ -111,6 +111,7 @@ fn main() -> ExitCode {
                         let m = e.matrix();
                         println!("{}", e.machine_sweep(&m));
                         println!("{}", e.cross_machine(&m, 0));
+                        println!("{}", e.filter_overhead(&m, 0));
                     }
                     "factory" => println!("{}", e.factory_filter(20)),
                     _ => unreachable!("validated above"),

@@ -41,6 +41,37 @@ impl Experiments {
         table
     }
 
+    /// The filter-cost table: per registry machine, the honest overhead
+    /// of the threshold-`t` LOOCV filters — conditions actually
+    /// evaluated (short-circuit aware) and demand-masked extraction
+    /// work — as absolute work units and as a fraction of the machine's
+    /// full always-schedule cost. The paper's premise (and Chmiela's and
+    /// Streeter's, for selectors in general) is that this fraction stays
+    /// near zero on every target; this table is where the reproduction
+    /// shows it.
+    pub fn filter_overhead(&self, matrix: &MatrixRun, t: u32) -> Table {
+        let headers = vec![
+            format!("Machine (t={t})"),
+            "Filter work".into(),
+            "Feature work".into(),
+            "Sched work (LS)".into(),
+            "Overhead %".into(),
+            "Work ratio".into(),
+        ];
+        let mut table = Table::new("Filter overhead as a fraction of scheduling work, per machine", headers);
+        for (name, times) in matrix.filter_cost(t) {
+            table.push_row(vec![
+                name,
+                times.filter_work.to_string(),
+                times.feature_work.to_string(),
+                times.always_work.to_string(),
+                f2(times.overhead_fraction() * 100.0),
+                f2(times.work_ratio()),
+            ]);
+        }
+        table
+    }
+
     /// Per-machine threshold sweep, side by side: LS instance counts at
     /// every paper threshold (Table 5 per machine), plus each machine's
     /// induced t=0 rule count — how much structure there is to learn on
@@ -99,6 +130,21 @@ mod tests {
             for w in counts.windows(2) {
                 assert!(w[1] <= w[0], "LS counts must fall with t: {counts:?}");
             }
+        }
+    }
+
+    #[test]
+    fn filter_overhead_table_shows_small_fractions_everywhere() {
+        let e = harness();
+        let m = e.matrix();
+        let t = e.filter_overhead(&m, 0);
+        assert_eq!(t.row_count(), registry_names().len());
+        for row in 0..t.row_count() {
+            assert_eq!(t.cell(row, 0), registry_names()[row]);
+            let overhead: f64 = t.cell(row, 4).parse().unwrap();
+            assert!((0.0..50.0).contains(&overhead), "overhead {overhead}% should be far below scheduling cost");
+            let ratio: f64 = t.cell(row, 5).parse().unwrap();
+            assert!(ratio < 1.0, "a filter must beat always-scheduling on work, got {ratio}");
         }
     }
 

@@ -8,6 +8,12 @@
 //! block and never touches the dependence DAG — the paper explicitly
 //! rejects DAG-derived features as too expensive.
 //!
+//! Extraction is also *demand-driven*: a [`FeatureMask`] names the
+//! features a filter will actually read, and
+//! [`FeatureVector::extract_masked`] tallies only those categories —
+//! deployed rule sets typically consult two or three features, so the
+//! common case skips most of the pass.
+//!
 //! # Examples
 //!
 //! ```
@@ -80,6 +86,14 @@ impl FeatureKind {
     /// Number of features.
     pub const COUNT: usize = 13;
 
+    /// Number of category-backed fraction features (everything but `bbLen`).
+    pub const CATEGORY_COUNT: usize = 12;
+
+    /// The feature at dense index `i` (inverse of [`FeatureKind::index`]).
+    pub fn from_index(i: usize) -> Option<FeatureKind> {
+        FeatureKind::ALL.get(i).copied()
+    }
+
     /// Dense index into a [`FeatureVector`].
     pub fn index(self) -> usize {
         self as usize
@@ -130,6 +144,105 @@ impl fmt::Display for FeatureKind {
     }
 }
 
+/// A demand set over the thirteen features, as a bitmask.
+///
+/// Induced rule sets rarely read more than a handful of features; a mask
+/// records exactly which ones a filter will consult so extraction can
+/// skip the rest ([`FeatureVector::extract_masked`]). Masks are tiny
+/// `Copy` values and compose with [`union`](FeatureMask::union).
+///
+/// # Examples
+///
+/// ```
+/// use wts_features::{FeatureKind, FeatureMask};
+/// let m = FeatureMask::EMPTY.with(FeatureKind::BbLen).with(FeatureKind::Loads);
+/// assert!(m.contains(FeatureKind::Loads));
+/// assert!(!m.contains(FeatureKind::Calls));
+/// assert_eq!(m.count(), 2);
+/// assert_eq!(m.category_count(), 1, "bbLen needs no instruction pass");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FeatureMask(u16);
+
+impl FeatureMask {
+    /// The empty demand set.
+    pub const EMPTY: FeatureMask = FeatureMask(0);
+
+    /// Every feature demanded (full Table 1 extraction).
+    pub const ALL: FeatureMask = FeatureMask((1 << FeatureKind::COUNT) - 1);
+
+    /// A mask demanding exactly the given features.
+    pub fn of(kinds: impl IntoIterator<Item = FeatureKind>) -> FeatureMask {
+        kinds.into_iter().fold(FeatureMask::EMPTY, FeatureMask::with)
+    }
+
+    /// This mask plus one more feature.
+    pub fn with(self, kind: FeatureKind) -> FeatureMask {
+        FeatureMask(self.0 | (1 << kind.index()))
+    }
+
+    /// True when `kind` is demanded.
+    pub fn contains(self, kind: FeatureKind) -> bool {
+        self.0 & (1 << kind.index()) != 0
+    }
+
+    /// The union of two demand sets.
+    pub fn union(self, other: FeatureMask) -> FeatureMask {
+        FeatureMask(self.0 | other.0)
+    }
+
+    /// True when nothing is demanded.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of demanded features.
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Number of demanded *category* features — the ones that actually
+    /// need the per-instruction tallying pass (`bbLen` is free: the block
+    /// already knows its length).
+    pub fn category_count(self) -> usize {
+        self.count() - usize::from(self.contains(FeatureKind::BbLen))
+    }
+
+    /// The demanded features, in Table 1 order.
+    pub fn kinds(self) -> impl Iterator<Item = FeatureKind> {
+        FeatureKind::ALL.into_iter().filter(move |k| self.contains(*k))
+    }
+
+    /// Deterministic work proxy for extracting this demand set from a
+    /// block of `bb_len` instructions, on the same scale as the trace
+    /// collector's full-extraction proxy (which charges one unit per
+    /// instruction for all twelve category tallies): a mask demanding
+    /// `k` categories costs `1 + ceil(bb_len * k / 12)` — one unit of
+    /// setup plus the pro-rated share of the tallying pass — and a mask
+    /// demanding no categories (only `bbLen`, or nothing) costs zero,
+    /// because the block length is known without touching instructions.
+    pub fn extraction_work(self, bb_len: u64) -> u64 {
+        let k = self.category_count() as u64;
+        if k == 0 {
+            return 0;
+        }
+        1 + (bb_len * k).div_ceil(FeatureKind::CATEGORY_COUNT as u64)
+    }
+}
+
+impl fmt::Display for FeatureMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, kind) in self.kinds().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{kind}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
 /// The feature vector of one basic block.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FeatureVector {
@@ -144,11 +257,36 @@ impl FeatureVector {
 
     /// Extracts the features of an instruction slice.
     pub fn from_insts(insts: &[Inst]) -> FeatureVector {
+        FeatureVector::from_insts_masked(insts, FeatureMask::ALL)
+    }
+
+    /// Demand-driven extraction: the features of `block` restricted to
+    /// `mask`, in a single pass that only tallies the demanded
+    /// instruction categories. Demanded features carry exactly the same
+    /// values as full extraction (same counts, same division); every
+    /// other slot is left at `0.0`.
+    pub fn extract_masked(block: &BasicBlock, mask: FeatureMask) -> FeatureVector {
+        FeatureVector::from_insts_masked(block.insts(), mask)
+    }
+
+    /// [`extract_masked`](FeatureVector::extract_masked) over a raw
+    /// instruction slice.
+    pub fn from_insts_masked(insts: &[Inst], mask: FeatureMask) -> FeatureVector {
+        // The demanded categories, gathered once so the per-instruction
+        // loop touches only what the mask asks for.
+        let mut demanded = [(FeatureKind::BbLen, Category::Branch); FeatureKind::CATEGORY_COUNT];
+        let mut k = 0;
+        for kind in mask.kinds() {
+            if let Some(c) = kind.category() {
+                demanded[k] = (kind, c);
+                k += 1;
+            }
+        }
         let mut counts = [0usize; FeatureKind::COUNT];
-        for inst in insts {
-            let cats = inst.categories();
-            for kind in FeatureKind::ALL {
-                if let Some(c) = kind.category() {
+        if k > 0 {
+            for inst in insts {
+                let cats = inst.categories();
+                for &(kind, c) in &demanded[..k] {
                     if cats.contains(c) {
                         counts[kind.index()] += 1;
                     }
@@ -157,12 +295,12 @@ impl FeatureVector {
         }
         let n = insts.len();
         let mut values = [0.0; FeatureKind::COUNT];
-        values[FeatureKind::BbLen.index()] = n as f64;
+        if mask.contains(FeatureKind::BbLen) {
+            values[FeatureKind::BbLen.index()] = n as f64;
+        }
         if n > 0 {
-            for kind in FeatureKind::ALL {
-                if kind != FeatureKind::BbLen {
-                    values[kind.index()] = counts[kind.index()] as f64 / n as f64;
-                }
+            for &(kind, _) in &demanded[..k] {
+                values[kind.index()] = counts[kind.index()] as f64 / n as f64;
             }
         }
         FeatureVector { values }
@@ -388,5 +526,62 @@ mod tests {
         let fv = FeatureVector::default();
         let s = fv.to_string();
         assert!(s.contains("bbLen=") && s.contains("yieldpoints="));
+    }
+
+    #[test]
+    fn mask_membership_and_counts() {
+        let m = FeatureMask::of([FeatureKind::BbLen, FeatureKind::Loads, FeatureKind::Calls]);
+        assert!(m.contains(FeatureKind::BbLen) && m.contains(FeatureKind::Loads));
+        assert!(!m.contains(FeatureKind::Stores));
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.category_count(), 2);
+        assert_eq!(FeatureMask::ALL.count(), FeatureKind::COUNT);
+        assert_eq!(FeatureMask::ALL.category_count(), FeatureKind::CATEGORY_COUNT);
+        assert!(FeatureMask::EMPTY.is_empty());
+        assert_eq!(m.to_string(), "{bbLen,calls,loads}");
+        let kinds: Vec<FeatureKind> = m.kinds().collect();
+        assert_eq!(kinds, [FeatureKind::BbLen, FeatureKind::Calls, FeatureKind::Loads], "Table 1 order");
+        assert_eq!(FeatureMask::of(kinds), m, "of/kinds round-trip");
+    }
+
+    #[test]
+    fn mask_union_composes() {
+        let a = FeatureMask::of([FeatureKind::Loads]);
+        let b = FeatureMask::of([FeatureKind::Stores]);
+        assert_eq!(a.union(b), FeatureMask::of([FeatureKind::Loads, FeatureKind::Stores]));
+        assert_eq!(a.union(FeatureMask::EMPTY), a);
+    }
+
+    #[test]
+    fn masked_extraction_matches_full_on_demanded_features() {
+        let b = block(vec![
+            Inst::new(Opcode::Lwz).def(Reg::gpr(1)).use_(Reg::gpr(9)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Lfd).def(Reg::fpr(1)).use_(Reg::gpr(9)).mem(MemRef::slot(MemSpace::Heap, 8)),
+            Inst::new(Opcode::Fadd).def(Reg::fpr(2)).use_(Reg::fpr(1)).use_(Reg::fpr(1)),
+        ]);
+        let full = FeatureVector::extract(&b);
+        let mask = FeatureMask::of([FeatureKind::BbLen, FeatureKind::Loads]);
+        let masked = FeatureVector::extract_masked(&b, mask);
+        for kind in FeatureKind::ALL {
+            if mask.contains(kind) {
+                assert_eq!(masked.get(kind), full.get(kind), "{kind} must match full extraction exactly");
+            } else {
+                assert_eq!(masked.get(kind), 0.0, "{kind} was not demanded");
+            }
+        }
+        assert_eq!(FeatureVector::extract_masked(&b, FeatureMask::ALL), full);
+    }
+
+    #[test]
+    fn extraction_work_scales_with_demand() {
+        assert_eq!(FeatureMask::EMPTY.extraction_work(100), 0);
+        assert_eq!(FeatureMask::of([FeatureKind::BbLen]).extraction_work(100), 0, "bbLen is free");
+        let two = FeatureMask::of([FeatureKind::Loads, FeatureKind::Stores]);
+        let full = FeatureMask::ALL;
+        assert!(two.extraction_work(24) < full.extraction_work(24));
+        assert_eq!(full.extraction_work(24), 25, "full demand costs ~one unit per instruction");
+        assert_eq!(two.extraction_work(24), 5);
+        // Monotone in block length.
+        assert!(two.extraction_work(48) > two.extraction_work(24));
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for feature extraction.
 
 use proptest::prelude::*;
-use wts_features::{Binner, FeatureKind, FeatureVector};
+use wts_features::{Binner, FeatureKind, FeatureMask, FeatureVector};
 use wts_ir::{BasicBlock, Hazards, Inst, MemRef, MemSpace, Opcode, Reg};
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
@@ -94,6 +94,30 @@ proptest! {
             let expect = (fa.get(k) * na + fb.get(k) * nb) / (na + nb);
             prop_assert!((fab.get(k) - expect).abs() < 1e-9, "{k}: {} vs {expect}", fab.get(k));
         }
+    }
+
+    #[test]
+    fn masked_extraction_agrees_with_full_extraction(insts in prop::collection::vec(arb_inst(), 0..30),
+                                                     bits in 0u16..(1 << 13)) {
+        let b = block(insts);
+        let mask = FeatureMask::of(FeatureKind::ALL.into_iter().filter(|k| bits & (1 << k.index()) != 0));
+        let full = FeatureVector::extract(&b);
+        let masked = FeatureVector::extract_masked(&b, mask);
+        for k in FeatureKind::ALL {
+            if mask.contains(k) {
+                prop_assert_eq!(masked.get(k), full.get(k), "{} must be bit-identical to full extraction", k);
+            } else {
+                prop_assert_eq!(masked.get(k), 0.0, "{} was not demanded", k);
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_work_is_monotone_in_demand(bits in 0u16..(1 << 13), extra in 0usize..13, bb_len in 0u64..200) {
+        let mask = FeatureMask::of(FeatureKind::ALL.into_iter().filter(|k| bits & (1 << k.index()) != 0));
+        let bigger = mask.with(FeatureKind::ALL[extra]);
+        prop_assert!(mask.extraction_work(bb_len) <= bigger.extraction_work(bb_len));
+        prop_assert!(bigger.extraction_work(bb_len) <= FeatureMask::ALL.extraction_work(bb_len));
     }
 
     #[test]

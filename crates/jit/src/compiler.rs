@@ -1,7 +1,14 @@
 //! The JIT scheduling pass: features → filter → (maybe) schedule.
+//!
+//! The filter is lowered once per compile ([`Filter::compile`]) and every
+//! block then runs the deployed fast path: one demand-masked feature
+//! pass over exactly the features the compiled rules read, then the flat
+//! condition table. Decisions are bit-identical to the interpreted
+//! filter, so the output program is unchanged — only the filter's own
+//! cost shrinks.
 
 use std::time::Instant;
-use wts_core::Filter;
+use wts_core::{CompiledFilter, Filter};
 use wts_features::FeatureVector;
 use wts_ir::Program;
 use wts_machine::{CostModel, MachineConfig, PipelineSim};
@@ -98,7 +105,7 @@ impl<'m> CompileSession<'m> {
         &self,
         scheduler: &ListScheduler<'_>,
         method: &mut wts_ir::Method,
-        filter: &dyn Filter,
+        filter: &CompiledFilter,
         optimize: bool,
         stats: &mut CompileStats,
     ) {
@@ -109,11 +116,11 @@ impl<'m> CompileSession<'m> {
             }
 
             let t0 = Instant::now();
-            let features = FeatureVector::extract(block);
+            let features = FeatureVector::extract_masked(block, filter.demand());
             stats.feature_ns += t0.elapsed().as_nanos() as u64;
 
             let t1 = Instant::now();
-            let decision = filter.should_schedule(&features);
+            let decision = filter.decide(features.as_slice());
             stats.filter_ns += t1.elapsed().as_nanos() as u64;
 
             if decision {
@@ -133,6 +140,8 @@ impl<'m> CompileSession<'m> {
         optimize_method: impl Fn(&wts_ir::Method) -> bool + Sync,
         threads: usize,
     ) -> (Program, CompileStats) {
+        // Lower the filter once; every shard shares the flat table.
+        let engine = filter.compile();
         // Methods shard into contiguous chunks; each worker clones and
         // compiles its chunk, and the chunks are reassembled in method
         // order, so the result is identical whatever the thread count.
@@ -142,7 +151,7 @@ impl<'m> CompileSession<'m> {
             let mut compiled = slice.to_vec();
             for method in &mut compiled {
                 let optimize = optimize_method(method);
-                self.compile_method(&scheduler, method, filter, optimize, &mut stats);
+                self.compile_method(&scheduler, method, &engine, optimize, &mut stats);
             }
             (compiled, stats)
         });

@@ -184,7 +184,7 @@ impl Default for MachineConfig {
 /// The builder starts from a conservative baseline — single-issue,
 /// fully in-order, [`LatencyTable::ppc7410`] latencies, one unit per
 /// class (both integer classes on IU1) — and every named machine in the
-/// [registry](crate::registry) is a handful of overrides on top of it,
+/// [registry](mod@crate::registry) is a handful of overrides on top of it,
 /// which is also how downstream users add their own targets.
 ///
 /// # Examples

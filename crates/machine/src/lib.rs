@@ -21,11 +21,11 @@
 //! The default target is [`MachineConfig::ppc7410`]: two dissimilar integer
 //! units, one each of float / branch / load-store / system, and an issue
 //! limit of two non-branch instructions plus one branch per cycle. It is
-//! one entry in the named machine [`registry`](crate::registry), which
+//! one entry in the named machine [`registry`](mod@crate::registry), which
 //! spans the dynamism spectrum from a single-issue embedded core with
 //! slow memory to a 4-issue deep-window superscalar; new targets are a
 //! [`MachineBuilder`] plus a registry row (see the module docs of
-//! [`registry`](crate::registry)).
+//! [`registry`](mod@crate::registry)).
 //!
 //! # Examples
 //!

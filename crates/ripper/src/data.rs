@@ -262,6 +262,16 @@ mod tests {
     }
 
     #[test]
+    fn tiny_classes_round_entirely_into_the_grow_set() {
+        // `round(1 * 2/3) == 1`: a one-instance class contributes nothing
+        // to the prune set — the empty-prune-set case prune_rule guards.
+        let d = dataset(1, 1);
+        let (grow, prune) = stratified_split(d.instances(), 2.0 / 3.0, 9);
+        assert_eq!(grow.len(), 2);
+        assert!(prune.is_empty());
+    }
+
+    #[test]
     fn stratified_split_is_deterministic() {
         let d = dataset(10, 10);
         let a = stratified_split(d.instances(), 0.5, 3);

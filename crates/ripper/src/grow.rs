@@ -121,8 +121,14 @@ pub(crate) fn prune_metric(c: Cover) -> f64 {
 /// Prunes a rule by deleting a (possibly empty) suffix of its conditions,
 /// keeping at least one condition, to maximize the IREP* metric on
 /// `prune_idx`. Ties prefer shorter rules.
+///
+/// An *empty* prune set carries no evidence either way — every prefix
+/// ties at metric 0.0, and truncating to the shortest prefix on a tie
+/// would silently gut the rule (tiny folds hit this: the stratified
+/// split can round every instance of a class into the grow set). The
+/// rule is returned unpruned in that case.
 pub(crate) fn prune_rule(rule: Rule, data: &Dataset, prune_idx: &[u32]) -> Rule {
-    if rule.len() <= 1 {
+    if rule.len() <= 1 || prune_idx.is_empty() {
         return rule;
     }
     let mut best_keep = rule.len();
@@ -229,6 +235,20 @@ mod tests {
         let d = dataset_1d(&[(0.6, true), (0.7, true), (0.9, true), (0.2, false), (0.3, false)]);
         let pruned = prune_rule(rule, &d, &all_idx(&d));
         assert_eq!(pruned.len(), 1, "suffix should be pruned: {pruned:?}");
+    }
+
+    #[test]
+    fn empty_prune_set_leaves_rule_unpruned() {
+        // Tiny folds can round a whole class into the grow set, leaving
+        // nothing to prune on; every prefix then ties at metric 0.0 and
+        // the tie-break used to truncate the rule to one condition.
+        let rule = Rule::from_conditions(vec![
+            Condition { attr: 0, op: Op::Ge, threshold: 0.5 },
+            Condition { attr: 0, op: Op::Le, threshold: 0.9 },
+        ]);
+        let d = dataset_1d(&[(0.6, true), (0.2, false)]);
+        let pruned = prune_rule(rule.clone(), &d, &[]);
+        assert_eq!(pruned, rule, "no prune evidence means no pruning");
     }
 
     #[test]

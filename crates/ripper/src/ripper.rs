@@ -328,6 +328,29 @@ mod tests {
     }
 
     #[test]
+    fn tiny_folds_keep_conjunctive_rules_intact() {
+        // Positives need *both* x0 >= 0.6 and x1 >= 0.55. With per-class
+        // counts small enough that `round(n * grow_fraction) == n`, the
+        // stratified split rounds every instance into the grow set and
+        // pruning sees an *empty* prune set; it used to truncate the
+        // grown conjunction to its first condition, turning every
+        // high-x0/low-x1 negative into a false positive.
+        let pos = [(0.6, 0.6), (0.7, 0.8), (0.9, 0.55)];
+        let neg = [(0.6, 0.1), (0.7, 0.2), (0.1, 0.6), (0.2, 0.9), (0.1, 0.1)];
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()], "LS", "NS");
+        for i in 0..25 {
+            let (x0, x1) = pos[i % pos.len()];
+            d.push(vec![x0, x1], true, 0);
+            let (x0, x1) = neg[i % neg.len()];
+            d.push(vec![x0, x1], false, 0);
+        }
+        let model = RipperConfig { grow_fraction: 0.98, ..Default::default() }.fit(&d);
+        for inst in d.instances() {
+            assert_eq!(model.predict(&inst.values), inst.positive, "misclassified {:?}; rules: {model}", inst.values);
+        }
+    }
+
+    #[test]
     fn training_is_deterministic() {
         let d = disjunctive_dataset(400, 20);
         let a = RipperConfig::default().fit(&d);

@@ -87,6 +87,14 @@ impl Rule {
     pub fn matches(&self, values: &[f64]) -> bool {
         self.conds.iter().all(|c| c.matches(values))
     }
+
+    /// The distinct attribute indices this rule reads, sorted.
+    pub fn referenced_attrs(&self) -> Vec<usize> {
+        let mut attrs: Vec<usize> = self.conds.iter().map(|c| c.attr).collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        attrs
+    }
 }
 
 /// Per-rule training statistics shown in the Figure 4 output format:
@@ -193,6 +201,16 @@ impl RuleSet {
     /// Total number of conditions across all rules (model size).
     pub fn condition_count(&self) -> usize {
         self.rules.iter().map(Rule::len).sum()
+    }
+
+    /// The distinct attribute indices any rule reads, sorted — the rule
+    /// set's *feature demand*. A compiler deploying this set only needs
+    /// these attributes extracted; everything else can be skipped.
+    pub fn referenced_attrs(&self) -> Vec<usize> {
+        let mut attrs: Vec<usize> = self.rules.iter().flat_map(|r| r.conditions().iter().map(|c| c.attr)).collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        attrs
     }
 }
 
@@ -306,6 +324,17 @@ mod tests {
     #[test]
     fn condition_count_sums() {
         assert_eq!(ruleset().condition_count(), 3);
+    }
+
+    #[test]
+    fn referenced_attrs_are_sorted_and_deduped() {
+        let rs = ruleset();
+        assert_eq!(rs.referenced_attrs(), vec![0, 1]);
+        let r = Rule::from_conditions(vec![cond(5, Op::Ge, 1.0), cond(2, Op::Le, 0.2), cond(5, Op::Le, 3.0)]);
+        assert_eq!(r.referenced_attrs(), vec![2, 5]);
+        assert!(Rule::new().referenced_attrs().is_empty());
+        let empty = RuleSet::new(vec!["a".into()], "p", "n", vec![], vec![], RuleStats::default());
+        assert!(empty.referenced_attrs().is_empty());
     }
 
     #[test]

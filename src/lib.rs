@@ -57,11 +57,11 @@ pub use wts_sched as sched;
 /// Commonly used items, importable with one `use`.
 pub mod prelude {
     pub use wts_core::{
-        Experiment, ExperimentMatrix, ExperimentRun, Filter, LabelConfig, LearnedFilter, MatrixRun,
-        SizeThresholdFilter, TimingMode, TraceOptions, TraceRecord,
+        CompiledFilter, Experiment, ExperimentMatrix, ExperimentRun, FeatureBatch, Filter, LabelConfig, LearnedFilter,
+        MatrixRun, SizeThresholdFilter, TimingMode, TraceOptions, TraceRecord,
     };
     pub use wts_deps::DepGraph;
-    pub use wts_features::{FeatureKind, FeatureVector};
+    pub use wts_features::{FeatureKind, FeatureMask, FeatureVector};
     pub use wts_ir::{BasicBlock, Category, Hazards, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
     pub use wts_jit::{Benchmark, CompileSession, Suite};
     pub use wts_machine::{

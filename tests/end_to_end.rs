@@ -108,7 +108,7 @@ fn factory_deployment_round_trip() {
 
     let traces = jvm98_traces();
     // Trace file round trip.
-    let text = write_trace(&traces);
+    let text = write_trace(&traces).expect("generated benchmark names are tab-free");
     let back = read_trace(&text).expect("trace file must parse");
     assert_eq!(back, traces);
 

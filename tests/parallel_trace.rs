@@ -39,8 +39,9 @@ fn sharded_trace_files_are_byte_identical() {
     let machine = MachineConfig::ppc7410();
     let suite = Suite::fp(SCALE);
     let program = suite.benchmarks()[0].program();
-    let serial = write_trace(&collect_trace_with(program, &machine, &serial_opts()));
-    let sharded = write_trace(&collect_trace_with(program, &machine, &TraceOptions { threads: 4, ..serial_opts() }));
+    let serial = write_trace(&collect_trace_with(program, &machine, &serial_opts())).unwrap();
+    let sharded =
+        write_trace(&collect_trace_with(program, &machine, &TraceOptions { threads: 4, ..serial_opts() })).unwrap();
     assert_eq!(serial, sharded, "serialized trace files must be byte-identical");
 }
 
@@ -73,8 +74,8 @@ fn experiment_pipeline_is_thread_count_invariant() {
 
     assert_eq!(serial.all_traces(), sharded.all_traces(), "trace stage must be thread-count invariant");
     assert_eq!(
-        write_trace(serial.all_traces()),
-        write_trace(sharded.all_traces()),
+        write_trace(serial.all_traces()).unwrap(),
+        write_trace(sharded.all_traces()).unwrap(),
         "serialized corpus must be byte-identical"
     );
     // Fold-sharded training must induce the same rule sets.
