@@ -63,30 +63,38 @@ pub struct EvalTimes {
 impl EvalTimes {
     /// Measured scheduling-time ratio `filtered / always` (the paper's
     /// Figure 1(a) bars; LS = 1.0, NS would be the pure filtering cost).
+    ///
+    /// Zero-denominator convention: when the always-schedule channel is
+    /// zero (nothing to schedule — an empty or all-empty-blocks
+    /// benchmark), the ratio is `1.0` if the filtered channel is also
+    /// zero — the strategies are indistinguishable, not "the filter is
+    /// free" — and `+∞` if the filter still spent time, so a nonzero
+    /// filtering cost over zero scheduling work is never reported as
+    /// cheap.
     pub fn measured_ratio(&self) -> f64 {
-        if self.always_ns == 0 {
-            return 0.0;
-        }
-        self.filtered_ns as f64 / self.always_ns as f64
+        ratio(self.filtered_ns, self.always_ns)
     }
 
-    /// Deterministic work-unit ratio (same quantity, stable across runs).
+    /// Deterministic work-unit ratio (same quantity, stable across
+    /// runs), with the same zero-denominator convention as
+    /// [`measured_ratio`](EvalTimes::measured_ratio).
     pub fn work_ratio(&self) -> f64 {
-        if self.always_work == 0 {
-            return 0.0;
-        }
-        self.filtered_work as f64 / self.always_work as f64
+        ratio(self.filtered_work, self.always_work)
     }
 
     /// The filter's own overhead — extraction plus rule evaluation — as
     /// a fraction of the always-schedule work. The paper's premise is
     /// that this is near zero; the cross-machine filter-cost table
-    /// prints it per machine.
+    /// prints it per machine. A filter that spent nothing over an empty
+    /// corpus has zero overhead; one that spent work where there was no
+    /// scheduling to do reports `+∞`, mirroring the
+    /// [`work_ratio`](EvalTimes::work_ratio) convention.
     pub fn overhead_fraction(&self) -> f64 {
+        let overhead = self.filter_work + self.feature_work;
         if self.always_work == 0 {
-            return 0.0;
+            return if overhead == 0 { 0.0 } else { f64::INFINITY };
         }
-        (self.filter_work + self.feature_work) as f64 / self.always_work as f64
+        overhead as f64 / self.always_work as f64
     }
 
     /// Accumulates another benchmark's measurement into this one (used
@@ -101,6 +109,16 @@ impl EvalTimes {
         self.scheduled_blocks += other.scheduled_blocks;
         self.total_blocks += other.total_blocks;
     }
+}
+
+/// `filtered / always` with the documented zero-denominator convention:
+/// `0/0 = 1.0` (indistinguishable strategies), `x/0 = +∞` for `x > 0`
+/// (the filter is not free just because there was nothing to schedule).
+fn ratio(filtered: u64, always: u64) -> f64 {
+    if always == 0 {
+        return if filtered == 0 { 1.0 } else { f64::INFINITY };
+    }
+    filtered as f64 / always as f64
 }
 
 /// The compiled filter's decision for every record: one lowering, then
@@ -377,10 +395,36 @@ mod tests {
 
     #[test]
     fn empty_traces_do_not_divide_by_zero() {
+        // Both channels empty: the strategies are indistinguishable, so
+        // every ratio is 1.0 (not 0.0, which would read "filtering is
+        // free") and the overhead is genuinely zero.
         let e = sched_time_ratio(&[], &AlwaysSchedule);
-        assert_eq!(e.measured_ratio(), 0.0);
-        assert_eq!(e.work_ratio(), 0.0);
+        assert_eq!(e.measured_ratio(), 1.0);
+        assert_eq!(e.work_ratio(), 1.0);
+        assert_eq!(e.overhead_fraction(), 0.0);
         assert_eq!(app_time_ratio(&[], &AlwaysSchedule), 1.0);
         assert_eq!(predicted_time_ratio(&[], &AlwaysSchedule), 100.0);
+    }
+
+    #[test]
+    fn zero_denominator_ratio_never_reports_the_filter_as_free() {
+        // Regression: an all-empty-blocks benchmark has zero
+        // always-schedule work, and `measured_ratio`/`work_ratio` used
+        // to return 0.0 — "the filter is free" — even though the
+        // filtered channel had spent real extraction + evaluation work.
+        let mut r = rec(0.0, 1, (0, 0), (0, 0));
+        r.sched_ns = 0;
+        r.sched_work = 0;
+        let e = sched_time_ratio(&[r], &SizeThresholdFilter::new(5));
+        assert_eq!(e.always_work, 0, "nothing to schedule");
+        assert!(e.filtered_work > 0, "the filter still paid to decide");
+        assert_eq!(e.work_ratio(), f64::INFINITY, "nonzero spend over zero scheduling work is not free");
+        assert_eq!(e.measured_ratio(), f64::INFINITY);
+        assert_eq!(e.overhead_fraction(), f64::INFINITY);
+        // The same channels with nothing spent collapse to the 0/0 = 1.0
+        // convention.
+        let idle = EvalTimes::default();
+        assert_eq!(idle.measured_ratio(), 1.0);
+        assert_eq!(idle.work_ratio(), 1.0);
     }
 }

@@ -52,6 +52,8 @@ use crate::eval::{
     EvalTimes,
 };
 use crate::label::{build_dataset, LabelConfig};
+use crate::learner::{Learner, LearnerKind};
+use crate::matrix::PortfolioEntry;
 use crate::trace::{collect_trace_with, TimingMode, TraceOptions, TraceRecord};
 use crate::train::{train_loocv_sharded, TrainConfig};
 use crate::{Filter, LearnedFilter};
@@ -60,7 +62,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use wts_ir::Program;
 use wts_machine::{EstimatorKind, MachineConfig};
-use wts_ripper::{ConfusionMatrix, Dataset, RipperConfig};
+use wts_ripper::{geometric_mean, ConfusionMatrix, Dataset, RipperConfig};
 use wts_sched::SchedulePolicy;
 
 /// Name-sorted `(benchmark, filter)` pairs from one LOOCV training run.
@@ -76,7 +78,7 @@ pub type LoocvFilters = Rc<Vec<(String, LearnedFilter)>>;
 pub struct Experiment {
     machine: MachineConfig,
     policy: SchedulePolicy,
-    ripper: RipperConfig,
+    learner: LearnerKind,
     trace_threads: usize,
     train_threads: usize,
     timing: TimingMode,
@@ -93,7 +95,7 @@ impl Experiment {
         Experiment {
             machine,
             policy: SchedulePolicy::CriticalPath,
-            ripper: RipperConfig::default(),
+            learner: LearnerKind::default(),
             trace_threads: 0,
             train_threads: 0,
             timing: TimingMode::WallClock,
@@ -117,9 +119,18 @@ impl Experiment {
         self
     }
 
-    /// Overrides the RIPPER learner settings.
+    /// Overrides the RIPPER settings (and selects the RIPPER backend).
     pub fn with_ripper(mut self, ripper: RipperConfig) -> Experiment {
-        self.ripper = ripper;
+        self.learner = LearnerKind::Ripper(ripper);
+        self
+    }
+
+    /// Selects the induction backend the training stage runs (RIPPER by
+    /// default). Per-learner artifacts ([`ExperimentRun::loocv_filters_for`],
+    /// [`MatrixRun::portfolio`](crate::MatrixRun::portfolio)) can query
+    /// other backends on the same run without re-tracing.
+    pub fn with_learner(mut self, learner: LearnerKind) -> Experiment {
+        self.learner = learner;
         self
     }
 
@@ -207,7 +218,7 @@ impl Experiment {
         let names: Vec<String> = programs.iter().map(|p| p.name().to_string()).collect();
         let all_traces: Vec<TraceRecord> = traces.iter().flat_map(|t| t.iter().cloned()).collect();
         ExperimentRun {
-            ripper: self.ripper.clone(),
+            learner: self.learner.clone(),
             threads: self.train_threads,
             names,
             programs,
@@ -222,14 +233,14 @@ impl Experiment {
 /// The output of the trace stage plus lazily computed label / train /
 /// evaluate stages, with leave-one-out filters cached per threshold.
 pub struct ExperimentRun {
-    ripper: RipperConfig,
+    learner: LearnerKind,
     threads: usize,
     names: Vec<String>,
     programs: Rc<Vec<Program>>,
     traces: Vec<Vec<TraceRecord>>,
     all_traces: Vec<TraceRecord>,
-    loocv_cache: RefCell<BTreeMap<u32, LoocvFilters>>,
-    factory_cache: RefCell<BTreeMap<u32, LearnedFilter>>,
+    loocv_cache: RefCell<BTreeMap<(String, u32), LoocvFilters>>,
+    factory_cache: RefCell<BTreeMap<(String, u32), LearnedFilter>>,
 }
 
 impl ExperimentRun {
@@ -267,9 +278,15 @@ impl ExperimentRun {
         self.names.iter().position(|n| n == bench).unwrap_or_else(|| panic!("no benchmark {bench} in this run"))
     }
 
-    /// The train config this run uses at threshold `t`.
+    /// The train config this run uses at threshold `t`, with the run's
+    /// configured backend.
     pub fn train_config(&self, t: u32) -> TrainConfig {
-        TrainConfig { label: LabelConfig::new(t), ripper: self.ripper.clone() }
+        TrainConfig { label: LabelConfig::new(t), learner: self.learner.clone() }
+    }
+
+    /// The run's configured induction backend.
+    pub fn learner(&self) -> &LearnerKind {
+        &self.learner
     }
 
     /// Stage 2: the labeled RIPPER dataset at threshold `t`, grouped by
@@ -279,14 +296,25 @@ impl ExperimentRun {
     }
 
     /// Stage 3 (evaluation protocol): leave-one-benchmark-out filters at
-    /// threshold `t`, cached across artifacts, trained with folds
-    /// sharded across the configured worker threads.
+    /// threshold `t` under the run's configured backend, cached across
+    /// artifacts, trained with folds sharded across the configured
+    /// worker threads.
     pub fn loocv_filters(&self, t: u32) -> LoocvFilters {
-        if let Some(hit) = self.loocv_cache.borrow().get(&t) {
+        self.loocv_filters_for(t, &self.learner)
+    }
+
+    /// [`loocv_filters`](ExperimentRun::loocv_filters) under an explicit
+    /// backend — the portfolio path: the traced corpus is shared, only
+    /// the training stage re-runs, and each `(learner, threshold)` pair
+    /// is cached independently.
+    pub fn loocv_filters_for(&self, t: u32, learner: &LearnerKind) -> LoocvFilters {
+        let key = (learner.cache_key(), t);
+        if let Some(hit) = self.loocv_cache.borrow().get(&key) {
             return Rc::clone(hit);
         }
-        let filters = Rc::new(train_loocv_sharded(&self.all_traces, &self.train_config(t), self.threads));
-        self.loocv_cache.borrow_mut().insert(t, Rc::clone(&filters));
+        let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone() };
+        let filters = Rc::new(train_loocv_sharded(&self.all_traces, &config, self.threads));
+        self.loocv_cache.borrow_mut().insert(key, Rc::clone(&filters));
         filters
     }
 
@@ -305,15 +333,56 @@ impl ExperimentRun {
     }
 
     /// Stage 3 ("at the factory", §3): one filter trained on the whole
-    /// corpus at threshold `t`, cached across artifacts like the LOOCV
-    /// filters (the cross-machine transfer table queries it repeatedly).
+    /// corpus at threshold `t` under the run's configured backend,
+    /// cached across artifacts like the LOOCV filters (the
+    /// cross-machine transfer table queries it repeatedly).
     pub fn factory_filter(&self, t: u32) -> LearnedFilter {
-        if let Some(hit) = self.factory_cache.borrow().get(&t) {
+        self.factory_filter_for(t, &self.learner)
+    }
+
+    /// [`factory_filter`](ExperimentRun::factory_filter) under an
+    /// explicit backend, cached per `(learner, threshold)`.
+    pub fn factory_filter_for(&self, t: u32, learner: &LearnerKind) -> LearnedFilter {
+        let key = (learner.cache_key(), t);
+        if let Some(hit) = self.factory_cache.borrow().get(&key) {
             return hit.clone();
         }
-        let filter = crate::train_filter(&self.all_traces, &self.train_config(t));
-        self.factory_cache.borrow_mut().insert(t, filter.clone());
+        let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone() };
+        let filter = crate::train_filter(&self.all_traces, &config);
+        self.factory_cache.borrow_mut().insert(key, filter.clone());
         filter
+    }
+
+    /// One learner's full portfolio row on this run: aggregate LOOCV
+    /// classification error over every benchmark's held-out fold,
+    /// geometric-mean predicted/app time ratios, and the accumulated
+    /// honest filter + extraction overhead
+    /// ([`EvalTimes`](crate::EvalTimes)) of its compiled filters.
+    pub fn learner_eval(&self, t: u32, learner: &LearnerKind) -> PortfolioEntry {
+        let filters = self.loocv_filters_for(t, learner);
+        let label = LabelConfig::new(t);
+        let mut confusion = ConfusionMatrix::default();
+        let mut pred = Vec::new();
+        let mut app = Vec::new();
+        let mut times = EvalTimes::default();
+        let mut conditions = 0usize;
+        for (bench, filter) in filters.iter() {
+            let tr = self.trace_for(bench);
+            let m = classification_matrix(tr, filter, label);
+            confusion.accumulate(&m);
+            pred.push(predicted_time_ratio(tr, filter));
+            app.push(app_time_ratio(tr, filter));
+            times.accumulate(&sched_time_ratio(tr, filter));
+            conditions += filter.rules().condition_count();
+        }
+        PortfolioEntry {
+            learner: learner.name(),
+            error_percent: confusion.error_percent(),
+            predicted_percent: geometric_mean(&pred),
+            app_ratio: geometric_mean(&app),
+            conditions,
+            times,
+        }
     }
 
     /// Stage 4, Table 3: confusion of `bench`'s own LOOCV filter against

@@ -113,18 +113,29 @@ impl Filter for SizeThresholdFilter {
     }
 }
 
-/// A filter backed by an induced RIPPER rule set (the paper's L/N filter).
+/// A filter backed by an induced rule set — the paper's L/N filter when
+/// trained by RIPPER, or any other [`Learner`](crate::Learner) backend's
+/// model lowered to the same ordered-rule vocabulary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LearnedFilter {
     rules: RuleSet,
     threshold_percent: u32,
+    learner: String,
 }
 
 impl LearnedFilter {
     /// Wraps a trained rule set; `threshold_percent` records the labeling
-    /// threshold it was trained at (for display only).
+    /// threshold it was trained at (for display only). The filter is
+    /// tagged `L/N`, the paper's name for the RIPPER-induced filter; use
+    /// [`with_learner`](LearnedFilter::with_learner) for other backends.
     pub fn new(rules: RuleSet, threshold_percent: u32) -> LearnedFilter {
-        LearnedFilter { rules, threshold_percent }
+        LearnedFilter::with_learner(rules, threshold_percent, "L/N")
+    }
+
+    /// Wraps a trained rule set, tagged with the inducing backend's name
+    /// (shown in [`name`](Filter::name) as `<learner>(t=<threshold>)`).
+    pub fn with_learner(rules: RuleSet, threshold_percent: u32, learner: impl Into<String>) -> LearnedFilter {
+        LearnedFilter { rules, threshold_percent, learner: learner.into() }
     }
 
     /// The underlying rule set (e.g. for printing Figure 4).
@@ -136,6 +147,12 @@ impl LearnedFilter {
     pub fn threshold_percent(&self) -> u32 {
         self.threshold_percent
     }
+
+    /// The tag of the backend that induced the rule set (`L/N` for
+    /// RIPPER).
+    pub fn learner(&self) -> &str {
+        &self.learner
+    }
 }
 
 impl Filter for LearnedFilter {
@@ -144,7 +161,7 @@ impl Filter for LearnedFilter {
     }
 
     fn name(&self) -> String {
-        format!("L/N(t={})", self.threshold_percent)
+        format!("{}(t={})", self.learner, self.threshold_percent)
     }
 
     fn compile(&self) -> CompiledFilter {
@@ -229,6 +246,17 @@ mod tests {
         assert!(!f.should_schedule(&fv(3.0, 0.5)));
         assert_eq!(f.name(), "L/N(t=20)");
         assert_eq!(f.threshold_percent(), 20);
+        assert_eq!(f.learner(), "L/N");
         assert!(f.to_string().contains("list :-"));
+    }
+
+    #[test]
+    fn learner_tag_names_the_backend() {
+        let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();
+        let rules = RuleSet::new(attr_names, "list", "orig", vec![], vec![], Default::default());
+        let f = LearnedFilter::with_learner(rules, 10, "stump");
+        assert_eq!(f.name(), "stump(t=10)");
+        assert_eq!(f.learner(), "stump");
+        assert_eq!(f.compile().name(), "stump(t=10)", "the tag survives lowering");
     }
 }

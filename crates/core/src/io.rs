@@ -16,6 +16,31 @@ use wts_ir::{BlockId, MethodId};
 /// Format version tag written as the first header column.
 const MAGIC: &str = "schedfilter-trace-v1";
 
+/// Every header column in order: the magic tag, the record key columns,
+/// the thirteen Table 1 features, then the cycle and timing channels.
+/// The reader validates the *full* list — a reordered or renamed column
+/// would otherwise silently permute features into the wrong slots.
+fn expected_columns() -> Vec<&'static str> {
+    let mut cols = vec![MAGIC, "benchmark", "method", "block", "exec"];
+    cols.extend(FeatureKind::ALL.iter().map(|k| k.rule_name()));
+    cols.extend([
+        "est_unsched",
+        "est_sched",
+        "hw_unsched",
+        "hw_sched",
+        "sched_ns",
+        "feature_ns",
+        "sched_work",
+        "feature_work",
+    ]);
+    cols
+}
+
+/// The exact header line [`write_trace`] emits.
+fn expected_header() -> String {
+    expected_columns().join("\t")
+}
+
 /// An error produced while reading a trace file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTraceError {
@@ -42,15 +67,25 @@ impl std::fmt::Display for ParseTraceError {
 
 impl std::error::Error for ParseTraceError {}
 
-/// An error produced while writing a trace file: a benchmark name that
-/// would corrupt the tab-separated format.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// An error produced while writing a trace file: a record that would
+/// corrupt the tab-separated format or silently change meaning when
+/// read back.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceWriteError {
     benchmark: String,
+    kind: WriteErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum WriteErrorKind {
+    /// The benchmark name contains `\t`, `\n` or `\r`.
+    BadName,
+    /// A feature value is NaN or ±infinity.
+    NonFinite { feature: &'static str, value: f64 },
 }
 
 impl TraceWriteError {
-    /// The offending benchmark name.
+    /// The benchmark of the offending record.
     pub fn benchmark(&self) -> &str {
         &self.benchmark
     }
@@ -58,12 +93,21 @@ impl TraceWriteError {
 
 impl std::fmt::Display for TraceWriteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "benchmark name {:?} contains a tab, newline or carriage return and would corrupt the \
-             tab-separated trace format; rename the benchmark before tracing",
-            self.benchmark
-        )
+        match &self.kind {
+            WriteErrorKind::BadName => write!(
+                f,
+                "benchmark name {:?} contains a tab, newline or carriage return and would corrupt the \
+                 tab-separated trace format; rename the benchmark before tracing",
+                self.benchmark
+            ),
+            WriteErrorKind::NonFinite { feature, value } => write!(
+                f,
+                "benchmark {:?}: feature {feature} is {value}, which is not finite; every rule condition \
+                 on a non-finite value compares false, so the record would silently classify NS under any \
+                 learned filter — fix the extraction instead of serializing it",
+                self.benchmark
+            ),
+        }
     }
 }
 
@@ -80,18 +124,28 @@ impl std::error::Error for TraceWriteError {}
 /// Returns a [`TraceWriteError`] naming the offending benchmark when a
 /// record's benchmark name contains `\t`, `\n` or `\r` — written as-is
 /// those would silently split the line, and the reader would only fail
-/// much later with an opaque column-count error.
+/// much later with an opaque column-count error — or when a feature
+/// value is NaN or ±infinity, which would round-trip fine but silently
+/// classify NS under every learned filter (each condition on a
+/// non-finite value compares false).
 pub fn write_trace(records: &[TraceRecord]) -> Result<String, TraceWriteError> {
     if let Some(r) = records.iter().find(|r| r.benchmark.contains(['\t', '\n', '\r'])) {
-        return Err(TraceWriteError { benchmark: r.benchmark.clone() });
+        return Err(TraceWriteError { benchmark: r.benchmark.clone(), kind: WriteErrorKind::BadName });
+    }
+    for r in records {
+        for k in FeatureKind::ALL {
+            let value = r.features.get(k);
+            if !value.is_finite() {
+                return Err(TraceWriteError {
+                    benchmark: r.benchmark.clone(),
+                    kind: WriteErrorKind::NonFinite { feature: k.rule_name(), value },
+                });
+            }
+        }
     }
     let mut out = String::new();
-    out.push_str(MAGIC);
-    out.push_str("\tbenchmark\tmethod\tblock\texec");
-    for k in FeatureKind::ALL {
-        let _ = write!(out, "\t{k}");
-    }
-    out.push_str("\test_unsched\test_sched\thw_unsched\thw_sched\tsched_ns\tfeature_ns\tsched_work\tfeature_work\n");
+    out.push_str(&expected_header());
+    out.push('\n');
     for r in records {
         let _ = write!(out, "rec\t{}\t{}\t{}\t{}", r.benchmark, r.method.0, r.block.0, r.exec_count);
         for k in FeatureKind::ALL {
@@ -117,15 +171,31 @@ pub fn write_trace(records: &[TraceRecord]) -> Result<String, TraceWriteError> {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseTraceError`] for a bad header, wrong column count,
-/// or malformed field.
+/// Returns a [`ParseTraceError`] for a bad header (every column name is
+/// checked against the writer's layout — a reordered or renamed column
+/// would otherwise silently permute features), wrong column count,
+/// malformed field, out-of-range method/block id, or a non-finite
+/// feature value.
 pub fn read_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| ParseTraceError::new(0, "empty trace file"))?;
     if !header.starts_with(MAGIC) {
         return Err(ParseTraceError::new(0, format!("bad magic, expected '{MAGIC}'")));
     }
-    let expected_cols = 5 + FeatureKind::COUNT + 8;
+    let expected = expected_columns();
+    let header_cols: Vec<&str> = header.split('\t').collect();
+    for (i, (got, want)) in header_cols.iter().zip(&expected).enumerate() {
+        if got != want {
+            return Err(ParseTraceError::new(0, format!("header column {i}: expected '{want}', found '{got}'")));
+        }
+    }
+    if header_cols.len() != expected.len() {
+        return Err(ParseTraceError::new(
+            0,
+            format!("header has {} columns, expected {}", header_cols.len(), expected.len()),
+        ));
+    }
+    let expected_cols = expected.len();
     let mut out = Vec::new();
     for (idx, line) in lines {
         let lineno = idx + 1;
@@ -145,16 +215,31 @@ pub fn read_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
         let int = |s: &str, what: &str| {
             s.parse::<u64>().map_err(|_| ParseTraceError::new(lineno, format!("bad {what}: '{s}'")))
         };
+        // Ids are 32-bit; a wider value must not wrap into a
+        // valid-looking record.
+        let id = |s: &str, what: &str| {
+            let wide = int(s, what)?;
+            u32::try_from(wide)
+                .map_err(|_| ParseTraceError::new(lineno, format!("{what} {wide} out of range (max {})", u32::MAX)))
+        };
         let mut values = [0.0f64; FeatureKind::COUNT];
         for (k, slot) in values.iter_mut().enumerate() {
             let s = cols[5 + k];
-            *slot = s.parse::<f64>().map_err(|_| ParseTraceError::new(lineno, format!("bad feature value '{s}'")))?;
+            let v = s.parse::<f64>().map_err(|_| ParseTraceError::new(lineno, format!("bad feature value '{s}'")))?;
+            if !v.is_finite() {
+                let name = FeatureKind::ALL[k].rule_name();
+                return Err(ParseTraceError::new(
+                    lineno,
+                    format!("non-finite feature {name}: '{s}' (every rule condition on it would compare false)"),
+                ));
+            }
+            *slot = v;
         }
         let base = 5 + FeatureKind::COUNT;
         out.push(TraceRecord {
             benchmark: cols[1].to_string(),
-            method: MethodId(int(cols[2], "method id")? as u32),
-            block: BlockId(int(cols[3], "block id")? as u32),
+            method: MethodId(id(cols[2], "method id")?),
+            block: BlockId(id(cols[3], "block id")?),
             exec_count: int(cols[4], "exec count")?,
             features: FeatureVector::from_values(values),
             est_unsched: int(cols[base], "est_unsched")?,
@@ -238,6 +323,81 @@ mod tests {
         let err = read_trace("nonsense\n").unwrap_err();
         assert!(err.to_string().contains("bad magic"));
         assert_eq!(err.line(), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids_instead_of_truncating() {
+        // 2^32 used to wrap to method/block id 0 via `as u32` — a
+        // valid-looking record with the wrong identity.
+        let good = write_trace(&[record("a", 5, 4)]).unwrap();
+        for (field, column_value) in [("method id", "\t3\t"), ("block id", "\t9\t")] {
+            let too_big = (u64::from(u32::MAX) + 1).to_string();
+            let bad = good.replacen(column_value, &format!("\t{too_big}\t"), 1);
+            assert_ne!(bad, good, "{field}: substitution must hit");
+            let err = read_trace(&bad).unwrap_err();
+            assert!(err.to_string().contains(field), "{field}: got {err}");
+            assert!(err.to_string().contains("out of range"), "{field}: got {err}");
+            assert_eq!(err.line(), 2, "{field}: the offending record line is named");
+        }
+        // The largest representable id still round-trips.
+        let mut boundary = record("a", 5, 4);
+        boundary.method = MethodId(u32::MAX);
+        boundary.block = BlockId(u32::MAX);
+        let text = write_trace(&[boundary.clone()]).unwrap();
+        assert_eq!(read_trace(&text).unwrap(), vec![boundary]);
+    }
+
+    #[test]
+    fn rejects_shuffled_or_renamed_header_columns() {
+        let good = write_trace(&[record("a", 5, 4)]).unwrap();
+        // Swap two feature columns: same names, wrong order — the old
+        // prefix-only magic check accepted this and permuted features.
+        let shuffled = good.replacen("\tbranches\tcalls\t", "\tcalls\tbranches\t", 1);
+        assert_ne!(shuffled, good);
+        let err = read_trace(&shuffled).unwrap_err();
+        assert_eq!(err.line(), 0, "header errors are line 0");
+        assert!(err.to_string().contains("expected 'branches', found 'calls'"), "got: {err}");
+
+        // Renamed column: the first mismatch is named with its position.
+        let renamed = good.replacen("\tloads\t", "\tld\t", 1);
+        let err = read_trace(&renamed).unwrap_err();
+        assert!(err.to_string().contains("expected 'loads', found 'ld'"), "got: {err}");
+
+        // A truncated header fails on the count.
+        let truncated = good.replacen("\tfeature_work\n", "\n", 1);
+        let err = read_trace(&truncated).unwrap_err();
+        assert!(err.to_string().contains("header has"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_feature_values_on_read() {
+        let good = write_trace(&[record("a", 5, 4)]).unwrap();
+        // bbLen is 7.0 in the fixture; swap it for hostile values a bare
+        // f64 parse would happily accept.
+        for hostile in ["NaN", "inf", "-inf"] {
+            let bad = good.replacen("\t7.0\t", &format!("\t{hostile}\t"), 1);
+            assert_ne!(bad, good, "{hostile}: substitution must hit");
+            let err = read_trace(&bad).unwrap_err();
+            assert!(err.to_string().contains("non-finite feature bbLen"), "{hostile}: got {err}");
+            assert_eq!(err.line(), 2, "{hostile}: the offending line is named");
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_feature_values_on_write() {
+        // NaN and -inf cannot even be constructed through the validating
+        // `FeatureVector::from_values` API; `bbLen = +inf` can (it is
+        // only checked non-negative), so the writer must catch it before
+        // it round-trips into a record that silently classifies NS.
+        let mut r = record("photon", 5, 4);
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = f64::INFINITY;
+        r.features = FeatureVector::from_values(v);
+        let err = write_trace(&[record("ok", 5, 4), r]).expect_err("non-finite feature must be rejected");
+        assert_eq!(err.benchmark(), "photon");
+        assert!(err.to_string().contains("feature bbLen"), "got: {err}");
+        assert!(err.to_string().contains("not finite"), "got: {err}");
+        assert!(!err.to_string().contains("tab"), "wrong error kind: {err}");
     }
 
     #[test]

@@ -39,11 +39,16 @@ impl LabelConfig {
     }
 }
 
-/// Builds a RIPPER dataset from trace records at threshold `t`, grouping
-/// instances by benchmark (for leave-one-benchmark-out CV). Benchmarks are
-/// numbered in the order of the returned map.
+/// Builds a learner dataset from trace records at threshold `t`,
+/// grouping instances by benchmark (for leave-one-benchmark-out CV).
 ///
 /// Returns the dataset and the `benchmark name -> group id` mapping.
+/// Group ids are assigned in *first-seen trace order*, not in the
+/// iteration order of the returned map: the `BTreeMap` iterates
+/// alphabetically by name, so for a corpus traced as `jess, compress`
+/// the map yields `compress -> 1` before `jess -> 0`. Consumers that
+/// need the numeric order (fold sharding, group-indexed tables) must
+/// read the ids, not the map position.
 pub fn build_dataset(traces: &[TraceRecord], config: LabelConfig) -> (Dataset, BTreeMap<String, u32>) {
     let mut groups: BTreeMap<String, u32> = BTreeMap::new();
     for r in traces {
@@ -116,6 +121,11 @@ mod tests {
         // First-seen order: jess=0, compress=1.
         assert_eq!(groups["jess"], 0);
         assert_eq!(groups["compress"], 1);
+        // The map iterates *alphabetically*, which is NOT the id order:
+        // ids follow first-seen trace order. Pin the distinction so the
+        // doc contract stays honest.
+        let iteration: Vec<(&str, u32)> = groups.iter().map(|(n, &g)| (n.as_str(), g)).collect();
+        assert_eq!(iteration, vec![("compress", 1), ("jess", 0)]);
         assert_eq!(data.instances()[0].group, 0);
         assert_eq!(data.instances()[1].group, 1);
         assert_eq!(data.pos_label(), "list");

@@ -13,9 +13,12 @@
 //!    improves the estimate by more than `t`%, `NS` when scheduling does
 //!    not improve it at all, and *dropped* when the benefit is between 0
 //!    and `t`% (the noise-reduction trick of §4.4).
-//! 3. **Train** ([`train_filter`], [`train_loocv`]): RIPPER induces an
-//!    if-then rule set over the features; leave-one-benchmark-out
-//!    cross-validation reproduces the paper's protocol.
+//! 3. **Train** ([`train_filter`], [`train_loocv`]): an induction
+//!    backend — RIPPER (the paper's learner), a decision-stump sweep or
+//!    a depth-capped greedy tree, all behind the [`Learner`] trait —
+//!    induces an if-then rule set over the features;
+//!    leave-one-benchmark-out cross-validation reproduces the paper's
+//!    protocol.
 //! 4. **Evaluate** ([`classification_matrix`], [`sched_time_ratio`],
 //!    [`app_time_ratio`], …): classification accuracy (Table 3),
 //!    predicted execution times (Table 4), training-set sizes (Table 5),
@@ -37,8 +40,9 @@
 //! what the table/figure regenerators and benches are built on.
 //! [`ExperimentMatrix`] lifts the pipeline across the whole machine
 //! registry: one `Experiment` per machine model, sharded as a single
-//! machines×methods work list, with per-machine rule sets and a
-//! cross-machine transfer table on top.
+//! machines×methods work list, with per-machine rule sets, a
+//! cross-machine transfer table and the learner portfolio
+//! ([`MatrixRun::portfolio`]) on top.
 //!
 //! # Examples
 //!
@@ -61,6 +65,7 @@ mod experiment;
 mod filter;
 mod io;
 mod label;
+mod learner;
 mod matrix;
 pub mod parallel;
 #[doc(hidden)]
@@ -77,7 +82,8 @@ pub use experiment::{Experiment, ExperimentRun, LoocvFilters};
 pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
 pub use io::{read_trace, write_trace, ParseTraceError, TraceWriteError};
 pub use label::{build_dataset, LabelConfig};
-pub use matrix::{ExperimentMatrix, MatrixRun};
+pub use learner::{Learner, LearnerKind};
+pub use matrix::{ExperimentMatrix, MachinePortfolio, MatrixRun, PortfolioEntry};
 pub use trace::{
     collect_method_trace, collect_trace, collect_trace_with, collect_trace_with_policy, collect_trace_with_providers,
     filtered_schedule_pass, FilteredPass, TimingMode, TraceOptions, TraceRecord,

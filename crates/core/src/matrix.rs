@@ -49,8 +49,9 @@
 use crate::eval::classification_matrix;
 use crate::experiment::{Experiment, ExperimentRun};
 use crate::label::LabelConfig;
+use crate::learner::LearnerKind;
 use crate::trace::{collect_method_trace, TraceRecord};
-use crate::LearnedFilter;
+use crate::{EvalTimes, LearnedFilter};
 use wts_ir::Program;
 use wts_machine::MachineConfig;
 
@@ -241,6 +242,97 @@ impl MatrixRun {
             .map(|(m, run)| (m.name().to_string(), thresholds.iter().map(|&t| run.ls_instances(t)).collect()))
             .collect()
     }
+
+    /// The learner portfolio: for each machine, every backend's LOOCV
+    /// classification error, predicted/app time ratios and honest
+    /// filter + extraction overhead at threshold `t`, plus the
+    /// portfolio-best pick — the *cheapest* backend (by its own
+    /// filter + extraction work) whose error stays within
+    /// `tolerance_percent` points of the machine's best error. That is
+    /// the Streeter/Chmiela-style selection rule: accuracy buys nothing
+    /// once errors are indistinguishable, so spend as little of the
+    /// compile-time budget on the selector as possible.
+    ///
+    /// The traced corpus is shared across backends — only the training
+    /// stage re-runs per learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learners` is empty.
+    pub fn portfolio(&self, t: u32, learners: &[LearnerKind], tolerance_percent: f64) -> Vec<MachinePortfolio> {
+        assert!(!learners.is_empty(), "portfolio needs at least one learner");
+        self.machines
+            .iter()
+            .zip(&self.runs)
+            .map(|(m, run)| {
+                let entries: Vec<PortfolioEntry> = learners.iter().map(|l| run.learner_eval(t, l)).collect();
+                let best_error = entries.iter().map(|e| e.error_percent).fold(f64::INFINITY, f64::min);
+                let best = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.error_percent <= best_error + tolerance_percent)
+                    .min_by_key(|(_, e)| e.overhead_work())
+                    .map(|(i, _)| i)
+                    .expect("at least one entry is within tolerance of the best");
+                MachinePortfolio { machine: m.name().to_string(), entries, best }
+            })
+            .collect()
+    }
+}
+
+/// One learner's row of the portfolio table on one machine: aggregate
+/// LOOCV classification error, geometric-mean time ratios, model size
+/// and the honest overhead accounting of its compiled filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioEntry {
+    /// Backend name (`ripper`, `stump`, `tree(d=4)`, …).
+    pub learner: String,
+    /// Aggregate LOOCV classification error over every benchmark's
+    /// held-out fold, percent.
+    pub error_percent: f64,
+    /// Geometric-mean predicted (cheap-estimator) time, percent of
+    /// never-scheduling (Table 4 convention: 100 = no change).
+    pub predicted_percent: f64,
+    /// Geometric-mean measured application-time ratio (fraction of
+    /// never-scheduling).
+    pub app_ratio: f64,
+    /// Total lowered conditions across the backend's LOOCV filters
+    /// (model size).
+    pub conditions: usize,
+    /// Accumulated [`EvalTimes`] of the backend's filters over the whole
+    /// corpus: per-condition filter work, demand-masked extraction work,
+    /// and the scheduling work they did or did not avoid.
+    pub times: EvalTimes,
+}
+
+impl PortfolioEntry {
+    /// The backend's own spend: filter conditions evaluated plus
+    /// demand-masked extraction work — the quantity the portfolio-best
+    /// rule minimizes.
+    pub fn overhead_work(&self) -> u64 {
+        self.times.filter_work + self.times.feature_work
+    }
+}
+
+/// One machine's portfolio: every backend's row plus the index of the
+/// portfolio-best pick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachinePortfolio {
+    /// Machine name.
+    pub machine: String,
+    /// One row per learner, in the order given to
+    /// [`MatrixRun::portfolio`].
+    pub entries: Vec<PortfolioEntry>,
+    /// Index into `entries` of the cheapest backend within the error
+    /// tolerance.
+    pub best: usize,
+}
+
+impl MachinePortfolio {
+    /// The portfolio-best row.
+    pub fn best_entry(&self) -> &PortfolioEntry {
+        &self.entries[self.best]
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +440,53 @@ mod tests {
                 "{name}: filter overhead {overhead} should be a small fraction of scheduling work"
             );
         }
+    }
+
+    #[test]
+    fn portfolio_covers_every_machine_and_learner() {
+        let m = deterministic().run(&suite());
+        let learners = LearnerKind::portfolio();
+        let portfolio = m.portfolio(0, &learners, 2.0);
+        assert_eq!(portfolio.len(), m.machines().len());
+        for (mp, expect) in portfolio.iter().zip(m.machine_names()) {
+            assert_eq!(mp.machine, expect);
+            assert_eq!(mp.entries.len(), learners.len());
+            assert_eq!(mp.entries[0].learner, "ripper");
+            let best_error = mp.entries.iter().map(|e| e.error_percent).fold(f64::INFINITY, f64::min);
+            for e in &mp.entries {
+                assert!((0.0..=100.0).contains(&e.error_percent), "{}: error {}", e.learner, e.error_percent);
+                assert!(e.predicted_percent > 0.0 && e.predicted_percent <= 101.0, "{}", e.learner);
+                assert!(e.app_ratio > 0.0 && e.app_ratio <= 1.0 + 1e-9, "{}", e.learner);
+                assert!(e.times.total_blocks > 0);
+            }
+            // The pick is within tolerance of the best error and no
+            // eligible entry is cheaper.
+            let best = mp.best_entry();
+            assert!(best.error_percent <= best_error + 2.0, "{}: best outside tolerance", mp.machine);
+            for e in &mp.entries {
+                if e.error_percent <= best_error + 2.0 {
+                    assert!(best.overhead_work() <= e.overhead_work(), "{}: {} is cheaper", mp.machine, e.learner);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_best_prefers_cheap_models_when_errors_tie() {
+        let m = deterministic().run(&suite());
+        // With an absurd tolerance everything is eligible, so the pick
+        // must be the globally cheapest backend.
+        let portfolio = m.portfolio(0, &LearnerKind::portfolio(), 100.0);
+        for mp in &portfolio {
+            let min_work = mp.entries.iter().map(PortfolioEntry::overhead_work).min().unwrap();
+            assert_eq!(mp.best_entry().overhead_work(), min_work, "{}", mp.machine);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one learner")]
+    fn empty_portfolio_rejected() {
+        deterministic().run(&suite()).portfolio(0, &[], 1.0);
     }
 
     #[test]

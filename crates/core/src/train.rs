@@ -1,22 +1,34 @@
-//! Filter training: RIPPER over labeled traces, with the paper's
-//! leave-one-benchmark-out protocol.
+//! Filter training: any [`Learner`] backend over labeled traces, with
+//! the paper's leave-one-benchmark-out protocol.
 
+use crate::learner::{Learner, LearnerKind};
 use crate::{build_dataset, LabelConfig, LearnedFilter, TraceRecord};
 use wts_ripper::{leave_one_group_out, RipperConfig};
 
-/// Training configuration: labeling threshold + learner settings.
+/// Training configuration: labeling threshold + induction backend.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainConfig {
     /// Labeling threshold.
     pub label: LabelConfig,
-    /// RIPPER settings.
-    pub ripper: RipperConfig,
+    /// The induction backend (RIPPER by default, the paper's learner).
+    pub learner: LearnerKind,
 }
 
 impl TrainConfig {
-    /// A config with the given threshold and default RIPPER settings.
+    /// A config with the given threshold and the default RIPPER backend.
     pub fn with_threshold(threshold_percent: u32) -> TrainConfig {
         TrainConfig { label: LabelConfig::new(threshold_percent), ..Default::default() }
+    }
+
+    /// A config with the given threshold and backend.
+    pub fn with_learner(threshold_percent: u32, learner: LearnerKind) -> TrainConfig {
+        TrainConfig { label: LabelConfig::new(threshold_percent), learner }
+    }
+
+    /// Overrides the RIPPER settings (and selects the RIPPER backend).
+    pub fn with_ripper(mut self, ripper: RipperConfig) -> TrainConfig {
+        self.learner = LearnerKind::Ripper(ripper);
+        self
     }
 }
 
@@ -24,8 +36,8 @@ impl TrainConfig {
 /// §3). Use [`train_loocv`] for the evaluation protocol.
 pub fn train_filter(traces: &[TraceRecord], config: &TrainConfig) -> LearnedFilter {
     let (data, _) = build_dataset(traces, config.label);
-    let rules = config.ripper.fit(&data);
-    LearnedFilter::new(rules, config.label.threshold_percent)
+    let rules = config.learner.fit(&data);
+    LearnedFilter::with_learner(rules, config.label.threshold_percent, config.learner.filter_tag())
 }
 
 /// Leave-one-benchmark-out cross-validation: for each benchmark in the
@@ -40,8 +52,8 @@ pub fn train_loocv(traces: &[TraceRecord], config: &TrainConfig) -> Vec<(String,
 /// [`train_loocv`] with the independent folds sharded across `threads`
 /// scoped worker threads (`0` = one per available core, `1` = serial).
 ///
-/// RIPPER is deterministic and folds share nothing, so the result is
-/// identical to the serial path in every mode.
+/// Every [`Learner`] backend is deterministic and folds share nothing,
+/// so the result is identical to the serial path in every mode.
 pub fn train_loocv_sharded(
     traces: &[TraceRecord],
     config: &TrainConfig,
@@ -55,8 +67,8 @@ pub fn train_loocv_sharded(
     let fit_fold = |fold: &wts_ripper::GroupFold| {
         let name =
             by_id.iter().find(|(g, _)| *g == fold.held_out).map(|(_, n)| n.clone()).expect("fold group must exist");
-        let rules = config.ripper.fit(&fold.train);
-        (name, LearnedFilter::new(rules, config.label.threshold_percent))
+        let rules = config.learner.fit(&fold.train);
+        (name, LearnedFilter::with_learner(rules, config.label.threshold_percent, config.learner.filter_tag()))
     };
 
     let shards = crate::parallel::shard_map(&folds, threads, |slice| slice.iter().map(&fit_fold).collect::<Vec<_>>());
@@ -145,5 +157,46 @@ mod tests {
     fn threshold_is_recorded() {
         let f = train_filter(&traces(), &TrainConfig::with_threshold(25));
         assert_eq!(f.threshold_percent(), 25);
+    }
+
+    #[test]
+    fn every_portfolio_backend_separates_big_loady_blocks() {
+        let t = traces();
+        let mut big = [0.0; FeatureKind::COUNT];
+        big[FeatureKind::BbLen.index()] = 12.0;
+        big[FeatureKind::Loads.index()] = 0.4;
+        big[FeatureKind::Integers.index()] = 0.5;
+        let mut small = [0.0; FeatureKind::COUNT];
+        small[FeatureKind::BbLen.index()] = 2.0;
+        small[FeatureKind::Loads.index()] = 0.05;
+        small[FeatureKind::Integers.index()] = 0.5;
+        for learner in LearnerKind::portfolio() {
+            let name = learner.name();
+            let f = train_filter(&t, &TrainConfig::with_learner(0, learner));
+            assert!(f.should_schedule(&FeatureVector::from_values(big)), "{name}");
+            assert!(!f.should_schedule(&FeatureVector::from_values(small)), "{name}");
+        }
+    }
+
+    #[test]
+    fn filter_names_carry_the_backend_tag() {
+        let t = traces();
+        let stump = train_filter(&t, &TrainConfig::with_learner(10, LearnerKind::Stump));
+        assert_eq!(stump.name(), "stump(t=10)");
+        let tree = train_filter(&t, &TrainConfig::with_learner(10, LearnerKind::tree()));
+        assert_eq!(tree.name(), "tree(d=4)(t=10)");
+        let ripper = train_filter(&t, &TrainConfig::with_threshold(10));
+        assert_eq!(ripper.name(), "L/N(t=10)", "the paper's artifact keeps its name");
+    }
+
+    #[test]
+    fn sharded_loocv_is_identical_to_serial_for_every_backend() {
+        let t = traces();
+        for learner in LearnerKind::portfolio() {
+            let config = TrainConfig::with_learner(0, learner);
+            let serial = train_loocv_sharded(&t, &config, 1);
+            let sharded = train_loocv_sharded(&t, &config, 7);
+            assert_eq!(serial, sharded, "{}", config.learner.name());
+        }
     }
 }

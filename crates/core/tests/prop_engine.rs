@@ -4,10 +4,10 @@
 //! trained LOOCV fold across every registry machine.
 
 use proptest::prelude::*;
-use wts_core::{CompiledFilter, Experiment, FeatureBatch, Filter, LearnedFilter, TimingMode};
+use wts_core::{CompiledFilter, Experiment, FeatureBatch, Filter, LearnedFilter, Learner, LearnerKind, TimingMode};
 use wts_features::{FeatureKind, FeatureMask, FeatureVector};
 use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Opcode, Program, Reg};
-use wts_ripper::{Condition, Op, Rule, RuleSet, RuleStats};
+use wts_ripper::{Condition, Dataset, Op, Rule, RuleSet, RuleStats};
 
 fn arb_condition() -> impl Strategy<Value = Condition> {
     (0usize..FeatureKind::COUNT, prop::bool::ANY, 0u32..40).prop_map(|(attr, ge, t)| Condition {
@@ -42,6 +42,22 @@ fn arb_vector() -> impl Strategy<Value = FeatureVector> {
             v[i + 1] = *f as f64 / 16.0;
         }
         FeatureVector::from_values(v)
+    })
+}
+
+/// A random labeled dataset over the full 13-feature vocabulary: the
+/// label is a threshold on block length with a sprinkle of label noise,
+/// so every backend has signal to find and noise to cope with.
+fn arb_labeled_dataset() -> impl Strategy<Value = Dataset> {
+    (prop::collection::vec(arb_vector(), 8..40), 0u32..150, prop::bool::ANY).prop_map(|(vectors, cut, flip)| {
+        let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();
+        let mut d = Dataset::new(attr_names, "list", "orig");
+        for (i, v) in vectors.iter().enumerate() {
+            let noisy = flip && i % 7 == 0;
+            let label = (v.as_slice()[FeatureKind::BbLen.index()] >= cut as f64) != noisy;
+            d.push(v.as_slice().to_vec(), label, (i % 3) as u32);
+        }
+        d
     })
 }
 
@@ -84,6 +100,28 @@ proptest! {
         let referenced = rs.referenced_attrs();
         for kind in FeatureKind::ALL {
             prop_assert_eq!(compiled.demand().contains(kind), referenced.contains(&kind.index()));
+        }
+    }
+
+    #[test]
+    fn every_backend_lowers_to_the_engine_faithfully(data in arb_labeled_dataset(),
+                                                     probes in prop::collection::vec(arb_vector(), 1..20)) {
+        // The portfolio contract: whatever a backend induces from a
+        // random dataset, its compiled form decides exactly like the
+        // interpreted rule set — on the training points and on fresh
+        // probe vectors.
+        for kind in LearnerKind::portfolio() {
+            let rules = kind.fit(&data);
+            let learned = LearnedFilter::with_learner(rules.clone(), 0, kind.filter_tag());
+            let compiled = learned.compile();
+            for inst in data.instances() {
+                prop_assert_eq!(compiled.decide(&inst.values), rules.predict(&inst.values), "{}", kind.name());
+                prop_assert_eq!(compiled.eval_work(&FeatureVector::from_slice(&inst.values)),
+                                learned.eval_work(&FeatureVector::from_slice(&inst.values)), "{}", kind.name());
+            }
+            for v in &probes {
+                prop_assert_eq!(compiled.decide(v.as_slice()), rules.predict(v.as_slice()), "{}", kind.name());
+            }
         }
     }
 

@@ -1,0 +1,132 @@
+//! Property-based round-trips of the trace format against hostile
+//! files: boundary ids, ids wide enough to wrap, shuffled or renamed
+//! header columns, and non-finite feature values. Pins the PR's
+//! hardening fixes — every mutation below used to parse into a
+//! valid-looking but wrong record set.
+
+use proptest::prelude::*;
+use wts_core::{read_trace, write_trace, TraceRecord};
+use wts_features::{FeatureKind, FeatureVector};
+use wts_ir::{BlockId, MethodId};
+
+/// A valid record with ids spanning the full `u32` range (both
+/// boundaries included) and fraction features exactly representable so
+/// text round-trips compare equal.
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..4,
+        0u32..=u32::MAX,
+        0u32..=u32::MAX,
+        0u64..u64::MAX,
+        0u32..2000,
+        prop::collection::vec(0u32..=1000, FeatureKind::COUNT..FeatureKind::COUNT + 1),
+    )
+        .prop_map(|(bench, method, block, exec, bb_len, fracs)| {
+            let mut v = [0.0; FeatureKind::COUNT];
+            for (k, f) in fracs.iter().enumerate() {
+                v[k] = *f as f64 / 1000.0;
+            }
+            v[FeatureKind::BbLen.index()] = bb_len as f64;
+            TraceRecord {
+                benchmark: format!("bench{bench}"),
+                method: MethodId(method),
+                block: BlockId(block),
+                exec_count: exec,
+                features: FeatureVector::from_values(v),
+                est_unsched: exec.rotate_left(7),
+                est_sched: exec.rotate_left(11),
+                hw_unsched: exec.rotate_left(13),
+                hw_sched: exec.rotate_left(17),
+                sched_ns: u64::from(bb_len) * 3,
+                feature_ns: u64::from(bb_len),
+                sched_work: u64::from(bb_len) * 2,
+                feature_work: u64::from(bb_len) / 2,
+            }
+        })
+}
+
+/// Replaces tab-separated column `col` of line `line` (0 = header).
+fn patch_column(text: &str, line: usize, col: usize, value: &str) -> String {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut cols: Vec<&str> = lines[line].split('\t').collect();
+    cols[col] = value;
+    lines[line] = cols.join("\t");
+    lines.join("\n") + "\n"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn valid_records_round_trip_exactly(recs in prop::collection::vec(arb_record(), 0..20)) {
+        let text = write_trace(&recs).unwrap();
+        prop_assert_eq!(read_trace(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected_not_truncated(recs in prop::collection::vec(arb_record(), 1..12),
+                                                   pick in 0usize..1_000_000,
+                                                   offset in 0u64..1_000_000,
+                                                   method_field in prop::bool::ANY) {
+        // Any id in (u32::MAX, u64::MAX] used to wrap via `as u32` into a
+        // valid-looking record with the wrong identity.
+        let target = pick % recs.len();
+        let wide = u64::from(u32::MAX) + 1 + offset;
+        let text = write_trace(&recs).unwrap();
+        let (col, field) = if method_field { (2, "method id") } else { (3, "block id") };
+        let bad = patch_column(&text, target + 1, col, &wide.to_string());
+        let err = read_trace(&bad).expect_err("wide id must not parse");
+        prop_assert_eq!(err.line(), target + 2, "record {} lives on line {}", target, target + 2);
+        prop_assert!(err.to_string().contains(field), "field named: {}", err);
+        prop_assert!(err.to_string().contains("out of range"), "cause named: {}", err);
+    }
+
+    #[test]
+    fn shuffled_header_columns_are_rejected(recs in prop::collection::vec(arb_record(), 1..6),
+                                            a in 0usize..1_000_000,
+                                            b in 0usize..1_000_000) {
+        // Swapping any two header columns (the magic tag included) must
+        // fail up front — the old prefix-only check accepted reordered
+        // feature columns and silently permuted every vector.
+        let text = write_trace(&recs).unwrap();
+        let header_len = text.lines().next().unwrap().split('\t').count();
+        let (a, b) = (a % header_len, b % header_len);
+        prop_assume!(a != b);
+        let cols: Vec<&str> = text.lines().next().unwrap().split('\t').collect();
+        let swapped = patch_column(&patch_column(&text, 0, a, cols[b]), 0, b, cols[a]);
+        prop_assume!(swapped.lines().next() != text.lines().next()); // distinct names
+        let err = read_trace(&swapped).expect_err("permuted header must not parse");
+        prop_assert_eq!(err.line(), 0, "header errors are line 0: {}", err);
+        let msg = err.to_string();
+        prop_assert!(msg.contains("bad magic") || msg.contains("header column"), "got: {}", msg);
+    }
+
+    #[test]
+    fn renamed_header_columns_are_rejected(recs in prop::collection::vec(arb_record(), 1..6),
+                                           col in 0usize..1_000_000) {
+        let text = write_trace(&recs).unwrap();
+        let header_len = text.lines().next().unwrap().split('\t').count();
+        let col = 1 + col % (header_len - 1); // keep the magic tag; rename any other column
+        let renamed = patch_column(&text, 0, col, "impostor");
+        let err = read_trace(&renamed).expect_err("renamed column must not parse");
+        prop_assert_eq!(err.line(), 0);
+        prop_assert!(err.to_string().contains("found 'impostor'"), "got: {}", err);
+    }
+
+    #[test]
+    fn non_finite_features_are_rejected_on_read(recs in prop::collection::vec(arb_record(), 1..12),
+                                                pick in 0usize..1_000_000,
+                                                feature in 0usize..FeatureKind::COUNT,
+                                                hostile in prop::sample::select(vec!["NaN", "inf", "-inf", "infinity"])) {
+        // A hand-edited NaN/±inf round-trips through a bare f64 parse,
+        // then every rule condition on it compares false — the record
+        // silently classifies NS under any learned filter.
+        let target = pick % recs.len();
+        let text = write_trace(&recs).unwrap();
+        let bad = patch_column(&text, target + 1, 5 + feature, hostile);
+        let err = read_trace(&bad).expect_err("non-finite feature must not parse");
+        prop_assert_eq!(err.line(), target + 2);
+        let name = FeatureKind::ALL[feature].rule_name();
+        prop_assert!(err.to_string().contains(&format!("non-finite feature {name}")), "got: {}", err);
+    }
+}

@@ -6,14 +6,14 @@
 //! ARTIFACTs: table1 table2 table3 table4 table5 table6 table7
 //!            fig1 fig2 fig3 fig4
 //!            calibrate learners machines policies factory
-//!            superblocks adaptive selftrain matrix
+//!            superblocks adaptive selftrain matrix portfolio
 //!            all          (default: everything above)
 //! ```
 
 use std::process::ExitCode;
-use wts_experiments::{table1, table2, table7, Experiments};
+use wts_experiments::{table1, table2, table7, Experiments, PORTFOLIO_TOLERANCE};
 
-const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|adaptive|selftrain|matrix|all]...";
+const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|adaptive|selftrain|matrix|portfolio|all]...";
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         "adaptive",
         "selftrain",
         "matrix",
+        "portfolio",
     ];
     if artifacts.iter().any(|a| a == "all") {
         artifacts = all.iter().map(|s| s.to_string()).collect();
@@ -82,6 +83,10 @@ fn main() -> ExitCode {
     } else {
         None
     };
+
+    // The registry sweep is the most expensive phase; `matrix` and
+    // `portfolio` both derive from one shared MatrixRun.
+    let mut matrix_run: Option<wts_core::MatrixRun> = None;
 
     for a in &artifacts {
         match a.as_str() {
@@ -107,11 +112,21 @@ fn main() -> ExitCode {
                     "adaptive" => println!("{}", e.adaptive(100)),
                     "selftrain" => println!("{}", e.selftrain(20)),
                     "matrix" => {
-                        eprintln!("# tracing the FP suite on every registry machine...");
-                        let m = e.matrix();
-                        println!("{}", e.machine_sweep(&m));
-                        println!("{}", e.cross_machine(&m, 0));
-                        println!("{}", e.filter_overhead(&m, 0));
+                        let m = matrix_run.get_or_insert_with(|| {
+                            eprintln!("# tracing the FP suite on every registry machine...");
+                            e.matrix()
+                        });
+                        println!("{}", e.machine_sweep(m));
+                        println!("{}", e.cross_machine(m, 0));
+                        println!("{}", e.filter_overhead(m, 0));
+                    }
+                    "portfolio" => {
+                        let m = matrix_run.get_or_insert_with(|| {
+                            eprintln!("# tracing the FP suite on every registry machine...");
+                            e.matrix()
+                        });
+                        eprintln!("# training every backend on every machine...");
+                        println!("{}", e.portfolio(m, 0, PORTFOLIO_TOLERANCE));
                     }
                     "factory" => println!("{}", e.factory_filter(20)),
                     _ => unreachable!("validated above"),

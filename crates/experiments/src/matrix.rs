@@ -4,9 +4,17 @@
 //! does a rule set induced for one machine work on another, or must the
 //! filter be retrained per target (paper §4)?
 
-use crate::table::{f2, Table};
+use crate::table::{f2, f3, Table};
 use crate::{Experiments, SuiteKind, THRESHOLDS};
-use wts_core::{Experiment, ExperimentMatrix, MatrixRun, TimingMode};
+use wts_core::{Experiment, ExperimentMatrix, LearnerKind, MatrixRun, TimingMode};
+
+/// The default error tolerance (percentage points) of the portfolio-best
+/// pick: a backend whose LOOCV error is within this many points of the
+/// machine's best error is eligible, and the cheapest eligible backend
+/// (by its own filter + extraction work) wins. Two points is well inside
+/// the paper's run-to-run noise on the small suites, so the pick never
+/// trades real accuracy for overhead savings.
+pub const PORTFOLIO_TOLERANCE: f64 = 2.0;
 
 impl Experiments {
     /// Runs the full pipeline for every registry machine over the FP
@@ -72,6 +80,42 @@ impl Experiments {
         table
     }
 
+    /// The learner portfolio table: per registry machine, every
+    /// [`LearnerKind::portfolio`] backend's aggregate LOOCV
+    /// classification error, geometric-mean predicted/app time ratios,
+    /// lowered model size, and honest filter + extraction overhead (the
+    /// PR 3 work accounting) at threshold `t` — followed by one
+    /// `best=<learner>` row per machine repeating the portfolio-best
+    /// pick: the cheapest backend within `tolerance_percent` points of
+    /// the machine's best error (the Streeter/Chmiela selection rule —
+    /// accuracy buys nothing once errors are indistinguishable, so
+    /// minimize selector spend). Use [`PORTFOLIO_TOLERANCE`] unless an
+    /// experiment sweeps the tolerance itself.
+    pub fn portfolio(&self, matrix: &MatrixRun, t: u32, tolerance_percent: f64) -> Table {
+        let headers = vec![
+            format!("Machine (t={t})"),
+            "Learner".into(),
+            "Error %".into(),
+            "Predicted %".into(),
+            "App ratio".into(),
+            "Conds".into(),
+            "Overhead %".into(),
+            "Work ratio".into(),
+        ];
+        let mut table = Table::new(
+            format!("Learner portfolio: per-machine backend comparison (best = cheapest within {tolerance_percent} error pts)"),
+            headers,
+        );
+        for mp in matrix.portfolio(t, &LearnerKind::portfolio(), tolerance_percent) {
+            for entry in &mp.entries {
+                table.push_row(portfolio_cells(&mp.machine, &entry.learner, entry));
+            }
+            let best = mp.best_entry();
+            table.push_row(portfolio_cells(&mp.machine, &format!("best={}", best.learner), best));
+        }
+        table
+    }
+
     /// Per-machine threshold sweep, side by side: LS instance counts at
     /// every paper threshold (Table 5 per machine), plus each machine's
     /// induced t=0 rule count — how much structure there is to learn on
@@ -93,9 +137,25 @@ impl Experiments {
     }
 }
 
+/// One portfolio table row: the shared cell layout of the per-learner
+/// rows and the `best=` summary row.
+fn portfolio_cells(machine: &str, learner: &str, e: &wts_core::PortfolioEntry) -> Vec<String> {
+    vec![
+        machine.to_string(),
+        learner.to_string(),
+        f2(e.error_percent),
+        f2(e.predicted_percent),
+        f3(e.app_ratio),
+        e.conditions.to_string(),
+        f2(e.times.overhead_fraction() * 100.0),
+        f3(e.times.work_ratio()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wts_core::Learner;
     use wts_machine::registry_names;
 
     fn harness() -> Experiments {
@@ -145,6 +205,48 @@ mod tests {
             assert!((0.0..50.0).contains(&overhead), "overhead {overhead}% should be far below scheduling cost");
             let ratio: f64 = t.cell(row, 5).parse().unwrap();
             assert!(ratio < 1.0, "a filter must beat always-scheduling on work, got {ratio}");
+        }
+    }
+
+    #[test]
+    fn portfolio_table_covers_every_machine_and_backend() {
+        let e = harness();
+        let m = e.matrix();
+        let t = e.portfolio(&m, 0, PORTFOLIO_TOLERANCE);
+        let learners = LearnerKind::portfolio();
+        let rows_per_machine = learners.len() + 1; // backends + the best= summary row
+        assert_eq!(t.row_count(), registry_names().len() * rows_per_machine);
+        for (i, name) in registry_names().iter().enumerate() {
+            let base = i * rows_per_machine;
+            for (j, learner) in learners.iter().enumerate() {
+                assert_eq!(t.cell(base + j, 0), *name);
+                assert_eq!(t.cell(base + j, 1), learner.name());
+                let err: f64 = t.cell(base + j, 2).parse().unwrap();
+                assert!((0.0..=100.0).contains(&err), "{name}/{}: error {err}%", learner.name());
+            }
+            let best = t.cell(base + learners.len(), 1);
+            assert!(
+                learners.iter().any(|l| best == format!("best={}", l.name())),
+                "{name}: best row '{best}' must name a portfolio backend"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_best_rows_repeat_an_existing_entry() {
+        let e = harness();
+        let m = e.matrix();
+        let t = e.portfolio(&m, 0, PORTFOLIO_TOLERANCE);
+        let rows_per_machine = LearnerKind::portfolio().len() + 1;
+        for i in 0..registry_names().len() {
+            let base = i * rows_per_machine;
+            let best_row: Vec<&str> = (1..t.headers().len()).map(|c| t.cell(base + rows_per_machine - 1, c)).collect();
+            let matched = (0..rows_per_machine - 1).any(|j| {
+                let name_matches = format!("best={}", t.cell(base + j, 1)) == best_row[0];
+                let cells_match = (2..t.headers().len()).all(|c| t.cell(base + j, c) == best_row[c - 1]);
+                name_matches && cells_match
+            });
+            assert!(matched, "machine {i}: the best= row must repeat one backend's cells verbatim");
         }
     }
 

@@ -323,6 +323,21 @@ impl FeatureVector {
         FeatureVector { values }
     }
 
+    /// Builds a vector from a slice in [`FeatureKind::index`] order —
+    /// the layout dataset instances and rule attributes use — with the
+    /// same validation as [`from_values`](FeatureVector::from_values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is not exactly [`FeatureKind::COUNT`] long or
+    /// any value fails the range checks.
+    pub fn from_slice(values: &[f64]) -> FeatureVector {
+        let values: [f64; FeatureKind::COUNT] = values
+            .try_into()
+            .unwrap_or_else(|_| panic!("expected {} feature values, got {}", FeatureKind::COUNT, values.len()));
+        FeatureVector::from_values(values)
+    }
+
     /// Value of one feature.
     pub fn get(&self, kind: FeatureKind) -> f64 {
         self.values[kind.index()]

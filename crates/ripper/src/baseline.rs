@@ -7,7 +7,33 @@
 //! tree (the method of Calder et al. and Monsifrot et al. in §5).
 
 use crate::data::Dataset;
-use crate::rule::RuleSet;
+use crate::rule::{Condition, Op, Rule, RuleSet};
+
+/// The greatest `f64` strictly below `v` (identity on NaN and
+/// `NEG_INFINITY`). Local stand-in for `f64::next_down`, which is not
+/// available at this crate's MSRV; used to lower strict comparisons
+/// (`v < t`) onto the engine's `<=`/`>=` condition vocabulary exactly.
+fn next_down(v: f64) -> f64 {
+    if v.is_nan() || v == f64::NEG_INFINITY {
+        return v;
+    }
+    if v == 0.0 {
+        return -f64::from_bits(1); // smallest negative subnormal
+    }
+    f64::from_bits(if v > 0.0 { v.to_bits() - 1 } else { v.to_bits() + 1 })
+}
+
+/// The least `f64` strictly above `v` (identity on NaN and `INFINITY`);
+/// mirror of [`next_down`].
+fn next_up(v: f64) -> f64 {
+    if v.is_nan() || v == f64::INFINITY {
+        return v;
+    }
+    if v == 0.0 {
+        return f64::from_bits(1); // smallest positive subnormal
+    }
+    f64::from_bits(if v > 0.0 { v.to_bits() + 1 } else { v.to_bits() - 1 })
+}
 
 /// Anything that classifies a numeric feature vector.
 pub trait Classifier {
@@ -116,6 +142,21 @@ impl DecisionStump {
     /// The threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// Lowers the stump to ordered-rule form: one rule whose single
+    /// condition fires exactly when [`predict`](Classifier::predict)
+    /// returns the positive class. The inverted orientation
+    /// (`value < threshold` positive) becomes `value <=` the next
+    /// representable `f64` below the threshold, so decisions agree
+    /// bit-for-bit on every finite input.
+    pub fn to_rules(&self) -> Vec<Rule> {
+        let cond = if self.ge_positive {
+            Condition { attr: self.attr, op: Op::Ge, threshold: self.threshold }
+        } else {
+            Condition { attr: self.attr, op: Op::Le, threshold: next_down(self.threshold) }
+        };
+        vec![Rule::from_conditions(vec![cond])]
     }
 }
 
@@ -239,6 +280,34 @@ impl ShallowTree {
             }
         }
         walk(&self.root)
+    }
+
+    /// Lowers the tree to ordered-rule form: one conjunctive rule per
+    /// positive leaf, collecting the root-to-leaf path conditions. The
+    /// strict `> threshold` branch becomes `>=` the next representable
+    /// `f64` above the threshold, so rule-set decisions agree bit-for-bit
+    /// with [`predict`](Classifier::predict) on every finite input. Leaf
+    /// order is left-to-right; paths are disjoint, so firing order never
+    /// changes a decision. An all-positive root lowers to the single
+    /// empty (always-firing) rule.
+    pub fn to_rules(&self) -> Vec<Rule> {
+        fn walk(n: &Node, path: &mut Vec<Condition>, out: &mut Vec<Rule>) {
+            match n {
+                Node::Leaf(true) => out.push(Rule::from_conditions(path.clone())),
+                Node::Leaf(false) => {}
+                Node::Split { attr, threshold, le, gt } => {
+                    path.push(Condition { attr: *attr, op: Op::Le, threshold: *threshold });
+                    walk(le, path, out);
+                    path.pop();
+                    path.push(Condition { attr: *attr, op: Op::Ge, threshold: next_up(*threshold) });
+                    walk(gt, path, out);
+                    path.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut Vec::new(), &mut out);
+        out
     }
 }
 
@@ -398,6 +467,95 @@ mod tests {
         let d = linear_dataset();
         let t = ShallowTree::fit(&d, 1, 1);
         assert!(t.leaves() <= 2);
+    }
+
+    fn rules_predict(rules: &[Rule], values: &[f64]) -> bool {
+        rules.iter().any(|r| r.matches(values))
+    }
+
+    #[test]
+    fn stump_lowering_matches_predict_at_the_boundary() {
+        let d = linear_dataset();
+        let s = DecisionStump::fit(&d);
+        let rules = s.to_rules();
+        assert_eq!(rules.len(), 1);
+        let t = s.threshold();
+        for v in [t, next_down(t), next_up(t), 0.0, 1.0, -3.5] {
+            assert_eq!(rules_predict(&rules, &[v, 0.5]), s.predict(&[v, 0.5]), "value {v}");
+        }
+    }
+
+    #[test]
+    fn inverted_stump_lowering_matches_predict_at_the_boundary() {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        for i in 0..50 {
+            let x = i as f64;
+            d.push(vec![x], x < 25.0, 0);
+        }
+        let s = DecisionStump::fit(&d);
+        let rules = s.to_rules();
+        let t = s.threshold();
+        for v in [t, next_down(t), next_up(t), -1.0, 24.0, 25.0, 26.0, 100.0] {
+            assert_eq!(rules_predict(&rules, &[v]), s.predict(&[v]), "value {v}");
+        }
+    }
+
+    #[test]
+    fn tree_lowering_matches_predict_on_a_grid() {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], "LS", "NS");
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, y) = (i as f64 / 20.0, j as f64 / 20.0);
+                d.push(vec![x, y], x >= 0.5 && y >= 0.5, 0);
+            }
+        }
+        let t = ShallowTree::fit(&d, 3, 5);
+        let rules = t.to_rules();
+        assert!(!rules.is_empty());
+        for i in 0..=40 {
+            for j in 0..=40 {
+                let v = [i as f64 / 40.0, j as f64 / 40.0];
+                assert_eq!(rules_predict(&rules, &v), t.predict(&v), "at {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_positive_tree_lowers_to_the_empty_rule() {
+        let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+        for i in 0..10 {
+            d.push(vec![i as f64], true, 0);
+        }
+        let t = ShallowTree::fit(&d, 3, 2);
+        let rules = t.to_rules();
+        assert_eq!(rules.len(), 1);
+        assert!(rules[0].is_empty(), "all-positive root is the always rule");
+        let all_neg = ShallowTree::fit(
+            &{
+                let mut d = Dataset::new(vec!["x".into()], "LS", "NS");
+                for i in 0..10 {
+                    d.push(vec![i as f64], false, 0);
+                }
+                d
+            },
+            3,
+            2,
+        );
+        assert!(all_neg.to_rules().is_empty(), "all-negative root lowers to no rules");
+    }
+
+    #[test]
+    fn next_up_down_are_exact_inverses_on_normals() {
+        for v in [0.0, -0.0, 1.0, -1.0, 0.1, 1e300, -1e-300, f64::MIN_POSITIVE] {
+            assert!(next_down(v) < v, "{v}");
+            assert!(next_up(v) > v, "{v}");
+            assert_eq!(next_up(next_down(v)), v);
+            assert_eq!(next_down(next_up(v)), v);
+        }
+        assert_eq!(next_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+        assert!(next_up(f64::NAN).is_nan());
+        assert!(next_down(f64::NAN).is_nan());
     }
 
     #[test]

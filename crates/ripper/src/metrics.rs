@@ -27,6 +27,15 @@ impl ConfusionMatrix {
         m
     }
 
+    /// Accumulates another matrix's counts into this one (e.g. summing
+    /// per-fold confusions into an aggregate LOOCV error).
+    pub fn accumulate(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
     /// Records one (actual, predicted) pair.
     pub fn record(&mut self, actual: bool, predicted: bool) {
         match (actual, predicted) {
@@ -127,6 +136,14 @@ mod tests {
         assert_eq!(m.error_percent(), 50.0);
         assert_eq!(m.accuracy(), 0.5);
         assert_eq!(m.predicted_positive(), 2);
+    }
+
+    #[test]
+    fn accumulate_sums_every_cell() {
+        let mut a = ConfusionMatrix { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        a.accumulate(&ConfusionMatrix { tp: 10, fp: 20, tn: 30, fn_: 40 });
+        assert_eq!((a.tp, a.fp, a.tn, a.fn_), (11, 22, 33, 44));
+        assert_eq!(a.total(), 110);
     }
 
     #[test]

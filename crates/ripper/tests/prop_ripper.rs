@@ -1,7 +1,10 @@
 //! Property-based tests for the RIPPER implementation and baselines.
 
 use proptest::prelude::*;
-use wts_ripper::{geometric_mean, Classifier, ConfusionMatrix, Dataset, DecisionStump, MajorityLearner, RipperConfig};
+use wts_ripper::{
+    geometric_mean, Classifier, ConfusionMatrix, Dataset, DecisionStump, MajorityLearner, RipperConfig, Rule,
+    ShallowTree,
+};
 
 /// A dataset whose label is a threshold on attribute 0, with optional
 /// label noise and a junk attribute.
@@ -73,6 +76,39 @@ proptest! {
         // Its threshold lands near the true cut.
         prop_assert!((stump.threshold() - cut).abs() < 0.25,
             "threshold {} vs true cut {cut}", stump.threshold());
+    }
+
+    #[test]
+    fn stump_lowering_is_bit_identical_to_predict((data, _cut) in arb_threshold_dataset(),
+                                                  probes in prop::collection::vec((0u32..10_001, 0u32..10_001), 1..40)) {
+        let stump = DecisionStump::fit(&data);
+        let rules = stump.to_rules();
+        let fires = |v: &[f64]| rules.iter().any(|r: &Rule| r.matches(v));
+        // Training points (includes every candidate threshold) plus a
+        // probe grid straddling the boundary.
+        for inst in data.instances() {
+            prop_assert_eq!(fires(&inst.values), stump.predict(&inst.values));
+        }
+        for (a, b) in probes {
+            let v = [a as f64 / 10_000.0, b as f64 / 10_000.0];
+            prop_assert_eq!(fires(&v), stump.predict(&v), "at {:?}", v);
+        }
+    }
+
+    #[test]
+    fn tree_lowering_is_bit_identical_to_predict((data, _cut) in arb_threshold_dataset(),
+                                                 depth in 1usize..5,
+                                                 probes in prop::collection::vec((0u32..10_001, 0u32..10_001), 1..40)) {
+        let tree = ShallowTree::fit(&data, depth, 4);
+        let rules = tree.to_rules();
+        let fires = |v: &[f64]| rules.iter().any(|r: &Rule| r.matches(v));
+        for inst in data.instances() {
+            prop_assert_eq!(fires(&inst.values), tree.predict(&inst.values));
+        }
+        for (a, b) in probes {
+            let v = [a as f64 / 10_000.0, b as f64 / 10_000.0];
+            prop_assert_eq!(fires(&v), tree.predict(&v), "at {:?}", v);
+        }
     }
 
     #[test]

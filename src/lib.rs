@@ -58,7 +58,8 @@ pub use wts_sched as sched;
 pub mod prelude {
     pub use wts_core::{
         CompiledFilter, Experiment, ExperimentMatrix, ExperimentRun, FeatureBatch, Filter, LabelConfig, LearnedFilter,
-        MatrixRun, SizeThresholdFilter, TimingMode, TraceOptions, TraceRecord,
+        Learner, LearnerKind, MachinePortfolio, MatrixRun, PortfolioEntry, SizeThresholdFilter, TimingMode,
+        TraceOptions, TraceRecord,
     };
     pub use wts_deps::DepGraph;
     pub use wts_features::{FeatureKind, FeatureMask, FeatureVector};

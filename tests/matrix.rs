@@ -61,8 +61,59 @@ fn sharded_matrix_matches_serial_per_machine_pipelines() {
     }
 }
 
-/// The CI-enabled smoke test: a realistic-scale sweep, checking the
-/// cross-machine signal the registry was built to expose — the slow
+/// The CI-enabled portfolio smoke test: at realistic scale, every
+/// registry machine trains all three induction backends and the
+/// portfolio-best selection rule holds — the pick's error is within the
+/// tolerance of the machine's best error, and no eligible backend is
+/// cheaper than it.
+#[test]
+#[ignore = "portfolio smoke test: realistic scale; CI runs it with -- --ignored"]
+fn portfolio_smoke_every_backend_on_every_machine() {
+    let tolerance = 2.0;
+    let programs = generated_programs(0.05);
+    let matrix = deterministic_matrix().run(&programs);
+    let learners = LearnerKind::portfolio();
+    assert!(learners.len() >= 3, "acceptance: at least 3 backends in the portfolio");
+
+    let portfolio = matrix.portfolio(0, &learners, tolerance);
+    assert_eq!(portfolio.len(), registry().len(), "one portfolio per registry machine");
+    for mp in &portfolio {
+        assert_eq!(mp.entries.len(), learners.len(), "{}: every backend reports", mp.machine);
+        let best_error = mp.entries.iter().map(|e| e.error_percent).fold(f64::INFINITY, f64::min);
+        let picked = mp.best_entry();
+        assert!(
+            picked.error_percent <= best_error + tolerance,
+            "{}: best={} error {}% outside tolerance of {}%",
+            mp.machine,
+            picked.learner,
+            picked.error_percent,
+            best_error
+        );
+        for e in &mp.entries {
+            assert!(
+                (0.0..=100.0).contains(&e.error_percent),
+                "{}/{}: error {}% out of range",
+                mp.machine,
+                e.learner,
+                e.error_percent
+            );
+            if e.error_percent <= best_error + tolerance {
+                assert!(
+                    picked.overhead_work() <= e.overhead_work(),
+                    "{}: picked {} (work {}) but eligible {} is cheaper (work {})",
+                    mp.machine,
+                    picked.learner,
+                    picked.overhead_work(),
+                    e.learner,
+                    e.overhead_work()
+                );
+            }
+        }
+    }
+}
+
+/// The CI-enabled matrix smoke test: a realistic-scale sweep, checking
+/// the cross-machine signal the registry was built to expose — the slow
 /// in-order embedded core leaves more schedulable blocks than the wide
 /// out-of-order machine, and every machine induces a usable rule set.
 #[test]
