@@ -17,7 +17,8 @@
 //!   [`RuleSet::referenced_attrs`](wts_ripper::RuleSet::referenced_attrs)),
 //!   which drives demand-driven extraction
 //!   ([`FeatureVector::extract_masked`]) — induced rule sets typically
-//!   consult two or three of the thirteen Table 1 features.
+//!   consult two or three of the seventeen features (Table 1 plus the
+//!   trace-shape features of the superblock scope).
 //! * [`FeatureBatch`] lays feature vectors out as contiguous
 //!   structure-of-arrays columns so batch classification
 //!   ([`CompiledFilter::classify_batch`]) streams each demanded column,
@@ -96,8 +97,8 @@ impl CompiledFilter {
     ///
     /// # Panics
     ///
-    /// Panics if a rule references an attribute outside the thirteen
-    /// Table 1 features.
+    /// Panics if a rule references an attribute outside the feature
+    /// vocabulary (Table 1 plus the trace-shape features).
     pub fn from_rule_set(rules: &RuleSet, name: impl Into<String>) -> CompiledFilter {
         let mut conds = Vec::with_capacity(rules.condition_count());
         let mut rule_ends = Vec::with_capacity(rules.len());
@@ -108,7 +109,7 @@ impl CompiledFilter {
             rule_ends.push(conds.len() as u32);
         }
         let demand = FeatureMask::of(rules.referenced_attrs().into_iter().map(|a| {
-            FeatureKind::from_index(a).unwrap_or_else(|| panic!("rule attribute {a} is not a Table 1 feature"))
+            FeatureKind::from_index(a).unwrap_or_else(|| panic!("rule attribute {a} is not a known feature"))
         }));
         CompiledFilter { name: name.into(), conds, rule_ends, demand }
     }
@@ -419,7 +420,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a Table 1 feature")]
+    #[should_panic(expected = "not a known feature")]
     fn out_of_range_attribute_rejected() {
         let rs = RuleSet::new(
             vec!["a".into()],

@@ -60,7 +60,7 @@ use crate::{Filter, LearnedFilter};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
-use wts_ir::Program;
+use wts_ir::{Program, ScopeKind};
 use wts_machine::{EstimatorKind, MachineConfig};
 use wts_ripper::{geometric_mean, ConfusionMatrix, Dataset, RipperConfig};
 use wts_sched::SchedulePolicy;
@@ -84,6 +84,7 @@ pub struct Experiment {
     timing: TimingMode,
     estimated: EstimatorKind,
     measured: EstimatorKind,
+    scope: ScopeKind,
 }
 
 impl Experiment {
@@ -101,6 +102,7 @@ impl Experiment {
             timing: TimingMode::WallClock,
             estimated: EstimatorKind::Cheap,
             measured: EstimatorKind::Detailed,
+            scope: ScopeKind::Block,
         }
     }
 
@@ -173,6 +175,19 @@ impl Experiment {
         self
     }
 
+    /// Selects the scheduling scope: per basic block (the paper's
+    /// scenario, the default) or per formed superblock trace (the §3.1
+    /// extension). The whole pipeline follows — tracing collects one
+    /// record per scope unit, labeling thresholds the (speculative)
+    /// trace schedules against the cheap estimator, training induces
+    /// "should I schedule this trace?" filters, and the deployed
+    /// [`filtered_schedule_pass`](crate::filtered_schedule_pass)
+    /// decides per unit.
+    pub fn with_scope(mut self, scope: ScopeKind) -> Experiment {
+        self.scope = scope;
+        self
+    }
+
     /// The modelled machine.
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
@@ -183,6 +198,11 @@ impl Experiment {
         self.policy
     }
 
+    /// The scheduling scope the pipeline operates on.
+    pub fn scope(&self) -> ScopeKind {
+        self.scope
+    }
+
     /// The trace-stage options this configuration denotes.
     pub fn trace_options(&self) -> TraceOptions {
         TraceOptions {
@@ -191,6 +211,7 @@ impl Experiment {
             timing: self.timing,
             estimated: self.estimated,
             measured: self.measured,
+            scope: self.scope,
         }
     }
 
@@ -219,6 +240,7 @@ impl Experiment {
         let all_traces: Vec<TraceRecord> = traces.iter().flat_map(|t| t.iter().cloned()).collect();
         ExperimentRun {
             learner: self.learner.clone(),
+            scope: self.scope,
             threads: self.train_threads,
             names,
             programs,
@@ -234,6 +256,7 @@ impl Experiment {
 /// evaluate stages, with leave-one-out filters cached per threshold.
 pub struct ExperimentRun {
     learner: LearnerKind,
+    scope: ScopeKind,
     threads: usize,
     names: Vec<String>,
     programs: Rc<Vec<Program>>,
@@ -279,14 +302,19 @@ impl ExperimentRun {
     }
 
     /// The train config this run uses at threshold `t`, with the run's
-    /// configured backend.
+    /// configured backend and scope.
     pub fn train_config(&self, t: u32) -> TrainConfig {
-        TrainConfig { label: LabelConfig::new(t), learner: self.learner.clone() }
+        TrainConfig { label: LabelConfig::new(t), learner: self.learner.clone(), scope: self.scope }
     }
 
     /// The run's configured induction backend.
     pub fn learner(&self) -> &LearnerKind {
         &self.learner
+    }
+
+    /// The scheduling scope this run's traces were collected at.
+    pub fn scope(&self) -> ScopeKind {
+        self.scope
     }
 
     /// Stage 2: the labeled RIPPER dataset at threshold `t`, grouped by
@@ -312,7 +340,7 @@ impl ExperimentRun {
         if let Some(hit) = self.loocv_cache.borrow().get(&key) {
             return Rc::clone(hit);
         }
-        let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone() };
+        let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone(), scope: self.scope };
         let filters = Rc::new(train_loocv_sharded(&self.all_traces, &config, self.threads));
         self.loocv_cache.borrow_mut().insert(key, Rc::clone(&filters));
         filters
@@ -347,7 +375,7 @@ impl ExperimentRun {
         if let Some(hit) = self.factory_cache.borrow().get(&key) {
             return hit.clone();
         }
-        let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone() };
+        let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone(), scope: self.scope };
         let filter = crate::train_filter(&self.all_traces, &config);
         self.factory_cache.borrow_mut().insert(key, filter.clone());
         filter
@@ -554,5 +582,31 @@ mod tests {
     #[should_panic(expected = "no benchmark nope")]
     fn unknown_benchmark_panics() {
         run().trace_for("nope");
+    }
+
+    #[test]
+    fn superblock_scope_flows_through_the_whole_pipeline() {
+        let programs = crate::testutil::mergeable_suite(4);
+        let sb = Experiment::new(MachineConfig::ppc7410())
+            .with_timing(TimingMode::Deterministic)
+            .with_scope(ScopeKind::Superblock(70))
+            .run(programs.clone());
+        assert_eq!(sb.scope(), ScopeKind::Superblock(70));
+        assert_eq!(sb.train_config(10).scope, ScopeKind::Superblock(70));
+        // Traces are per scope unit: 2 per method (merged + cold).
+        assert_eq!(sb.all_traces().len(), 3 * 4 * 2);
+        // The LOOCV filters carry the scope tag and classify the traces.
+        let filters = sb.loocv_filters(0);
+        assert_eq!(filters.len(), 3);
+        for (bench, f) in filters.iter() {
+            assert_eq!(f.learner(), "L/N@sb70");
+            let m = sb.classification(0, bench);
+            assert!(m.total() > 0);
+        }
+        // Scope is a real scenario axis: the block pipeline over the
+        // same corpus sees more (finer) decision units.
+        let block = Experiment::new(MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic).run(programs);
+        assert_eq!(block.all_traces().len(), 3 * 4 * 4);
+        assert!(block.all_traces().len() > sb.all_traces().len());
     }
 }

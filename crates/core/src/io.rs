@@ -13,11 +13,15 @@ use std::fmt::Write as _;
 use wts_features::{FeatureKind, FeatureVector};
 use wts_ir::{BlockId, MethodId};
 
-/// Format version tag written as the first header column.
-const MAGIC: &str = "schedfilter-trace-v1";
+/// Format version tag written as the first header column. v2 appended
+/// the four trace-shape feature columns (`traceWidth`, `sideExits`,
+/// `specInsts`, `traceLen`) of the superblock scope; v1 files fail the
+/// magic check instead of silently mis-slotting features.
+const MAGIC: &str = "schedfilter-trace-v2";
 
 /// Every header column in order: the magic tag, the record key columns,
-/// the thirteen Table 1 features, then the cycle and timing channels.
+/// the seventeen features (Table 1 + trace shape), then the cycle and
+/// timing channels.
 /// The reader validates the *full* list — a reordered or renamed column
 /// would otherwise silently permute features into the wrong slots.
 fn expected_columns() -> Vec<&'static str> {
@@ -226,11 +230,29 @@ pub fn read_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
         for (k, slot) in values.iter_mut().enumerate() {
             let s = cols[5 + k];
             let v = s.parse::<f64>().map_err(|_| ParseTraceError::new(lineno, format!("bad feature value '{s}'")))?;
+            let kind = FeatureKind::ALL[k];
             if !v.is_finite() {
-                let name = FeatureKind::ALL[k].rule_name();
                 return Err(ParseTraceError::new(
                     lineno,
-                    format!("non-finite feature {name}: '{s}' (every rule condition on it would compare false)"),
+                    format!(
+                        "non-finite feature {}: '{s}' (every rule condition on it would compare false)",
+                        kind.rule_name()
+                    ),
+                ));
+            }
+            // Range-check here so a hostile file surfaces as a named
+            // parse error; handing the raw value to
+            // `FeatureVector::from_values` would panic instead.
+            if kind.is_count() && v < 0.0 {
+                return Err(ParseTraceError::new(
+                    lineno,
+                    format!("feature {} is a count and cannot be negative: '{s}'", kind.rule_name()),
+                ));
+            }
+            if !kind.is_count() && !(0.0..=1.0).contains(&v) {
+                return Err(ParseTraceError::new(
+                    lineno,
+                    format!("feature {} is a fraction and must lie in [0,1]: '{s}'", kind.rule_name()),
                 ));
             }
             *slot = v;
@@ -381,6 +403,31 @@ mod tests {
             assert!(err.to_string().contains("non-finite feature bbLen"), "{hostile}: got {err}");
             assert_eq!(err.line(), 2, "{hostile}: the offending line is named");
         }
+    }
+
+    /// Regression (PR 5 review): a *finite* but out-of-range feature
+    /// value used to sail past the finiteness check straight into
+    /// `FeatureVector::from_values`, whose range assert aborted the
+    /// process — a hostile file must surface as a named parse error,
+    /// never a panic.
+    #[test]
+    fn rejects_out_of_range_feature_values_on_read() {
+        let good = write_trace(&[record("a", 5, 4)]).unwrap();
+        // The fixture's loads fraction is 1/3; a fraction above 1 (or
+        // below 0) is a named error.
+        for (hostile, what) in [("1.5", "[0,1]"), ("-0.25", "[0,1]")] {
+            let bad = good.replacen("\t0.3333333333333333\t", &format!("\t{hostile}\t"), 1);
+            assert_ne!(bad, good, "{hostile}: substitution must hit");
+            let err = read_trace(&bad).unwrap_err();
+            assert!(err.to_string().contains("feature loads is a fraction"), "{hostile}: got {err}");
+            assert!(err.to_string().contains(what), "{hostile}: got {err}");
+            assert_eq!(err.line(), 2);
+        }
+        // Counts (bbLen and the trace-shape features) reject negatives.
+        let bad = good.replacen("\t7.0\t", "\t-7.0\t", 1);
+        assert_ne!(bad, good);
+        let err = read_trace(&bad).unwrap_err();
+        assert!(err.to_string().contains("feature bbLen is a count"), "got {err}");
     }
 
     #[test]

@@ -147,9 +147,10 @@ mod tests {
     }
 
     #[test]
-    fn attr_names_are_the_thirteen_features() {
+    fn attr_names_are_the_full_feature_vocabulary() {
         let (data, _) = build_dataset(&[record("x", 10, 9)], LabelConfig::new(0));
-        assert_eq!(data.attr_count(), 13);
+        assert_eq!(data.attr_count(), 17, "Table 1 plus the four trace-shape features");
         assert_eq!(data.attr_names()[0], "bbLen");
+        assert_eq!(data.attr_names()[16], "traceLen");
     }
 }

@@ -56,7 +56,7 @@ pub enum LearnerKind {
     /// RIPPER rule induction (the paper's learner).
     Ripper(RipperConfig),
     /// A single learned threshold on a single feature — the best stump
-    /// over all thirteen features by exhaustive sweep. The natural
+    /// over all seventeen features by exhaustive sweep. The natural
     /// generalization of the hand-picked
     /// [`SizeThresholdFilter`](crate::SizeThresholdFilter).
     Stump,

@@ -89,3 +89,5 @@ pub use trace::{
     filtered_schedule_pass, FilteredPass, TimingMode, TraceOptions, TraceRecord,
 };
 pub use train::{train_filter, train_loocv, train_loocv_sharded, TrainConfig};
+// The scope axis: formation lives in `wts_ir`, the pipeline threads it.
+pub use wts_ir::{form_superblocks, ScopeKind, Superblock};

@@ -85,11 +85,27 @@ impl ExperimentMatrix {
     }
 
     /// Replaces the pipeline template (policy, learner settings, timing,
-    /// estimators). The template's own machine is ignored — it is
-    /// restamped per matrix machine.
+    /// estimators, scope). The template's own machine is ignored — it
+    /// is restamped per matrix machine.
     pub fn with_template(mut self, template: Experiment) -> ExperimentMatrix {
         self.template = template;
         self
+    }
+
+    /// Sets the scheduling scope on the template: the whole sweep then
+    /// traces, labels, trains and evaluates per basic block or per
+    /// formed superblock trace on every registry machine. This is the
+    /// scenario axis of the matrix — scopes multiply with
+    /// machines×learners×thresholds exactly as the machine registry
+    /// multiplied the hardware axis.
+    pub fn with_scope(mut self, scope: wts_ir::ScopeKind) -> ExperimentMatrix {
+        self.template = self.template.with_scope(scope);
+        self
+    }
+
+    /// The scheduling scope the sweep runs at.
+    pub fn scope(&self) -> wts_ir::ScopeKind {
+        self.template.scope()
     }
 
     /// Worker threads for the machines×methods sharding (`0` = one per
@@ -154,7 +170,7 @@ impl ExperimentMatrix {
                 self.template.clone().with_machine(machine.clone()).run_precomputed(shared.clone(), traces)
             })
             .collect();
-        MatrixRun { machines: self.machines.clone(), runs }
+        MatrixRun { machines: self.machines.clone(), runs, scope: self.template.scope() }
     }
 }
 
@@ -163,12 +179,18 @@ impl ExperimentMatrix {
 pub struct MatrixRun {
     machines: Vec<MachineConfig>,
     runs: Vec<ExperimentRun>,
+    scope: wts_ir::ScopeKind,
 }
 
 impl MatrixRun {
     /// The machines, in run order.
     pub fn machines(&self) -> &[MachineConfig] {
         &self.machines
+    }
+
+    /// The scheduling scope every run in this sweep was traced at.
+    pub fn scope(&self) -> wts_ir::ScopeKind {
+        self.scope
     }
 
     /// Machine names, in run order.

@@ -6,6 +6,62 @@
 
 use wts_ir::{BasicBlock, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
 
+/// A three-benchmark suite whose methods contain *mergeable* superblock
+/// chains: three equal-weight blocks ending in conditional branches
+/// (formation at any ratio merges them into one width-3 trace) plus one
+/// cold single-instruction block that always stays its own trace.
+/// Alternate methods carry load-use stalls worth scheduling versus
+/// nothing to reorder, so superblock-scope pipelines trained on it
+/// learn non-trivial "schedule this trace?" rules.
+pub fn mergeable_suite(methods: u32) -> Vec<Program> {
+    ["alpha", "beta", "gamma"]
+        .iter()
+        .enumerate()
+        .map(|(pi, name)| {
+            let mut p = Program::new(*name);
+            for mi in 0..methods {
+                let hot = mi % 2 == 0;
+                let exec = 10 * (pi as u64 + 1) + mi as u64;
+                let mut m = Method::new(mi, format!("m{mi}"));
+                for bi in 0..3u32 {
+                    let mut b = BasicBlock::new(bi);
+                    if hot {
+                        for k in 0..4u32 {
+                            b.push(
+                                Inst::new(Opcode::Lwz)
+                                    .def(Reg::gpr(10 + k as u16))
+                                    .use_(Reg::gpr(3))
+                                    .mem(MemRef::slot(MemSpace::Heap, 4 * bi + k)),
+                            );
+                            b.push(
+                                Inst::new(Opcode::Add)
+                                    .def(Reg::gpr(20 + k as u16))
+                                    .use_(Reg::gpr(10 + k as u16))
+                                    .use_(Reg::gpr(10 + k as u16)),
+                            );
+                        }
+                    } else {
+                        b.push(Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(5)).use_(Reg::gpr(6)));
+                    }
+                    if bi < 2 {
+                        b.push(Inst::new(Opcode::Bc).use_(Reg::cr(0)));
+                    } else {
+                        b.push(Inst::new(Opcode::Blr).use_(Reg::lr()));
+                    }
+                    b.set_exec_count(exec);
+                    m.push_block(b);
+                }
+                let mut cold = BasicBlock::new(3);
+                cold.push(Inst::new(Opcode::Add).def(Reg::gpr(7)).use_(Reg::gpr(8)).use_(Reg::gpr(9)));
+                cold.set_exec_count(1);
+                m.push_block(cold);
+                p.push_method(m);
+            }
+            p
+        })
+        .collect()
+}
+
 /// A small three-benchmark suite with learnable structure: alternating
 /// blocks either carry load-use stalls worth scheduling (twelve
 /// instructions, longer than the 7410's out-of-order window) or are

@@ -1,30 +1,39 @@
 //! Trace collection: the instrumented scheduling pass.
 //!
-//! The collector runs the paper's §2.2 instrumentation over every block
-//! of a program: extract the Table 1 features, list-schedule, and record
-//! estimated ("simplified simulator") and measured ("hardware") cycles
-//! for both orders. Which simulator plays which role is configurable via
+//! The collector runs the paper's §2.2 instrumentation over every
+//! *scope unit* of a program — every basic block at
+//! [`ScopeKind::Block`], every formed superblock trace at
+//! [`ScopeKind::Superblock`] — extracting features, list-scheduling
+//! (speculatively for multi-block traces), and recording estimated
+//! ("simplified simulator") and measured ("hardware") cycles for both
+//! orders. Which simulator plays which role is configurable via
 //! [`CostProvider`]s; the collection can be sharded across methods with
 //! scoped threads and stays bit-for-bit identical to the serial path.
 
 use crate::engine::CompiledFilter;
 use std::time::Instant;
-use wts_features::FeatureVector;
-use wts_ir::{BlockId, Method, MethodId, Program};
+use wts_features::{FeatureMask, FeatureVector, TraceShape};
+use wts_ir::{form_superblocks, BlockId, Inst, Method, MethodId, Program, ScopeKind};
 use wts_machine::{CostProvider, EstimatorKind, MachineConfig};
 use wts_sched::{ListScheduler, SchedulePolicy};
 
 /// One line of the paper's trace file, plus the extra ground-truth and
 /// timing channels this reproduction needs.
+///
+/// At superblock scope one record covers one formed *trace*: `block` is
+/// the trace's entry block, `exec_count` its profile weight, and every
+/// channel is measured over the concatenated instructions (with the
+/// speculative scheduler for multi-block traces).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// Benchmark (program) the block came from.
     pub benchmark: String,
     /// Method within the program.
     pub method: MethodId,
-    /// Block within the program.
+    /// Block within the program (the entry block at superblock scope).
     pub block: BlockId,
-    /// Profile execution count of the block.
+    /// Profile execution count of the block (trace weight at superblock
+    /// scope).
     pub exec_count: u64,
     /// The Table 1 features.
     pub features: FeatureVector,
@@ -96,6 +105,9 @@ pub struct TraceOptions {
     pub estimated: EstimatorKind,
     /// Provider of the "measured" cycle channels (hardware stand-in).
     pub measured: EstimatorKind,
+    /// Scheduling scope: per basic block (the paper), or per formed
+    /// superblock trace (the §3.1 extension).
+    pub scope: ScopeKind,
 }
 
 impl Default for TraceOptions {
@@ -106,6 +118,7 @@ impl Default for TraceOptions {
             timing: TimingMode::WallClock,
             estimated: EstimatorKind::Cheap,
             measured: EstimatorKind::Detailed,
+            scope: ScopeKind::Block,
         }
     }
 }
@@ -169,15 +182,9 @@ pub fn collect_method_trace(
     let measured = options.measured.provider(machine);
     let mut out = Vec::new();
     match options.estimated {
-        EstimatorKind::Cheap => trace_method(
-            benchmark,
-            method,
-            &scheduler,
-            EstSource::Scheduler,
-            measured.as_ref(),
-            options.timing,
-            &mut out,
-        ),
+        EstimatorKind::Cheap => {
+            trace_method(benchmark, method, &scheduler, EstSource::Scheduler, measured.as_ref(), options, &mut out)
+        }
         kind => {
             let estimated = kind.provider(machine);
             trace_method(
@@ -186,7 +193,7 @@ pub fn collect_method_trace(
                 &scheduler,
                 EstSource::Provider(estimated.as_ref()),
                 measured.as_ref(),
-                options.timing,
+                options,
                 &mut out,
             );
         }
@@ -235,7 +242,7 @@ fn collect_with(
         let scheduler = ListScheduler::with_policy(machine, options.policy);
         let mut out = Vec::new();
         for method in slice {
-            trace_method(name, method, &scheduler, estimated, measured, options.timing, &mut out);
+            trace_method(name, method, &scheduler, estimated, measured, options, &mut out);
         }
         out
     });
@@ -246,75 +253,145 @@ fn collect_with(
     out
 }
 
-/// Traces one method's blocks into `out` (the per-shard worker).
+/// Traces one method's scope units into `out` (the per-shard worker):
+/// its blocks at block scope, its formed superblock traces otherwise.
 fn trace_method(
     benchmark: &str,
     method: &Method,
     scheduler: &ListScheduler<'_>,
     estimated: EstSource<'_>,
     measured: &dyn CostProvider,
-    timing: TimingMode,
+    options: &TraceOptions,
     out: &mut Vec<TraceRecord>,
 ) {
-    for block in method.blocks() {
-        let t0 = Instant::now();
-        let features = FeatureVector::extract(block);
-        let feature_ns = t0.elapsed().as_nanos() as u64;
-
-        let t1 = Instant::now();
-        let outcome = scheduler.schedule_block(block);
-        let sched_ns = t1.elapsed().as_nanos() as u64;
-
-        let scheduled = outcome.apply(block);
-        let (est_unsched, est_sched) = match estimated {
-            EstSource::Scheduler => (outcome.cycles_before, outcome.cycles_after),
-            EstSource::Provider(p) => (p.block_cycles(block), p.block_cycles(&scheduled)),
-        };
-        let hw_unsched = measured.block_cycles(block);
-        let hw_sched = measured.block_cycles(&scheduled);
-
-        let sched_work = sched_work_proxy(block);
-        let feature_work = block.len() as u64;
-        let (sched_ns, feature_ns) = match timing {
-            TimingMode::WallClock => (sched_ns, feature_ns),
-            TimingMode::Deterministic => (sched_work, feature_work),
-        };
-
-        out.push(TraceRecord {
-            benchmark: benchmark.to_string(),
-            method: method.id(),
-            block: block.id(),
-            exec_count: block.exec_count(),
-            features,
-            est_unsched,
-            est_sched,
-            hw_unsched,
-            hw_sched,
-            sched_ns,
-            feature_ns,
-            sched_work,
-            feature_work,
-        });
+    match options.scope {
+        ScopeKind::Block => {
+            for block in method.blocks() {
+                let unit = ScopeUnit {
+                    insts: block.insts(),
+                    shape: TraceShape::block(),
+                    block: block.id(),
+                    exec_count: block.exec_count(),
+                };
+                trace_unit(benchmark, method.id(), &unit, scheduler, estimated, measured, options.timing, out);
+            }
+        }
+        ScopeKind::Superblock(ratio) => {
+            for sb in form_superblocks(method, ratio) {
+                let unit = ScopeUnit {
+                    insts: &sb.insts,
+                    shape: TraceShape::of_trace(&sb.insts, sb.width() as u32),
+                    block: BlockId(sb.entry_id()),
+                    exec_count: sb.exec_count,
+                };
+                trace_unit(benchmark, method.id(), &unit, scheduler, estimated, measured, options.timing, out);
+            }
+        }
     }
 }
 
-/// Deterministic scheduling-work proxy for one block: per-block setup
-/// (DAG allocation) + linear nodes/edges work + the selection loop's
-/// quadratic earliest-start queries. Matches the measured ~26:1
-/// sched:feature cost on the generated corpus.
-fn sched_work_proxy(block: &wts_ir::BasicBlock) -> u64 {
-    let graph = wts_deps::DepGraph::build(block.insts());
-    (16 + 2 * (block.len() + graph.edge_count()) + block.len() * block.len()) as u64
+/// One scope unit about to be traced: a block's instructions with the
+/// degenerate shape, or a formed trace's concatenation with its real
+/// shape.
+struct ScopeUnit<'a> {
+    insts: &'a [Inst],
+    shape: TraceShape,
+    block: BlockId,
+    exec_count: u64,
+}
+
+impl ScopeUnit<'_> {
+    /// True when the unit merged more than one block, which turns on the
+    /// speculative dependence graph.
+    fn speculative(&self) -> bool {
+        self.shape.width > 1
+    }
+}
+
+/// Runs the instrumented pass over one scope unit. A width-1 unit takes
+/// *exactly* the block path — same scheduler entry point, same graph,
+/// same proxies — which is what pins degenerate superblock formation
+/// bit-identical to block-scope collection.
+#[allow(clippy::too_many_arguments)]
+fn trace_unit(
+    benchmark: &str,
+    method: MethodId,
+    unit: &ScopeUnit<'_>,
+    scheduler: &ListScheduler<'_>,
+    estimated: EstSource<'_>,
+    measured: &dyn CostProvider,
+    timing: TimingMode,
+    out: &mut Vec<TraceRecord>,
+) {
+    let t0 = Instant::now();
+    let features = FeatureVector::from_insts_shaped(unit.insts, unit.shape, FeatureMask::ALL);
+    let feature_ns = t0.elapsed().as_nanos() as u64;
+
+    let t1 = Instant::now();
+    let outcome = if unit.speculative() {
+        scheduler.schedule_superblock(unit.insts)
+    } else {
+        scheduler.schedule_insts(unit.insts)
+    };
+    let sched_ns = t1.elapsed().as_nanos() as u64;
+
+    let scheduled = outcome.permute(unit.insts);
+    let (est_unsched, est_sched) = match estimated {
+        EstSource::Scheduler => (outcome.cycles_before, outcome.cycles_after),
+        EstSource::Provider(p) => (p.sequence_cycles(unit.insts), p.sequence_cycles(&scheduled)),
+    };
+    let hw_unsched = measured.sequence_cycles(unit.insts);
+    let hw_sched = measured.sequence_cycles(&scheduled);
+
+    let sched_work = insts_sched_work_proxy(unit.insts, unit.speculative());
+    let feature_work = unit.insts.len() as u64;
+    let (sched_ns, feature_ns) = match timing {
+        TimingMode::WallClock => (sched_ns, feature_ns),
+        TimingMode::Deterministic => (sched_work, feature_work),
+    };
+
+    out.push(TraceRecord {
+        benchmark: benchmark.to_string(),
+        method,
+        block: unit.block,
+        exec_count: unit.exec_count,
+        features,
+        est_unsched,
+        est_sched,
+        hw_unsched,
+        hw_sched,
+        sched_ns,
+        feature_ns,
+        sched_work,
+        feature_work,
+    });
+}
+
+/// Deterministic scheduling-work proxy for one scope unit: per-unit
+/// setup (DAG allocation) + linear nodes/edges work + the selection
+/// loop's quadratic earliest-start queries. Matches the measured ~26:1
+/// sched:feature cost on the generated corpus. The speculative graph
+/// (the multi-block superblock path) has its own edge count, so the
+/// proxy charges the graph the scheduler actually built.
+fn insts_sched_work_proxy(insts: &[Inst], speculative: bool) -> u64 {
+    let graph =
+        if speculative { wts_deps::DepGraph::build_speculative(insts) } else { wts_deps::DepGraph::build(insts) };
+    (16 + 2 * (insts.len() + graph.edge_count()) + insts.len() * insts.len()) as u64
 }
 
 /// Deterministic totals of one production-style *filtered* scheduling
 /// pass ([`filtered_schedule_pass`]): what the deployed compiler would
 /// actually spend with a compiled filter installed.
+///
+/// The *unit* is the configured scope: basic blocks at
+/// [`ScopeKind::Block`], formed superblock traces at
+/// [`ScopeKind::Superblock`] — `total_blocks`/`scheduled_blocks` count
+/// decision units either way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FilteredPass {
-    /// Blocks seen.
+    /// Scope units (blocks or traces) seen.
     pub total_blocks: usize,
-    /// Blocks the filter sent to the scheduler.
+    /// Scope units the filter sent to the scheduler.
     pub scheduled_blocks: usize,
     /// Filter conditions evaluated across all blocks (short-circuit
     /// aware; the engine's honest decision cost).
@@ -365,11 +442,15 @@ impl FilteredPass {
     }
 }
 
-/// Runs the deployed fast path over every block of `program`: one
+/// Runs the deployed fast path over every scope unit of `program`: one
 /// demand-masked feature pass, the compiled condition table, and list
-/// scheduling only for the selected blocks — the loop a JIT with the
-/// filter installed would run, with the filter's true cost tallied
-/// per block instead of assumed.
+/// scheduling only for the selected units — the loop a JIT with the
+/// filter installed would run, with the filter's true cost tallied per
+/// unit instead of assumed. At [`ScopeKind::Superblock`] the units are
+/// formed traces and selected multi-block traces go through the
+/// speculative scheduler; trace formation itself is profile bookkeeping
+/// the JIT already does and stays outside the timed window, like the
+/// work-proxy rebuilds.
 ///
 /// Methods shard across `options.threads` scoped workers exactly like
 /// [`collect_trace_with`]; the work-channel totals are identical for
@@ -384,25 +465,17 @@ pub fn filtered_schedule_pass(
         let scheduler = ListScheduler::with_policy(machine, options.policy);
         let mut totals = FilteredPass::default();
         for method in slice {
-            for block in method.blocks() {
-                // Time only what the deployed pass would run: masked
-                // extraction, the condition table, and the scheduler.
-                let t0 = Instant::now();
-                let features = FeatureVector::extract_masked(block, filter.demand());
-                let (decision, conditions) = filter.decide_counted(features.as_slice());
-                if decision {
-                    std::hint::black_box(scheduler.schedule_block(block));
+            match options.scope {
+                ScopeKind::Block => {
+                    for block in method.blocks() {
+                        filtered_unit(block.insts(), TraceShape::block(), &scheduler, filter, &mut totals);
+                    }
                 }
-                totals.pass_ns += t0.elapsed().as_nanos() as u64;
-
-                // Bookkeeping (including the work proxy's own DepGraph
-                // rebuild) stays outside the timed window.
-                totals.total_blocks += 1;
-                totals.conditions_evaluated += conditions;
-                totals.extraction_work += filter.extraction_work(block.len() as u64);
-                if decision {
-                    totals.scheduled_blocks += 1;
-                    totals.sched_work += sched_work_proxy(block);
+                ScopeKind::Superblock(ratio) => {
+                    for sb in form_superblocks(method, ratio) {
+                        let shape = TraceShape::of_trace(&sb.insts, sb.width() as u32);
+                        filtered_unit(&sb.insts, shape, &scheduler, filter, &mut totals);
+                    }
                 }
             }
         }
@@ -413,6 +486,41 @@ pub fn filtered_schedule_pass(
         totals.merge(shard);
     }
     totals
+}
+
+/// One scope unit of the deployed pass: timed extraction + decision +
+/// (maybe) scheduling, then untimed work bookkeeping.
+fn filtered_unit(
+    insts: &[Inst],
+    shape: TraceShape,
+    scheduler: &ListScheduler<'_>,
+    filter: &CompiledFilter,
+    totals: &mut FilteredPass,
+) {
+    let speculative = shape.width > 1;
+    // Time only what the deployed pass would run: masked extraction,
+    // the condition table, and the scheduler.
+    let t0 = Instant::now();
+    let features = FeatureVector::from_insts_shaped(insts, shape, filter.demand());
+    let (decision, conditions) = filter.decide_counted(features.as_slice());
+    if decision {
+        std::hint::black_box(if speculative {
+            scheduler.schedule_superblock(insts)
+        } else {
+            scheduler.schedule_insts(insts)
+        });
+    }
+    totals.pass_ns += t0.elapsed().as_nanos() as u64;
+
+    // Bookkeeping (including the work proxy's own DepGraph rebuild)
+    // stays outside the timed window.
+    totals.total_blocks += 1;
+    totals.conditions_evaluated += conditions;
+    totals.extraction_work += filter.extraction_work(insts.len() as u64);
+    if decision {
+        totals.scheduled_blocks += 1;
+        totals.sched_work += insts_sched_work_proxy(insts, speculative);
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +726,95 @@ mod tests {
                 "{threads} threads"
             );
             assert_eq!((sharded.extraction_work, sharded.sched_work), (serial.extraction_work, serial.sched_work));
+        }
+    }
+
+    #[test]
+    fn superblock_scope_collects_one_record_per_trace() {
+        let machine = MachineConfig::ppc7410();
+        let p = crate::testutil::mergeable_suite(2).remove(0);
+        let opts =
+            TraceOptions { scope: ScopeKind::Superblock(70), timing: TimingMode::Deterministic, ..Default::default() };
+        let t = collect_trace_with(&p, &machine, &opts);
+        // Each method forms one width-3 hot trace + one cold width-1 trace.
+        assert_eq!(t.len(), 2 * 2);
+        use wts_features::FeatureKind;
+        let widths: Vec<f64> = t.iter().map(|r| r.features.get(FeatureKind::TraceWidth)).collect();
+        assert_eq!(widths, vec![3.0, 1.0, 3.0, 1.0]);
+        for r in &t {
+            let width = r.features.get(FeatureKind::TraceWidth);
+            let exits = r.features.get(FeatureKind::SideExits);
+            assert_eq!(exits, width - 1.0, "each internal block boundary carries one bc side exit");
+            assert_eq!(r.features.get(FeatureKind::TraceLen), r.features.get(FeatureKind::BbLen));
+            assert!(r.est_sched <= r.est_unsched, "the speculative schedule never worsens the estimate");
+        }
+        // Merged traces identify as their entry blocks.
+        assert_eq!(t[0].block, wts_ir::BlockId(0));
+        assert_eq!(t[1].block, wts_ir::BlockId(3));
+    }
+
+    #[test]
+    fn superblock_scope_speculation_beats_or_matches_block_scope() {
+        // The merged trace can hoist the second block's independent work
+        // above the side exit, so the summed estimated-sched cycles at
+        // superblock scope never exceed the per-block sum.
+        let machine = MachineConfig::ppc7410();
+        let opts = TraceOptions { timing: TimingMode::Deterministic, ..Default::default() };
+        let sb_opts = TraceOptions { scope: ScopeKind::Superblock(70), ..opts };
+        for p in crate::testutil::mergeable_suite(4) {
+            let blocks = collect_trace_with(&p, &machine, &opts);
+            let traces = collect_trace_with(&p, &machine, &sb_opts);
+            let block_cost: u64 = blocks.iter().map(|r| r.exec_count * r.est_sched).sum();
+            let trace_cost: u64 = traces.iter().map(|r| r.exec_count * r.est_sched).sum();
+            assert!(trace_cost <= block_cost, "{}: {trace_cost} vs {block_cost}", p.name());
+        }
+    }
+
+    #[test]
+    fn superblock_scope_sharded_collection_matches_serial_exactly() {
+        let machine = MachineConfig::ppc7410();
+        let p = wide_program(13);
+        let base =
+            TraceOptions { scope: ScopeKind::Superblock(70), timing: TimingMode::Deterministic, ..Default::default() };
+        let serial = collect_trace_with(&p, &machine, &base);
+        for threads in [2, 3, 8] {
+            let sharded = collect_trace_with(&p, &machine, &TraceOptions { threads, ..base });
+            assert_eq!(serial, sharded, "{threads} threads");
+        }
+        // And the per-method pieces reassemble exactly, as the matrix
+        // sharding requires.
+        let mut stitched = Vec::new();
+        for method in p.methods() {
+            stitched.extend(collect_method_trace(p.name(), method, &machine, &base));
+        }
+        assert_eq!(serial, stitched);
+    }
+
+    #[test]
+    fn filtered_pass_at_superblock_scope_decides_per_trace() {
+        let machine = MachineConfig::ppc7410();
+        let p = crate::testutil::mergeable_suite(4).remove(0);
+        let opts =
+            TraceOptions { scope: ScopeKind::Superblock(70), timing: TimingMode::Deterministic, ..Default::default() };
+        let ls = filtered_schedule_pass(&p, &machine, &crate::AlwaysSchedule.compile(), &opts);
+        let trace = collect_trace_with(&p, &machine, &opts);
+        assert_eq!(ls.total_blocks, trace.len(), "units are traces, not blocks");
+        assert_eq!(ls.scheduled_blocks, trace.len());
+        assert_eq!(ls.sched_work, trace.iter().map(|r| r.sched_work).sum::<u64>(), "same speculative work proxy");
+        // A size filter separates the fat merged traces from the cold
+        // singletons, exactly as classifying the collected trace does.
+        let compiled = crate::SizeThresholdFilter::new(3).compile();
+        let counts = crate::runtime_classification(&trace, &crate::SizeThresholdFilter::new(3));
+        let filtered = filtered_schedule_pass(&p, &machine, &compiled, &opts);
+        assert_eq!(filtered.scheduled_blocks, counts.ls);
+        assert!(filtered.scheduled_blocks < filtered.total_blocks, "cold singleton traces are skipped");
+        for threads in [2, 8] {
+            let sharded = filtered_schedule_pass(&p, &machine, &compiled, &TraceOptions { threads, ..opts });
+            assert_eq!(
+                (sharded.total_blocks, sharded.scheduled_blocks, sharded.sched_work, sharded.extraction_work),
+                (filtered.total_blocks, filtered.scheduled_blocks, filtered.sched_work, filtered.extraction_work),
+                "{threads} threads"
+            );
         }
     }
 

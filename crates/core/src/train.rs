@@ -3,15 +3,22 @@
 
 use crate::learner::{Learner, LearnerKind};
 use crate::{build_dataset, LabelConfig, LearnedFilter, TraceRecord};
+use wts_ir::ScopeKind;
 use wts_ripper::{leave_one_group_out, RipperConfig};
 
-/// Training configuration: labeling threshold + induction backend.
+/// Training configuration: labeling threshold + induction backend +
+/// scheduling scope.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainConfig {
     /// Labeling threshold.
     pub label: LabelConfig,
     /// The induction backend (RIPPER by default, the paper's learner).
     pub learner: LearnerKind,
+    /// The scope the traces were collected at. Purely descriptive for
+    /// training itself (the instances already carry the scope's
+    /// features), but stamped into the trained filter's tag so a
+    /// superblock-scope filter is never mistaken for a block one.
+    pub scope: ScopeKind,
 }
 
 impl TrainConfig {
@@ -22,13 +29,29 @@ impl TrainConfig {
 
     /// A config with the given threshold and backend.
     pub fn with_learner(threshold_percent: u32, learner: LearnerKind) -> TrainConfig {
-        TrainConfig { label: LabelConfig::new(threshold_percent), learner }
+        TrainConfig { label: LabelConfig::new(threshold_percent), learner, ..Default::default() }
     }
 
     /// Overrides the RIPPER settings (and selects the RIPPER backend).
     pub fn with_ripper(mut self, ripper: RipperConfig) -> TrainConfig {
         self.learner = LearnerKind::Ripper(ripper);
         self
+    }
+
+    /// Sets the scheduling scope the trained filter is tagged with.
+    pub fn with_scope(mut self, scope: ScopeKind) -> TrainConfig {
+        self.scope = scope;
+        self
+    }
+
+    /// The filter tag this config stamps: the backend's tag, suffixed
+    /// with `@sb<ratio>` at superblock scope (`L/N@sb70(t=0)` names the
+    /// paper's learner retrained on ratio-70% traces).
+    fn filter_tag(&self) -> String {
+        match self.scope {
+            ScopeKind::Block => self.learner.filter_tag(),
+            ScopeKind::Superblock(p) => format!("{}@sb{p}", self.learner.filter_tag()),
+        }
     }
 }
 
@@ -37,7 +60,7 @@ impl TrainConfig {
 pub fn train_filter(traces: &[TraceRecord], config: &TrainConfig) -> LearnedFilter {
     let (data, _) = build_dataset(traces, config.label);
     let rules = config.learner.fit(&data);
-    LearnedFilter::with_learner(rules, config.label.threshold_percent, config.learner.filter_tag())
+    LearnedFilter::with_learner(rules, config.label.threshold_percent, config.filter_tag())
 }
 
 /// Leave-one-benchmark-out cross-validation: for each benchmark in the
@@ -68,7 +91,7 @@ pub fn train_loocv_sharded(
         let name =
             by_id.iter().find(|(g, _)| *g == fold.held_out).map(|(_, n)| n.clone()).expect("fold group must exist");
         let rules = config.learner.fit(&fold.train);
-        (name, LearnedFilter::with_learner(rules, config.label.threshold_percent, config.learner.filter_tag()))
+        (name, LearnedFilter::with_learner(rules, config.label.threshold_percent, config.filter_tag()))
     };
 
     let shards = crate::parallel::shard_map(&folds, threads, |slice| slice.iter().map(&fit_fold).collect::<Vec<_>>());
@@ -187,6 +210,22 @@ mod tests {
         assert_eq!(tree.name(), "tree(d=4)(t=10)");
         let ripper = train_filter(&t, &TrainConfig::with_threshold(10));
         assert_eq!(ripper.name(), "L/N(t=10)", "the paper's artifact keeps its name");
+    }
+
+    #[test]
+    fn superblock_scope_is_stamped_into_the_filter_tag() {
+        use wts_ir::ScopeKind;
+        let t = traces();
+        let sb = train_filter(&t, &TrainConfig::with_threshold(10).with_scope(ScopeKind::Superblock(70)));
+        assert_eq!(sb.name(), "L/N@sb70(t=10)");
+        let block = train_filter(&t, &TrainConfig::with_threshold(10).with_scope(ScopeKind::Block));
+        assert_eq!(block.name(), "L/N(t=10)", "block scope keeps the paper's name");
+        // Same traces, same labels: scope tagging never changes the rules.
+        assert_eq!(sb.rules(), block.rules());
+        let folds = train_loocv(&t, &TrainConfig::with_threshold(0).with_scope(ScopeKind::Superblock(85)));
+        for (_, f) in &folds {
+            assert_eq!(f.learner(), "L/N@sb85");
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn arb_vector() -> impl Strategy<Value = FeatureVector> {
     })
 }
 
-/// A random labeled dataset over the full 13-feature vocabulary: the
+/// A random labeled dataset over the full feature vocabulary: the
 /// label is a threshold on block length with a sprinkle of label noise,
 /// so every backend has signal to find and noise to cope with.
 fn arb_labeled_dataset() -> impl Strategy<Value = Dataset> {
@@ -202,6 +202,73 @@ fn compiled_loocv_folds_match_interpreted_on_all_registry_machines() {
                             machine.name()
                         );
                     }
+                }
+            }
+        }
+    }
+}
+
+/// The superblock-scope acceptance bar: on every registry machine, the
+/// trace-scope pipeline's LOOCV folds pin compiled ≡ interpreted ≡
+/// native-predict for all three portfolio backends — the engine, the
+/// ordered-rule interpretation, and each backend's *native* model
+/// (RIPPER's rule set itself, the stump's own threshold, the tree's own
+/// recursive predict) agree bit for bit on every trace record of every
+/// fold, trace-shape features included.
+#[test]
+fn superblock_loocv_folds_pin_compiled_interpreted_native_on_all_registry_machines() {
+    use wts_ripper::{leave_one_group_out, Classifier, DecisionStump, RipperConfig, ShallowTree};
+    let programs = wts_core::testutil::mergeable_suite(4);
+    for machine in wts_machine::registry() {
+        let run = Experiment::new(machine.clone())
+            .with_timing(TimingMode::Deterministic)
+            .with_scope(wts_core::ScopeKind::Superblock(70))
+            .run(programs.clone());
+        assert!(
+            run.all_traces().iter().any(|r| r.features.get(FeatureKind::TraceWidth) > 1.0),
+            "{}: the corpus must contain genuinely merged traces",
+            machine.name()
+        );
+        // Compiled vs interpreted, per trained fold filter.
+        for learner in LearnerKind::portfolio() {
+            for (bench, learned) in run.loocv_filters_for(0, &learner).iter() {
+                let compiled = learned.compile();
+                for r in run.all_traces() {
+                    assert_eq!(
+                        compiled.decide(r.features.as_slice()),
+                        learned.should_schedule(&r.features),
+                        "{}/{}/{bench}: compiled vs interpreted",
+                        machine.name(),
+                        learner.name()
+                    );
+                    assert_eq!(compiled.eval_work(&r.features), learned.eval_work(&r.features));
+                }
+            }
+        }
+        // Lowered rules vs each backend's native model, per fold.
+        let (data, _) = run.dataset(0);
+        for fold in leave_one_group_out(&data) {
+            let probes = fold.train.instances().iter().chain(fold.test.instances());
+            let ripper_rules = RipperConfig::default().fit(&fold.train);
+            let stump_rules = LearnerKind::Stump.fit(&fold.train);
+            let tree_rules = LearnerKind::tree().fit(&fold.train);
+            let native_stump = (!fold.train.is_empty()).then(|| DecisionStump::fit(&fold.train));
+            let native_tree = (!fold.train.is_empty()).then(|| ShallowTree::fit(&fold.train, 4, 8));
+            for inst in probes {
+                let v = &inst.values;
+                assert_eq!(
+                    CompiledFilter::from_rule_set(&ripper_rules, "r").decide(v),
+                    ripper_rules.predict(v),
+                    "{}: ripper is its own native model",
+                    machine.name()
+                );
+                if let Some(native) = &native_stump {
+                    assert_eq!(stump_rules.predict(v), native.predict(v), "{}: stump native", machine.name());
+                    assert_eq!(CompiledFilter::from_rule_set(&stump_rules, "s").decide(v), native.predict(v));
+                }
+                if let Some(native) = &native_tree {
+                    assert_eq!(tree_rules.predict(v), native.predict(v), "{}: tree native", machine.name());
+                    assert_eq!(CompiledFilter::from_rule_set(&tree_rules, "t").decide(v), native.predict(v));
                 }
             }
         }

@@ -6,14 +6,18 @@
 //! ARTIFACTs: table1 table2 table3 table4 table5 table6 table7
 //!            fig1 fig2 fig3 fig4
 //!            calibrate learners machines policies factory
-//!            superblocks adaptive selftrain matrix portfolio
+//!            superblocks superblock adaptive selftrain matrix portfolio
 //!            all          (default: everything above)
 //! ```
+//!
+//! `superblocks` is the per-benchmark gain table; `superblock` is the
+//! cross-machine *scope* scenario — the full pipeline per registry
+//! machine at block and superblock scope side by side.
 
 use std::process::ExitCode;
 use wts_experiments::{table1, table2, table7, Experiments, PORTFOLIO_TOLERANCE};
 
-const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|adaptive|selftrain|matrix|portfolio|all]...";
+const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|superblock|adaptive|selftrain|matrix|portfolio|all]...";
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
@@ -59,6 +63,7 @@ fn main() -> ExitCode {
         "machines",
         "policies",
         "superblocks",
+        "superblock",
         "adaptive",
         "selftrain",
         "matrix",
@@ -109,6 +114,15 @@ fn main() -> ExitCode {
                     "machines" => println!("{}", e.machines()),
                     "policies" => println!("{}", e.policies()),
                     "superblocks" => println!("{}", e.superblocks()),
+                    "superblock" => {
+                        let m = matrix_run.get_or_insert_with(|| {
+                            eprintln!("# tracing the FP suite on every registry machine...");
+                            e.matrix()
+                        });
+                        eprintln!("# re-tracing at superblock scope on every registry machine...");
+                        let sb = e.superblock_matrix();
+                        println!("{}", e.superblock_scope(m, &sb, 0));
+                    }
                     "adaptive" => println!("{}", e.adaptive(100)),
                     "selftrain" => println!("{}", e.selftrain(20)),
                     "matrix" => {

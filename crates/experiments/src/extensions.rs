@@ -161,7 +161,7 @@ impl Experiments {
         );
         let run = self.run(SuiteKind::Fp);
         for (name, program) in run.names().iter().zip(run.programs()) {
-            let g = superblock_gain(program, self.machine(), 0.7);
+            let g = superblock_gain(program, self.machine(), crate::SUPERBLOCK_RATIO);
             let local = 100.0 * g.local as f64 / g.unscheduled.max(1) as f64;
             let sup = 100.0 * g.superblock as f64 / g.unscheduled.max(1) as f64;
             t.push_row(vec![

@@ -34,6 +34,11 @@ use wts_machine::MachineConfig;
 /// The threshold sweep of the paper: 0..=50 percent in steps of 5.
 pub const THRESHOLDS: [u32; 11] = [0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
 
+/// The superblock formation ratio (percent) every scope artifact uses:
+/// a successor within `0.70×..1/0.70×` of the trace entry's count
+/// extends the trace.
+pub const SUPERBLOCK_RATIO: u32 = 70;
+
 /// Which suite an artifact is computed over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SuiteKind {

@@ -5,8 +5,9 @@
 //! filter be retrained per target (paper §4)?
 
 use crate::table::{f2, f3, Table};
-use crate::{Experiments, SuiteKind, THRESHOLDS};
-use wts_core::{Experiment, ExperimentMatrix, LearnerKind, MatrixRun, TimingMode};
+use crate::{Experiments, SuiteKind, SUPERBLOCK_RATIO, THRESHOLDS};
+use wts_core::{Experiment, ExperimentMatrix, LearnerKind, MatrixRun, ScopeKind, TimingMode};
+use wts_jit::{superblock_gain, SuperblockGain};
 
 /// The default error tolerance (percentage points) of the portfolio-best
 /// pick: a backend whose LOOCV error is within this many points of the
@@ -112,6 +113,74 @@ impl Experiments {
             }
             let best = mp.best_entry();
             table.push_row(portfolio_cells(&mp.machine, &format!("best={}", best.learner), best));
+        }
+        table
+    }
+
+    /// The superblock-scope registry sweep: the same FP corpus pushed
+    /// through the full pipeline on every registry machine, but with
+    /// tracing, labeling, training and evaluation operating per formed
+    /// superblock trace (ratio [`SUPERBLOCK_RATIO`]) instead of per
+    /// basic block. Pair it with [`matrix`](Experiments::matrix) (the
+    /// block-scope sweep) and feed both to
+    /// [`superblock_scope`](Experiments::superblock_scope).
+    pub fn superblock_matrix(&self) -> MatrixRun {
+        let template = Experiment::new(self.machine().clone())
+            .with_timing(TimingMode::Deterministic)
+            .with_scope(ScopeKind::Superblock(SUPERBLOCK_RATIO));
+        ExperimentMatrix::over_registry().with_template(template).run(self.run(SuiteKind::Fp).programs())
+    }
+
+    /// The `repro superblock` table: per registry machine, the paper's
+    /// filter question answered at both scopes side by side — LOOCV
+    /// classification error, deterministic scheduling-work ratio and
+    /// honest filter + extraction overhead for block versus superblock
+    /// scope — plus the paper's "extra 1–2%" column (the additional
+    /// application-level gain of speculative trace scheduling over
+    /// local scheduling on that machine) and the features the
+    /// superblock-scope factory rule set actually consults (the
+    /// trace-shape features showing up here is the point of the new
+    /// scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices cover different machine lists.
+    pub fn superblock_scope(&self, block: &MatrixRun, superblock: &MatrixRun, t: u32) -> Table {
+        assert_eq!(block.machine_names(), superblock.machine_names(), "matrices must sweep the same registry");
+        let headers = vec![
+            format!("Machine (t={t})"),
+            "Err% blk".into(),
+            "Err% sb".into(),
+            "Ratio blk".into(),
+            "Ratio sb".into(),
+            "Ovh% blk".into(),
+            "Ovh% sb".into(),
+            "Extra %".into(),
+            "SB filter reads".into(),
+        ];
+        let mut table =
+            Table::new(format!("Scope scenario: block vs superblock (ratio {SUPERBLOCK_RATIO}%) per machine"), headers);
+        let learner = LearnerKind::default();
+        let programs = self.run(SuiteKind::Fp).programs();
+        for (machine, name) in block.machines().iter().zip(block.machine_names()) {
+            let b = block.run_for(name).learner_eval(t, &learner);
+            let s = superblock.run_for(name).learner_eval(t, &learner);
+            let mut gain = SuperblockGain::default();
+            for program in programs {
+                gain.accumulate(&superblock_gain(program, machine, SUPERBLOCK_RATIO));
+            }
+            let reads = superblock.run_for(name).factory_filter(t).rules().referenced_attr_names().join(",");
+            table.push_row(vec![
+                name.to_string(),
+                f2(b.error_percent),
+                f2(s.error_percent),
+                f3(b.times.work_ratio()),
+                f3(s.times.work_ratio()),
+                f2(b.times.overhead_fraction() * 100.0),
+                f2(s.times.overhead_fraction() * 100.0),
+                f2(100.0 * gain.extra_improvement()),
+                if reads.is_empty() { "-".into() } else { reads },
+            ]);
         }
         table
     }
@@ -247,6 +316,49 @@ mod tests {
                 name_matches && cells_match
             });
             assert!(matched, "machine {i}: the best= row must repeat one backend's cells verbatim");
+        }
+    }
+
+    #[test]
+    fn superblock_scope_table_covers_every_machine_with_sane_cells() {
+        let e = harness();
+        let block = e.matrix();
+        let sb = e.superblock_matrix();
+        let t = e.superblock_scope(&block, &sb, 0);
+        assert_eq!(t.row_count(), registry_names().len());
+        for row in 0..t.row_count() {
+            assert_eq!(t.cell(row, 0), registry_names()[row]);
+            for col in 1..=2 {
+                let err: f64 = t.cell(row, col).parse().unwrap();
+                assert!((0.0..=100.0).contains(&err), "error {err}% out of range");
+            }
+            for col in 3..=4 {
+                let ratio: f64 = t.cell(row, col).parse().unwrap();
+                assert!(ratio < 1.0, "a filter must beat always-scheduling on work, got {ratio}");
+            }
+            let extra: f64 = t.cell(row, 7).parse().unwrap();
+            assert!((0.0..25.0).contains(&extra), "extra gain {extra}% implausible");
+            assert!(!t.cell(row, 8).is_empty(), "the SB demand column always prints something");
+        }
+    }
+
+    #[test]
+    fn superblock_matrix_decides_over_fewer_coarser_units() {
+        let e = harness();
+        let block = e.matrix();
+        let sb = e.superblock_matrix();
+        assert_eq!(sb.scope(), ScopeKind::Superblock(SUPERBLOCK_RATIO));
+        for name in registry_names() {
+            let b = block.run_for(name).all_traces().len();
+            let s = sb.run_for(name).all_traces().len();
+            assert!(s < b, "{name}: superblock scope must merge units ({s} vs {b})");
+            assert!(
+                sb.run_for(name)
+                    .all_traces()
+                    .iter()
+                    .any(|r| r.features.get(wts_features::FeatureKind::TraceWidth) > 1.0),
+                "{name}: some traces must actually merge"
+            );
         }
     }
 

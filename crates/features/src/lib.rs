@@ -1,4 +1,5 @@
-//! The paper's Table 1 block features.
+//! The paper's Table 1 block features, plus the trace-level features of
+//! the superblock scope.
 //!
 //! Thirteen cheap-to-compute static features of a basic block: the block
 //! size `bbLen` plus, for each of the twelve instruction categories, the
@@ -7,6 +8,17 @@
 //! sizes (paper §2.1). Computing the vector takes a single pass over the
 //! block and never touches the dependence DAG — the paper explicitly
 //! rejects DAG-derived features as too expensive.
+//!
+//! The superblock pipeline (the paper's deferred §3.1 extension) decides
+//! per *trace* rather than per block, and four extra trace-shape
+//! features feed that decision: the trace width (merged block count),
+//! the internal side-exit count, the number of speculation candidates
+//! below the first side exit, and the concatenated instruction count.
+//! They are formation byproducts — the trace former tallies them while
+//! concatenating blocks, so they cost nothing at extraction time — and
+//! they degenerate cleanly at block scope (`width 1, 0, 0, bbLen`),
+//! keeping one feature vocabulary across both scopes (see
+//! [`TraceShape`] and [`FeatureVector::from_insts_shaped`]).
 //!
 //! Extraction is also *demand-driven*: a [`FeatureMask`] names the
 //! features a filter will actually read, and
@@ -34,7 +46,8 @@
 use std::fmt;
 use wts_ir::{BasicBlock, Category, Inst};
 
-/// One of the thirteen features of Table 1.
+/// One of the thirteen features of Table 1, or one of the four
+/// trace-shape features of the superblock scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FeatureKind {
     /// Number of instructions in the block.
@@ -63,11 +76,23 @@ pub enum FeatureKind {
     TsPoints,
     /// Fraction of yield points.
     YieldPoints,
+    /// Number of blocks merged into the trace (`1` for a basic block).
+    TraceWidth,
+    /// Number of internal conditional side exits (`0` for a basic block).
+    SideExits,
+    /// Number of speculation candidates — pure, non-hazardous
+    /// instructions below the first side exit that the speculative
+    /// scheduler may hoist (`0` for a basic block).
+    SpecInsts,
+    /// Concatenated instruction count of the trace (equals `bbLen` for a
+    /// basic block).
+    TraceLen,
 }
 
 impl FeatureKind {
-    /// All features, `bbLen` first, then Table 1 category order.
-    pub const ALL: [FeatureKind; 13] = [
+    /// All features: `bbLen` first, then Table 1 category order, then
+    /// the four trace-shape features of the superblock scope.
+    pub const ALL: [FeatureKind; 17] = [
         FeatureKind::BbLen,
         FeatureKind::Branches,
         FeatureKind::Calls,
@@ -81,12 +106,18 @@ impl FeatureKind {
         FeatureKind::GcPoints,
         FeatureKind::TsPoints,
         FeatureKind::YieldPoints,
+        FeatureKind::TraceWidth,
+        FeatureKind::SideExits,
+        FeatureKind::SpecInsts,
+        FeatureKind::TraceLen,
     ];
 
     /// Number of features.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 17;
 
-    /// Number of category-backed fraction features (everything but `bbLen`).
+    /// Number of category-backed fraction features (the twelve Table 1
+    /// categories; `bbLen` and the trace-shape features need no
+    /// per-instruction tallying pass).
     pub const CATEGORY_COUNT: usize = 12;
 
     /// The feature at dense index `i` (inverse of [`FeatureKind::index`]).
@@ -115,7 +146,38 @@ impl FeatureKind {
             FeatureKind::GcPoints => "gcpoints",
             FeatureKind::TsPoints => "tspoints",
             FeatureKind::YieldPoints => "yieldpoints",
+            FeatureKind::TraceWidth => "traceWidth",
+            FeatureKind::SideExits => "sideExits",
+            FeatureKind::SpecInsts => "specInsts",
+            FeatureKind::TraceLen => "traceLen",
         }
+    }
+
+    /// The feature whose [`rule_name`](FeatureKind::rule_name) is `name`
+    /// — the inverse used when introspecting rule-set vocabularies.
+    pub fn from_rule_name(name: &str) -> Option<FeatureKind> {
+        FeatureKind::ALL.into_iter().find(|k| k.rule_name() == name)
+    }
+
+    /// True for count-valued features (`bbLen` and the trace-shape
+    /// features): non-negative but not bounded by `[0, 1]`.
+    pub fn is_count(self) -> bool {
+        matches!(
+            self,
+            FeatureKind::BbLen
+                | FeatureKind::TraceWidth
+                | FeatureKind::SideExits
+                | FeatureKind::SpecInsts
+                | FeatureKind::TraceLen
+        )
+    }
+
+    /// True for the four trace-shape features of the superblock scope.
+    pub fn is_trace_shape(self) -> bool {
+        matches!(
+            self,
+            FeatureKind::TraceWidth | FeatureKind::SideExits | FeatureKind::SpecInsts | FeatureKind::TraceLen
+        )
     }
 
     /// The category a fraction feature counts, `None` for `bbLen`.
@@ -134,6 +196,7 @@ impl FeatureKind {
             FeatureKind::GcPoints => Some(Category::GcPoint),
             FeatureKind::TsPoints => Some(Category::ThreadSwitch),
             FeatureKind::YieldPoints => Some(Category::Yield),
+            FeatureKind::TraceWidth | FeatureKind::SideExits | FeatureKind::SpecInsts | FeatureKind::TraceLen => None,
         }
     }
 }
@@ -144,7 +207,7 @@ impl fmt::Display for FeatureKind {
     }
 }
 
-/// A demand set over the thirteen features, as a bitmask.
+/// A demand set over the seventeen features, as a bitmask.
 ///
 /// Induced rule sets rarely read more than a handful of features; a mask
 /// records exactly which ones a filter will consult so extraction can
@@ -162,13 +225,13 @@ impl fmt::Display for FeatureKind {
 /// assert_eq!(m.category_count(), 1, "bbLen needs no instruction pass");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct FeatureMask(u16);
+pub struct FeatureMask(u32);
 
 impl FeatureMask {
     /// The empty demand set.
     pub const EMPTY: FeatureMask = FeatureMask(0);
 
-    /// Every feature demanded (full Table 1 extraction).
+    /// Every feature demanded (full Table 1 + trace-shape extraction).
     pub const ALL: FeatureMask = FeatureMask((1 << FeatureKind::COUNT) - 1);
 
     /// A mask demanding exactly the given features.
@@ -202,10 +265,12 @@ impl FeatureMask {
     }
 
     /// Number of demanded *category* features — the ones that actually
-    /// need the per-instruction tallying pass (`bbLen` is free: the block
-    /// already knows its length).
+    /// need the per-instruction tallying pass. `bbLen` is free (the
+    /// block already knows its length), and the trace-shape features are
+    /// free too: the trace former tallies width, side exits and
+    /// speculation candidates as byproducts of concatenation.
     pub fn category_count(self) -> usize {
-        self.count() - usize::from(self.contains(FeatureKind::BbLen))
+        self.kinds().filter(|k| k.category().is_some()).count()
     }
 
     /// The demanded features, in Table 1 order.
@@ -219,8 +284,9 @@ impl FeatureMask {
     /// instruction for all twelve category tallies): a mask demanding
     /// `k` categories costs `1 + ceil(bb_len * k / 12)` — one unit of
     /// setup plus the pro-rated share of the tallying pass — and a mask
-    /// demanding no categories (only `bbLen`, or nothing) costs zero,
-    /// because the block length is known without touching instructions.
+    /// demanding no categories costs zero: `bbLen` is known without
+    /// touching instructions, and the trace-shape features are tallied
+    /// by the trace former during concatenation, not by extraction.
     pub fn extraction_work(self, bb_len: u64) -> u64 {
         let k = self.category_count() as u64;
         if k == 0 {
@@ -243,7 +309,54 @@ impl fmt::Display for FeatureMask {
     }
 }
 
-/// The feature vector of one basic block.
+/// The trace-shape bookkeeping of one scheduling scope unit: how many
+/// blocks merged into it, how many internal side exits it carries, and
+/// how many instructions below the first side exit are speculation
+/// candidates. A plain basic block is the degenerate shape
+/// [`TraceShape::block`] (`width 1, 0 exits, 0 candidates`), which keeps
+/// block-scope and width-1 superblock-scope feature vectors
+/// bit-identical.
+///
+/// The trace former produces these as byproducts of concatenation —
+/// that is why the trace-shape features cost nothing in
+/// [`FeatureMask::extraction_work`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceShape {
+    /// Number of merged blocks.
+    pub width: u32,
+    /// Internal conditional side exits.
+    pub side_exits: u32,
+    /// Speculation candidates below the first side exit.
+    pub spec_insts: u32,
+}
+
+impl TraceShape {
+    /// The degenerate shape of a plain basic block.
+    pub fn block() -> TraceShape {
+        TraceShape { width: 1, side_exits: 0, spec_insts: 0 }
+    }
+
+    /// Measures a formed trace's shape in one pass: a *side exit* is a
+    /// branch instruction that is not the trace's final instruction, and
+    /// a *speculation candidate* is a pure (no side effect), non-hazardous
+    /// instruction located after the first side exit — exactly the
+    /// instructions the speculative dependence graph frees to hoist.
+    pub fn of_trace(insts: &[Inst], width: u32) -> TraceShape {
+        let mut side_exits = 0u32;
+        let mut spec_insts = 0u32;
+        for (i, inst) in insts.iter().enumerate() {
+            let op = inst.opcode();
+            if op.is_branch() && i + 1 != insts.len() {
+                side_exits += 1;
+            } else if side_exits > 0 && !op.has_side_effect() && !inst.is_hazardous() {
+                spec_insts += 1;
+            }
+        }
+        TraceShape { width, side_exits, spec_insts }
+    }
+}
+
+/// The feature vector of one basic block or superblock trace.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FeatureVector {
     values: [f64; FeatureKind::COUNT],
@@ -270,8 +383,18 @@ impl FeatureVector {
     }
 
     /// [`extract_masked`](FeatureVector::extract_masked) over a raw
-    /// instruction slice.
+    /// instruction slice, with the degenerate block shape.
     pub fn from_insts_masked(insts: &[Inst], mask: FeatureMask) -> FeatureVector {
+        FeatureVector::from_insts_shaped(insts, TraceShape::block(), mask)
+    }
+
+    /// The fully general extraction: an instruction slice plus its
+    /// [`TraceShape`], restricted to `mask`. This is the superblock
+    /// pipeline's entry point — `bbLen`/`traceLen` are the concatenated
+    /// length, the category fractions are over the whole trace, and the
+    /// trace-shape features come from the shape bookkeeping. On an empty
+    /// slice every feature is `0.0`, matching the empty-block contract.
+    pub fn from_insts_shaped(insts: &[Inst], shape: TraceShape, mask: FeatureMask) -> FeatureVector {
         // The demanded categories, gathered once so the per-instruction
         // loop touches only what the mask asks for.
         let mut demanded = [(FeatureKind::BbLen, Category::Branch); FeatureKind::CATEGORY_COUNT];
@@ -302,6 +425,19 @@ impl FeatureVector {
             for &(kind, _) in &demanded[..k] {
                 values[kind.index()] = counts[kind.index()] as f64 / n as f64;
             }
+            // Trace-shape features: formation byproducts, free to fill.
+            if mask.contains(FeatureKind::TraceWidth) {
+                values[FeatureKind::TraceWidth.index()] = shape.width as f64;
+            }
+            if mask.contains(FeatureKind::SideExits) {
+                values[FeatureKind::SideExits.index()] = shape.side_exits as f64;
+            }
+            if mask.contains(FeatureKind::SpecInsts) {
+                values[FeatureKind::SpecInsts.index()] = shape.spec_insts as f64;
+            }
+            if mask.contains(FeatureKind::TraceLen) {
+                values[FeatureKind::TraceLen.index()] = n as f64;
+            }
         }
         FeatureVector { values }
     }
@@ -310,13 +446,15 @@ impl FeatureVector {
     ///
     /// # Panics
     ///
-    /// Panics if any fraction feature is outside `[0, 1]` or `bbLen` is
+    /// Panics if any fraction feature is outside `[0, 1]` or any
+    /// count-valued feature (`bbLen` and the trace-shape features) is
     /// negative.
     pub fn from_values(values: [f64; FeatureKind::COUNT]) -> FeatureVector {
-        assert!(values[FeatureKind::BbLen.index()] >= 0.0, "bbLen must be non-negative");
         for kind in FeatureKind::ALL {
-            if kind != FeatureKind::BbLen {
-                let v = values[kind.index()];
+            let v = values[kind.index()];
+            if kind.is_count() {
+                assert!(v >= 0.0, "{kind} count {v} must be non-negative");
+            } else {
                 assert!((0.0..=1.0).contains(&v), "{kind} fraction {v} outside [0,1]");
             }
         }
@@ -485,13 +623,100 @@ mod tests {
             Inst::new(Opcode::Blr),
         ]));
         for kind in FeatureKind::ALL {
-            if kind != FeatureKind::BbLen {
+            if !kind.is_count() {
                 let v = fv.get(kind);
                 assert!((0.0..=1.0).contains(&v), "{kind}={v}");
             }
         }
         assert_eq!(fv.get(FeatureKind::Calls), 0.5);
         assert_eq!(fv.get(FeatureKind::Returns), 0.5);
+    }
+
+    #[test]
+    fn block_extraction_fills_degenerate_trace_shape() {
+        let fv = FeatureVector::extract(&block(vec![
+            Inst::new(Opcode::Add).def(Reg::gpr(1)).use_(Reg::gpr(2)).use_(Reg::gpr(3)),
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+        ]));
+        assert_eq!(fv.get(FeatureKind::TraceWidth), 1.0);
+        assert_eq!(fv.get(FeatureKind::SideExits), 0.0, "the final branch is the exit, not a side exit");
+        assert_eq!(fv.get(FeatureKind::SpecInsts), 0.0);
+        assert_eq!(fv.get(FeatureKind::TraceLen), fv.get(FeatureKind::BbLen));
+    }
+
+    #[test]
+    fn trace_shape_measures_side_exits_and_speculation_candidates() {
+        // [add; bc] ++ [add; store; bc] ++ [add]: two internal side
+        // exits; the adds below the first exit are candidates, the store
+        // is not (side effect), the second bc is an exit itself.
+        let insts = vec![
+            Inst::new(Opcode::Add).def(Reg::gpr(1)).use_(Reg::gpr(2)).use_(Reg::gpr(3)),
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+            Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(2)).use_(Reg::gpr(3)),
+            Inst::new(Opcode::Stw).use_(Reg::gpr(4)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+            Inst::new(Opcode::Add).def(Reg::gpr(5)).use_(Reg::gpr(2)).use_(Reg::gpr(3)),
+        ];
+        let shape = TraceShape::of_trace(&insts, 3);
+        assert_eq!(shape, TraceShape { width: 3, side_exits: 2, spec_insts: 2 });
+        let fv = FeatureVector::from_insts_shaped(&insts, shape, FeatureMask::ALL);
+        assert_eq!(fv.get(FeatureKind::TraceWidth), 3.0);
+        assert_eq!(fv.get(FeatureKind::SideExits), 2.0);
+        assert_eq!(fv.get(FeatureKind::SpecInsts), 2.0);
+        assert_eq!(fv.get(FeatureKind::TraceLen), 6.0);
+        assert_eq!(fv.get(FeatureKind::BbLen), 6.0, "bbLen is the concatenated length at trace scope");
+        // The Table 1 fractions are over the whole trace.
+        assert_eq!(fv.get(FeatureKind::Branches), 2.0 / 6.0);
+        // Shaped extraction with the block shape equals plain extraction.
+        let plain = FeatureVector::from_insts(&insts);
+        let shaped = FeatureVector::from_insts_shaped(&insts, TraceShape::block(), FeatureMask::ALL);
+        assert_eq!(plain, shaped);
+    }
+
+    #[test]
+    fn trace_shape_final_branch_is_not_a_side_exit() {
+        let insts = vec![
+            Inst::new(Opcode::Add).def(Reg::gpr(1)).use_(Reg::gpr(2)).use_(Reg::gpr(3)),
+            Inst::new(Opcode::Bc).use_(Reg::cr(0)),
+        ];
+        assert_eq!(TraceShape::of_trace(&insts, 1), TraceShape::block());
+    }
+
+    #[test]
+    fn rule_name_round_trips() {
+        for kind in FeatureKind::ALL {
+            assert_eq!(FeatureKind::from_rule_name(kind.rule_name()), Some(kind));
+        }
+        assert_eq!(FeatureKind::from_rule_name("nonesuch"), None);
+        assert_eq!(FeatureKind::from_rule_name("traceWidth"), Some(FeatureKind::TraceWidth));
+    }
+
+    #[test]
+    fn count_and_trace_shape_classification() {
+        assert!(FeatureKind::BbLen.is_count() && !FeatureKind::BbLen.is_trace_shape());
+        for kind in [FeatureKind::TraceWidth, FeatureKind::SideExits, FeatureKind::SpecInsts, FeatureKind::TraceLen] {
+            assert!(kind.is_count() && kind.is_trace_shape() && kind.category().is_none(), "{kind}");
+        }
+        assert_eq!(FeatureKind::ALL.iter().filter(|k| k.category().is_some()).count(), FeatureKind::CATEGORY_COUNT);
+    }
+
+    #[test]
+    fn trace_shape_features_are_free_to_extract() {
+        let trace_only = FeatureMask::of([
+            FeatureKind::TraceWidth,
+            FeatureKind::SideExits,
+            FeatureKind::SpecInsts,
+            FeatureKind::TraceLen,
+        ]);
+        assert_eq!(trace_only.category_count(), 0);
+        assert_eq!(trace_only.extraction_work(100), 0, "formation byproducts cost nothing at extraction");
+        let mixed = trace_only.with(FeatureKind::Loads);
+        assert_eq!(mixed.category_count(), 1);
+        assert_eq!(
+            mixed.extraction_work(24),
+            FeatureMask::of([FeatureKind::Loads]).extraction_work(24),
+            "only the category share is charged"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ proptest! {
     fn fractions_stay_in_unit_interval(insts in prop::collection::vec(arb_inst(), 0..30)) {
         let fv = FeatureVector::extract(&block(insts));
         for k in FeatureKind::ALL {
-            if k != FeatureKind::BbLen {
+            if !k.is_count() {
                 let v = fv.get(k);
                 prop_assert!((0.0..=1.0).contains(&v), "{k}={v}");
             }
@@ -88,7 +88,7 @@ proptest! {
         let fab = FeatureVector::from_insts(&ab);
         let (na, nb) = (a.len() as f64, b.len() as f64);
         for k in FeatureKind::ALL {
-            if k == FeatureKind::BbLen {
+            if k.is_count() {
                 continue;
             }
             let expect = (fa.get(k) * na + fb.get(k) * nb) / (na + nb);
@@ -98,7 +98,7 @@ proptest! {
 
     #[test]
     fn masked_extraction_agrees_with_full_extraction(insts in prop::collection::vec(arb_inst(), 0..30),
-                                                     bits in 0u16..(1 << 13)) {
+                                                     bits in 0u32..(1 << FeatureKind::COUNT)) {
         let b = block(insts);
         let mask = FeatureMask::of(FeatureKind::ALL.into_iter().filter(|k| bits & (1 << k.index()) != 0));
         let full = FeatureVector::extract(&b);
@@ -113,7 +113,9 @@ proptest! {
     }
 
     #[test]
-    fn extraction_work_is_monotone_in_demand(bits in 0u16..(1 << 13), extra in 0usize..13, bb_len in 0u64..200) {
+    fn extraction_work_is_monotone_in_demand(bits in 0u32..(1 << FeatureKind::COUNT),
+                                             extra in 0usize..FeatureKind::COUNT,
+                                             bb_len in 0u64..200) {
         let mask = FeatureMask::of(FeatureKind::ALL.into_iter().filter(|k| bits & (1 << k.index()) != 0));
         let bigger = mask.with(FeatureKind::ALL[extra]);
         prop_assert!(mask.extraction_work(bb_len) <= bigger.extraction_work(bb_len));

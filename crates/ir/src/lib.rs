@@ -35,6 +35,7 @@ mod inst;
 mod method;
 mod opcode;
 mod reg;
+mod superblock;
 mod validate;
 
 pub use block::{BasicBlock, BlockId};
@@ -43,4 +44,5 @@ pub use inst::{Hazards, Inst, MemRef, MemSpace};
 pub use method::{Method, MethodId, Program};
 pub use opcode::{Opcode, UnitClass};
 pub use reg::{Reg, RegClass};
+pub use superblock::{form_superblocks, ScopeKind, Superblock};
 pub use validate::ValidateError;

@@ -1,0 +1,116 @@
+//! Property-based tests for superblock formation.
+
+use proptest::prelude::*;
+use wts_ir::{form_superblocks, BasicBlock, Inst, Method, Opcode, Reg};
+
+/// A layout of `(exec_count, terminator)` pairs expanded into a method
+/// whose blocks carry one ALU instruction plus the chosen terminator.
+fn method_from(layout: &[(u64, Option<Opcode>)]) -> Method {
+    let mut m = Method::new(0, "m");
+    for (id, (exec, term)) in layout.iter().enumerate() {
+        let mut b = BasicBlock::new(id as u32);
+        b.push(Inst::new(Opcode::Add).def(Reg::gpr(10)).use_(Reg::gpr(1)).use_(Reg::gpr(2)));
+        if let Some(t) = term {
+            let mut i = Inst::new(*t);
+            if *t == Opcode::Bc {
+                i = i.use_(Reg::cr(0));
+            }
+            if *t == Opcode::Blr {
+                i = i.use_(Reg::lr());
+            }
+            b.push(i);
+        }
+        b.set_exec_count(*exec);
+        m.push_block(b);
+    }
+    m
+}
+
+fn arb_terminator() -> impl Strategy<Value = Option<Opcode>> {
+    prop::sample::select(vec![None, Some(Opcode::Bc), Some(Opcode::B), Some(Opcode::Bctr), Some(Opcode::Blr)])
+}
+
+fn arb_layout() -> impl Strategy<Value = Vec<(u64, Option<Opcode>)>> {
+    prop::collection::vec((1u64..10_000, arb_terminator()), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Regression (PR 5): the hot-path window used to go through f64
+    /// with truncating casts, so multiplying every profile count by a
+    /// constant could move boundary blocks in or out of their traces.
+    /// The window is a pure ratio test — formation must be invariant
+    /// under uniform scaling of the execution counts.
+    #[test]
+    fn formation_is_invariant_under_uniform_count_scaling(layout in arb_layout(),
+                                                          ratio in 1u32..=100,
+                                                          scale in 1u64..1 << 40) {
+        let base = method_from(&layout);
+        let scaled_layout: Vec<(u64, Option<Opcode>)> =
+            layout.iter().map(|(e, t)| (e.saturating_mul(scale), *t)).collect();
+        // Saturation would distort ratios; keep only non-saturating cases.
+        prop_assume!(layout.iter().all(|(e, _)| e.checked_mul(scale).is_some()));
+        let scaled = method_from(&scaled_layout);
+
+        let a = form_superblocks(&base, ratio);
+        let b = form_superblocks(&scaled, ratio);
+        let ids_a: Vec<Vec<u32>> = a.iter().map(|sb| sb.block_ids.clone()).collect();
+        let ids_b: Vec<Vec<u32>> = b.iter().map(|sb| sb.block_ids.clone()).collect();
+        prop_assert_eq!(ids_a, ids_b, "scaling all counts by {} changed the traces", scale);
+    }
+
+    /// The traces always partition the method: every block exactly once,
+    /// in layout order, with all instructions accounted for.
+    #[test]
+    fn traces_partition_every_method(layout in arb_layout(), ratio in 1u32..=100) {
+        let m = method_from(&layout);
+        let sbs = form_superblocks(&m, ratio);
+        let ids: Vec<u32> = sbs.iter().flat_map(|sb| sb.block_ids.iter().copied()).collect();
+        let expect: Vec<u32> = (0..layout.len() as u32).collect();
+        prop_assert_eq!(ids, expect);
+        let insts: usize = sbs.iter().map(|sb| sb.insts.len()).sum();
+        prop_assert_eq!(insts, m.inst_count());
+        for sb in &sbs {
+            prop_assert_eq!(sb.exec_count, layout[sb.entry_id() as usize].0);
+        }
+    }
+
+    /// No trace crosses a control transfer that cannot fall through:
+    /// every non-final constituent block ends in `bc` or has no
+    /// terminator (the PR 5 unconditional-branch fix, as a property).
+    #[test]
+    fn traces_never_cross_non_fallthrough_terminators(layout in arb_layout(), ratio in 1u32..=100) {
+        let m = method_from(&layout);
+        for sb in form_superblocks(&m, ratio) {
+            for &bid in &sb.block_ids[..sb.width() - 1] {
+                let term = layout[bid as usize].1;
+                prop_assert!(
+                    term.is_none() || term == Some(Opcode::Bc),
+                    "trace crossed a {:?} terminator",
+                    term
+                );
+            }
+        }
+    }
+
+    /// Degenerate formation at ratio = 100%: only exactly-equal counts
+    /// merge, so strictly distinct consecutive counts yield all-width-1
+    /// traces.
+    #[test]
+    fn ratio_100_with_distinct_counts_degenerates_to_blocks(terms in prop::collection::vec(arb_terminator(), 1..10),
+                                                            deltas in prop::collection::vec(1u64..50, 1..10)) {
+        let n = terms.len().min(deltas.len());
+        let mut exec = 1u64;
+        let layout: Vec<(u64, Option<Opcode>)> = (0..n)
+            .map(|i| {
+                exec += deltas[i];
+                (exec, terms[i])
+            })
+            .collect();
+        let m = method_from(&layout);
+        for sb in form_superblocks(&m, 100) {
+            prop_assert_eq!(sb.width(), 1, "distinct counts must not merge at ratio 100%");
+        }
+    }
+}

@@ -44,4 +44,4 @@ pub use compiler::{app_cycles, predicted_cycles, CompileSession, CompileStats};
 pub use rng::Xoshiro256;
 pub use spec::{BenchmarkSpec, OpMix};
 pub use suite::{Benchmark, Suite};
-pub use superblock::{form_superblocks, superblock_gain, Superblock, SuperblockGain};
+pub use superblock::{form_superblocks, superblock_gain, ScopeKind, Superblock, SuperblockGain};

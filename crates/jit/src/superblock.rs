@@ -1,76 +1,21 @@
-//! Superblock formation and scheduling (the paper's deferred extension).
+//! Superblock scheduling gain measurement (the paper's deferred
+//! extension).
 //!
 //! The paper investigated superblock scheduling and reports it adds only
-//! 1–2% over local scheduling in their setting, deferring the combination
-//! with filters to future work (§3.1, footnote 6). This module implements
-//! the mechanism: consecutive blocks whose profile counts indicate the
-//! fall-through path is hot are merged into a straight-line *trace*; the
-//! scheduler may then move pure computation across the internal side
-//! exits (speculation, modelled by the speculative dependence graph).
+//! 1–2% over local scheduling in their setting, deferring the
+//! combination with filters to future work (§3.1, footnote 6).
+//! *Formation* now lives in [`wts_ir::superblock`] (re-exported here),
+//! where the whole pipeline can reach it; this module keeps the
+//! gain-measurement harness: three treatments of a program's traces —
+//! no scheduling, local per-block scheduling, speculative superblock
+//! scheduling — weighted by profile counts.
 
-use wts_ir::{BasicBlock, Inst, Method, Opcode, Program};
+use std::collections::HashMap;
 use wts_machine::{CostModel, MachineConfig};
 use wts_sched::ListScheduler;
 
-/// A formed superblock: the trace's instructions plus bookkeeping.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Superblock {
-    /// Ids of the merged blocks, in trace order.
-    pub block_ids: Vec<u32>,
-    /// The concatenated instructions.
-    pub insts: Vec<Inst>,
-    /// Profile weight of the trace (the entry block's count).
-    pub exec_count: u64,
-}
-
-impl Superblock {
-    /// Number of merged blocks.
-    pub fn width(&self) -> usize {
-        self.block_ids.len()
-    }
-}
-
-/// Forms superblocks from a method's layout-order blocks.
-///
-/// A trace grows while the current block ends in a conditional branch or
-/// plain fall-through (never a return or computed jump) and the next
-/// block's execution count is within `ratio` of the trace entry's —
-/// the profile evidence that the fall-through edge is the hot path.
-///
-/// # Panics
-///
-/// Panics if `ratio` is not within `(0, 1]`.
-pub fn form_superblocks(method: &Method, ratio: f64) -> Vec<Superblock> {
-    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
-    let blocks = method.blocks();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < blocks.len() {
-        let entry = &blocks[i];
-        let mut sb =
-            Superblock { block_ids: vec![entry.id().0], insts: entry.insts().to_vec(), exec_count: entry.exec_count() };
-        let mut j = i;
-        while j + 1 < blocks.len() && extends(&blocks[j], &blocks[j + 1], entry.exec_count(), ratio) {
-            j += 1;
-            sb.block_ids.push(blocks[j].id().0);
-            sb.insts.extend(blocks[j].insts().iter().cloned());
-        }
-        out.push(sb);
-        i = j + 1;
-    }
-    out
-}
-
-fn extends(cur: &BasicBlock, next: &BasicBlock, entry_exec: u64, ratio: f64) -> bool {
-    let continues = match cur.insts().last().map(Inst::opcode) {
-        Some(Opcode::Blr) | Some(Opcode::Bctr) => false,
-        Some(op) if op.is_terminator() => true, // conditional/unconditional side exit
-        _ => true,                              // fall-through
-    };
-    let lo = (entry_exec as f64 * ratio) as u64;
-    let hi = (entry_exec as f64 / ratio) as u64;
-    continues && next.exec_count() >= lo && next.exec_count() <= hi
-}
+use wts_ir::Program;
+pub use wts_ir::{form_superblocks, ScopeKind, Superblock};
 
 /// Cycle totals comparing three treatments of a program's superblock
 /// traces, weighted by trace execution counts: no scheduling, local
@@ -96,28 +41,41 @@ impl SuperblockGain {
         }
         (self.local as f64 - self.superblock as f64) / self.local as f64
     }
+
+    /// Accumulates another program's totals (the per-machine rollup of
+    /// the scope table).
+    pub fn accumulate(&mut self, other: &SuperblockGain) {
+        self.unscheduled += other.unscheduled;
+        self.local += other.local;
+        self.superblock += other.superblock;
+        self.merged_traces += other.merged_traces;
+    }
 }
 
-/// Measures [`SuperblockGain`] over a whole program.
+/// Measures [`SuperblockGain`] over a whole program at the given
+/// formation ratio (percent, as in [`form_superblocks`]).
 ///
 /// Blocks inside a trace are costed as one straight-line unit (the trace
 /// executes end-to-end when the side exits are not taken, which is the
 /// hot case the profile certifies); all three treatments use the same
 /// accounting so the comparison is apples-to-apples.
-pub fn superblock_gain(program: &Program, machine: &MachineConfig, ratio: f64) -> SuperblockGain {
+pub fn superblock_gain(program: &Program, machine: &MachineConfig, ratio_percent: u32) -> SuperblockGain {
     let scheduler = ListScheduler::new(machine);
     let cost = CostModel::new(machine);
     let mut gain = SuperblockGain::default();
     for method in program.methods() {
-        for sb in form_superblocks(method, ratio) {
+        // One id → layout-index map per method; the old per-constituent
+        // linear `blocks().iter().find(...)` made this loop O(B²) per
+        // method.
+        let index: HashMap<u32, usize> = method.blocks().iter().enumerate().map(|(i, b)| (b.id().0, i)).collect();
+        for sb in form_superblocks(method, ratio_percent) {
             let unsched = cost.sequence_cycles(&sb.insts);
             // Local: schedule each constituent block separately, then
             // cost the concatenation of the scheduled blocks.
             let mut local_insts = Vec::with_capacity(sb.insts.len());
             let mut offset = 0;
             for &bid in &sb.block_ids {
-                let block =
-                    method.blocks().iter().find(|b| b.id().0 == bid).expect("superblock ids come from this method");
+                let block = &method.blocks()[index[&bid]];
                 let out = scheduler.schedule_block(block);
                 local_insts.extend(out.order.iter().map(|&k| block.insts()[k].clone()));
                 offset += block.len();
@@ -142,82 +100,13 @@ pub fn superblock_gain(program: &Program, machine: &MachineConfig, ratio: f64) -
 mod tests {
     use super::*;
     use crate::Suite;
-    use wts_ir::Reg;
-
-    fn block(id: u32, exec: u64, term: Option<Opcode>) -> BasicBlock {
-        let mut b = BasicBlock::new(id);
-        b.push(Inst::new(Opcode::Add).def(Reg::gpr(10)).use_(Reg::gpr(1)).use_(Reg::gpr(2)));
-        if let Some(t) = term {
-            let mut i = Inst::new(t);
-            if t == Opcode::Bc {
-                i = i.use_(Reg::cr(0));
-            }
-            if t == Opcode::Blr {
-                i = i.use_(Reg::lr());
-            }
-            b.push(i);
-        }
-        b.set_exec_count(exec);
-        b
-    }
-
-    fn method(blocks: Vec<BasicBlock>) -> Method {
-        let mut m = Method::new(0, "m");
-        for b in blocks {
-            m.push_block(b);
-        }
-        m
-    }
-
-    #[test]
-    fn merges_equal_weight_fallthrough_chain() {
-        let m = method(vec![
-            block(0, 100, Some(Opcode::Bc)),
-            block(1, 95, Some(Opcode::Bc)),
-            block(2, 90, Some(Opcode::Blr)),
-        ]);
-        let sbs = form_superblocks(&m, 0.7);
-        assert_eq!(sbs.len(), 1);
-        assert_eq!(sbs[0].block_ids, vec![0, 1, 2]);
-        assert_eq!(sbs[0].exec_count, 100);
-        assert_eq!(sbs[0].width(), 3);
-    }
-
-    #[test]
-    fn cold_successor_breaks_the_trace() {
-        let m = method(vec![
-            block(0, 100, Some(Opcode::Bc)),
-            block(1, 10, Some(Opcode::Bc)), // taken branch dominates: cold fall-through
-            block(2, 10, Some(Opcode::Blr)),
-        ]);
-        let sbs = form_superblocks(&m, 0.7);
-        assert_eq!(sbs.len(), 2);
-        assert_eq!(sbs[0].block_ids, vec![0]);
-        assert_eq!(sbs[1].block_ids, vec![1, 2]);
-    }
-
-    #[test]
-    fn returns_break_the_trace() {
-        let m = method(vec![block(0, 100, Some(Opcode::Blr)), block(1, 100, Some(Opcode::Blr))]);
-        let sbs = form_superblocks(&m, 0.7);
-        assert_eq!(sbs.len(), 2);
-    }
-
-    #[test]
-    fn much_hotter_successor_breaks_the_trace() {
-        // A loop head entered from below: successor is far hotter than
-        // the entry; merging would mis-weight it.
-        let m = method(vec![block(0, 10, Some(Opcode::Bc)), block(1, 500, Some(Opcode::Blr))]);
-        let sbs = form_superblocks(&m, 0.7);
-        assert_eq!(sbs.len(), 2);
-    }
 
     #[test]
     fn gain_is_nonnegative_and_small_on_real_corpus() {
         let machine = MachineConfig::ppc7410();
         let suite = Suite::fp(0.03);
         for bench in suite.benchmarks() {
-            let g = superblock_gain(bench.program(), &machine, 0.7);
+            let g = superblock_gain(bench.program(), &machine, 70);
             assert!(g.superblock <= g.local, "superblock scheduling must not lose to local");
             assert!(g.local <= g.unscheduled, "local scheduling must not lose to nothing");
             let extra = g.extra_improvement();
@@ -227,8 +116,24 @@ mod tests {
     }
 
     #[test]
+    fn gain_accumulates_across_programs() {
+        let machine = MachineConfig::ppc7410();
+        let suite = Suite::fp(0.02);
+        let mut total = SuperblockGain::default();
+        let mut merged = 0;
+        for bench in suite.benchmarks() {
+            let g = superblock_gain(bench.program(), &machine, 70);
+            merged += g.merged_traces;
+            total.accumulate(&g);
+        }
+        assert_eq!(total.merged_traces, merged);
+        assert!(total.superblock <= total.local && total.local <= total.unscheduled);
+    }
+
+    #[test]
     #[should_panic(expected = "ratio must be in")]
     fn bad_ratio_rejected() {
-        form_superblocks(&method(vec![block(0, 1, None)]), 0.0);
+        let suite = Suite::fp(0.01);
+        superblock_gain(suite.benchmarks()[0].program(), &MachineConfig::ppc7410(), 0);
     }
 }

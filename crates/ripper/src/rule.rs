@@ -212,6 +212,16 @@ impl RuleSet {
         attrs.dedup();
         attrs
     }
+
+    /// The *names* of the referenced attributes, in attribute order —
+    /// [`referenced_attrs`](RuleSet::referenced_attrs) resolved against
+    /// this set's vocabulary. Reports and scope tables print this to
+    /// show which features a deployed filter actually consults (e.g.
+    /// whether a superblock-scope filter reads the trace-shape
+    /// features). Indices outside the vocabulary are skipped.
+    pub fn referenced_attr_names(&self) -> Vec<&str> {
+        self.referenced_attrs().into_iter().filter_map(|a| self.attr_names.get(a).map(String::as_str)).collect()
+    }
 }
 
 impl fmt::Display for RuleSet {
@@ -324,6 +334,22 @@ mod tests {
     #[test]
     fn condition_count_sums() {
         assert_eq!(ruleset().condition_count(), 3);
+    }
+
+    #[test]
+    fn referenced_attr_names_resolve_against_the_vocabulary() {
+        let rs = ruleset();
+        assert_eq!(rs.referenced_attr_names(), vec!["bbLen", "calls"]);
+        // Out-of-vocabulary indices are skipped, not fabricated.
+        let wide = RuleSet::new(
+            vec!["bbLen".into()],
+            "list",
+            "orig",
+            vec![Rule::from_conditions(vec![cond(0, Op::Ge, 1.0), cond(9, Op::Ge, 1.0)])],
+            vec![],
+            RuleStats::default(),
+        );
+        assert_eq!(wide.referenced_attr_names(), vec!["bbLen"]);
     }
 
     #[test]

@@ -69,17 +69,18 @@ impl<'m> ListScheduler<'m> {
 
         let graph = build(insts);
         let cp = critical_paths(&graph, insts, self.machine);
-        let mut rng = match self.policy {
-            SchedulePolicy::Random(seed) => Some(XorShift64::new(seed)),
-            _ => None,
-        };
+        // The scheduler owns its rng unconditionally: every entry point
+        // (blocks, explicit slices, superblocks) threads the same state,
+        // so no path can reach the random policy without one. The
+        // deterministic policies simply never draw from it.
+        let mut rng = XorShift64::new(self.rng_seed());
 
         let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.preds(i).len()).collect();
         let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut state = IssueState::new(self.machine);
 
-        while let Some(pos) = self.select(&ready, &cp, &state, insts, rng.as_mut()) {
+        while let Some(pos) = self.select(&ready, &cp, &state, insts, &mut rng) {
             let chosen = ready.swap_remove(pos);
             state.issue(&insts[chosen]);
             order.push(chosen);
@@ -111,6 +112,18 @@ impl<'m> ListScheduler<'m> {
         self.schedule_block(block).apply(block)
     }
 
+    /// The seed of the rng this scheduler owns: the random policy's
+    /// seed, or a fixed constant the deterministic policies never draw
+    /// from. (The old design threaded an `Option<XorShift64>` and
+    /// `expect`ed it inside `select`, which panicked on any call path
+    /// that reached the random policy without wiring an rng through.)
+    fn rng_seed(&self) -> u64 {
+        match self.policy {
+            SchedulePolicy::Random(seed) => seed,
+            _ => 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
     /// Picks the index *within `ready`* of the next instruction.
     fn select(
         &self,
@@ -118,13 +131,13 @@ impl<'m> ListScheduler<'m> {
         cp: &[u64],
         state: &IssueState<'_>,
         insts: &[Inst],
-        rng: Option<&mut XorShift64>,
+        rng: &mut XorShift64,
     ) -> Option<usize> {
         if ready.is_empty() {
             return None;
         }
         let pick = match self.policy {
-            SchedulePolicy::Random(_) => rng.expect("rng present for random policy").pick(ready.len()),
+            SchedulePolicy::Random(_) => rng.pick(ready.len()),
             SchedulePolicy::CriticalPath | SchedulePolicy::EarliestStart | SchedulePolicy::CriticalPathOnly => {
                 let mut best = 0;
                 let mut best_key = self.key(ready[0], cp, state, insts);
@@ -285,6 +298,38 @@ mod tests {
             let pos = |i: usize| out.order.iter().position(|&x| x == i).unwrap();
             assert!(pos(1) < pos(0), "{policy} must start the critical chain first");
         }
+    }
+
+    /// Regression (PR 5): `select` used to `expect` an externally
+    /// threaded rng for the random policy and panicked on any entry
+    /// point that did not wire one through. The scheduler now owns its
+    /// rng seed, so *every* public path — blocks, raw slices,
+    /// superblocks, reschedule — serves the random policy without
+    /// panicking, deterministically per seed.
+    #[test]
+    fn random_policy_never_panics_on_any_entry_point() {
+        let m = machine();
+        let s = ListScheduler::with_policy(&m, SchedulePolicy::Random(3));
+        let insts = vec![load(1, 0), add(2, 1, 1), Inst::new(Opcode::Bc).use_(Reg::cr(0)), add(3, 8, 8), add(4, 9, 9)];
+        let mut b = BasicBlock::new(0);
+        for i in &insts {
+            b.push(i.clone());
+        }
+        let from_block = s.schedule_block(&b);
+        let from_slice = s.schedule_insts(&insts);
+        let from_superblock = s.schedule_superblock(&insts);
+        let rescheduled = s.reschedule(&b);
+        for out in [&from_block, &from_slice] {
+            assert!(verify_schedule(&insts, &out.order).is_ok());
+        }
+        // The superblock order follows the *speculative* graph (it may
+        // hoist across the side exit), so check it against that graph.
+        assert!(wts_deps::DepGraph::build_speculative(&insts).respects(&from_superblock.order));
+        assert_eq!(from_block.order, from_slice.order, "same path, same draws");
+        assert_eq!(rescheduled.len(), b.len());
+        // Still deterministic per seed across entry points.
+        let again = ListScheduler::with_policy(&m, SchedulePolicy::Random(3)).schedule_superblock(&insts);
+        assert_eq!(from_superblock.order, again.order);
     }
 
     #[test]

@@ -41,6 +41,17 @@ impl ScheduleOutcome {
     pub fn apply(&self, block: &BasicBlock) -> BasicBlock {
         block.reordered(&self.order)
     }
+
+    /// Applies the schedule to a raw instruction slice (the superblock
+    /// pipeline's unit — a trace has no single block to reorder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was produced for a slice of different length.
+    pub fn permute(&self, insts: &[wts_ir::Inst]) -> Vec<wts_ir::Inst> {
+        assert_eq!(self.order.len(), insts.len(), "schedule length must match the instruction slice");
+        self.order.iter().map(|&i| insts[i].clone()).collect()
+    }
 }
 
 #[cfg(test)]

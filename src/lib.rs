@@ -14,7 +14,8 @@
 //!   pipeline simulator;
 //! * [`deps`] — dependence DAGs and critical paths;
 //! * [`sched`] — the CPS list scheduler;
-//! * [`features`] — the 13 Table 1 block features;
+//! * [`features`] — the 13 Table 1 block features plus the trace-shape
+//!   features of the superblock scope;
 //! * [`ripper`] — RIPPER rule induction and baseline learners;
 //! * [`filters`] — the paper's contribution: tracing, threshold labeling,
 //!   filter training and evaluation, unified behind the
@@ -58,11 +59,11 @@ pub use wts_sched as sched;
 pub mod prelude {
     pub use wts_core::{
         CompiledFilter, Experiment, ExperimentMatrix, ExperimentRun, FeatureBatch, Filter, LabelConfig, LearnedFilter,
-        Learner, LearnerKind, MachinePortfolio, MatrixRun, PortfolioEntry, SizeThresholdFilter, TimingMode,
+        Learner, LearnerKind, MachinePortfolio, MatrixRun, PortfolioEntry, ScopeKind, SizeThresholdFilter, TimingMode,
         TraceOptions, TraceRecord,
     };
     pub use wts_deps::DepGraph;
-    pub use wts_features::{FeatureKind, FeatureMask, FeatureVector};
+    pub use wts_features::{FeatureKind, FeatureMask, FeatureVector, TraceShape};
     pub use wts_ir::{BasicBlock, Category, Hazards, Inst, MemRef, MemSpace, Method, Opcode, Program, Reg};
     pub use wts_jit::{Benchmark, CompileSession, Suite};
     pub use wts_machine::{

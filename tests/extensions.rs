@@ -35,7 +35,7 @@ fn superblock_pipeline_end_to_end() {
 
     // Formation covers every block exactly once per method.
     for method in program.methods() {
-        let sbs = form_superblocks(method, 0.7);
+        let sbs = form_superblocks(method, 70);
         let covered: usize = sbs.iter().map(|sb| sb.width()).sum();
         assert_eq!(covered, method.blocks().len());
         let mut ids: Vec<u32> = sbs.iter().flat_map(|sb| sb.block_ids.iter().copied()).collect();
@@ -45,7 +45,7 @@ fn superblock_pipeline_end_to_end() {
         assert_eq!(ids, expect, "superblocks partition the method");
     }
 
-    let g = superblock_gain(program, &machine, 0.7);
+    let g = superblock_gain(program, &machine, 70);
     assert!(g.superblock <= g.local && g.local <= g.unscheduled);
 }
 
@@ -80,7 +80,7 @@ fn speculative_scheduling_wins_in_aggregate() {
     let mut spec_total = 0u64;
     for bench in suite.benchmarks().iter().take(2) {
         for method in bench.program().methods().iter().take(30) {
-            for sb in form_superblocks(method, 0.7) {
+            for sb in form_superblocks(method, 70) {
                 let local = scheduler.schedule_insts(&sb.insts);
                 let spec = scheduler.schedule_superblock(&sb.insts);
                 assert!(spec.cycles_after <= spec.cycles_before, "guard must hold");

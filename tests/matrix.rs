@@ -112,6 +112,61 @@ fn portfolio_smoke_every_backend_on_every_machine() {
     }
 }
 
+/// The CI-enabled `repro superblock` smoke test: at realistic scale,
+/// the registry-wide scope scenario holds — every machine's
+/// superblock-scope pipeline merges real traces, trains scope-tagged
+/// filters whose compiled form matches the interpreted one, and the
+/// scope table the artifact prints has sane cells on every row.
+#[test]
+#[ignore = "superblock smoke test: realistic scale; CI runs it with -- --ignored"]
+fn superblock_smoke_scope_scenario_on_every_machine() {
+    let programs = generated_programs(0.05);
+    let block = deterministic_matrix().run(&programs);
+    let superblock = deterministic_matrix().with_scope(ScopeKind::Superblock(70)).run(&programs);
+    assert_eq!(superblock.scope(), ScopeKind::Superblock(70));
+
+    for machine in registry() {
+        let b = block.run_for(machine.name());
+        let s = superblock.run_for(machine.name());
+        assert!(
+            s.all_traces().len() < b.all_traces().len(),
+            "{}: superblock scope must decide over coarser units",
+            machine.name()
+        );
+        assert!(
+            s.all_traces().iter().any(|r| r.features.get(FeatureKind::TraceWidth) > 1.0),
+            "{}: the corpus must contain merged traces",
+            machine.name()
+        );
+        for (bench, filter) in s.loocv_filters(0).iter() {
+            assert_eq!(filter.learner(), "L/N@sb70", "{}: scope tag missing", machine.name());
+            let compiled = filter.compile();
+            for r in s.all_traces() {
+                assert_eq!(
+                    compiled.decide(r.features.as_slice()),
+                    filter.should_schedule(&r.features),
+                    "{}/{bench}: compiled ≡ interpreted must hold at superblock scope",
+                    machine.name()
+                );
+            }
+        }
+        // The honest accounting stays sane at trace scope: the filters
+        // beat always-scheduling on work and the error is a percentage.
+        let eval = s.learner_eval(0, &LearnerKind::default());
+        assert!((0.0..=100.0).contains(&eval.error_percent), "{}: {}", machine.name(), eval.error_percent);
+        assert!(eval.times.work_ratio() < 1.0, "{}: ratio {}", machine.name(), eval.times.work_ratio());
+        // And the paper's headline: speculative trace scheduling adds a
+        // small extra gain over local scheduling on this machine.
+        let mut gain = wts_jit::SuperblockGain::default();
+        for p in &programs {
+            gain.accumulate(&wts_jit::superblock_gain(p, &machine, 70));
+        }
+        assert!(gain.merged_traces > 0, "{}: no merged traces", machine.name());
+        let extra = gain.extra_improvement();
+        assert!((0.0..0.25).contains(&extra), "{}: extra gain {extra} implausible", machine.name());
+    }
+}
+
 /// The CI-enabled matrix smoke test: a realistic-scale sweep, checking
 /// the cross-machine signal the registry was built to expose — the slow
 /// in-order embedded core leaves more schedulable blocks than the wide
