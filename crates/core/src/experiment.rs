@@ -229,6 +229,43 @@ impl Experiment {
         self.run_precomputed(Rc::new(programs), traces)
     }
 
+    /// Rebuilds an [`ExperimentRun`] from a serialized trace corpus
+    /// instead of re-tracing — the "ship training sets to end users"
+    /// workflow of footnote 4. The bytes can be either trace encoding
+    /// ([`read_trace_auto`](crate::read_trace_auto) dispatches on the
+    /// magic); records regroup onto `programs` by benchmark name, in
+    /// program order, exactly undoing
+    /// [`ExperimentRun::serialize_traces`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Read`] when the bytes fail to parse, and
+    /// [`CorpusError::Mismatch`] when the records do not line up with
+    /// `programs` (an unknown benchmark, or records out of program
+    /// order).
+    pub fn run_from_serialized(&self, programs: Vec<Program>, bytes: &[u8]) -> Result<ExperimentRun, CorpusError> {
+        let records = crate::read_trace_auto(bytes).map_err(CorpusError::Read)?;
+        let mut traces: Vec<Vec<TraceRecord>> = programs.iter().map(|_| Vec::new()).collect();
+        let mut it = records.into_iter().peekable();
+        for (slot, program) in traces.iter_mut().zip(&programs) {
+            while it.peek().is_some_and(|r| r.benchmark == program.name()) {
+                slot.push(it.next().expect("peeked"));
+            }
+        }
+        if let Some(r) = it.next() {
+            let known = programs.iter().any(|p| p.name() == r.benchmark);
+            return Err(CorpusError::Mismatch {
+                benchmark: r.benchmark,
+                detail: if known {
+                    "records are not grouped in program order".to_string()
+                } else {
+                    "no such program in this run's suite".to_string()
+                },
+            });
+        }
+        Ok(self.run_precomputed(Rc::new(programs), traces))
+    }
+
     /// Packages already-collected per-program traces as an
     /// [`ExperimentRun`] under this configuration. The matrix runner
     /// shards trace collection itself (over machines×methods) and hands
@@ -248,6 +285,41 @@ impl Experiment {
             all_traces,
             loocv_cache: RefCell::new(BTreeMap::new()),
             factory_cache: RefCell::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// An error rebuilding a run from serialized traces
+/// ([`Experiment::run_from_serialized`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// The bytes failed to parse in either trace encoding.
+    Read(crate::TraceReadError),
+    /// The parsed records do not line up with the supplied programs.
+    Mismatch {
+        /// Benchmark name of the first record that failed to place.
+        benchmark: String,
+        /// Why it failed to place.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Read(e) => write!(f, "{e}"),
+            CorpusError::Mismatch { benchmark, detail } => {
+                write!(f, "trace corpus does not match the program suite at benchmark {benchmark:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Read(e) => Some(e),
+            CorpusError::Mismatch { .. } => None,
         }
     }
 }
@@ -285,6 +357,19 @@ impl ExperimentRun {
     /// All benchmarks' traces, concatenated in program order.
     pub fn all_traces(&self) -> &[TraceRecord] {
         &self.all_traces
+    }
+
+    /// Serializes the whole trace corpus in the binary
+    /// `schedfilter-trace-bin-v1` encoding
+    /// ([`write_trace_binary`](crate::write_trace_binary)), ready to be
+    /// reloaded with [`Experiment::run_from_serialized`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceWriteError`](crate::TraceWriteError) when a
+    /// record carries a non-finite feature value.
+    pub fn serialize_traces(&self) -> Result<Vec<u8>, crate::TraceWriteError> {
+        crate::write_trace_binary(&self.all_traces)
     }
 
     /// One benchmark's trace, by name.
@@ -582,6 +667,49 @@ mod tests {
     #[should_panic(expected = "no benchmark nope")]
     fn unknown_benchmark_panics() {
         run().trace_for("nope");
+    }
+
+    #[test]
+    fn serialized_corpus_round_trips_through_the_pipeline() {
+        let exp = Experiment::new(MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic);
+        let original = exp.run(suite());
+        let bytes = original.serialize_traces().expect("generated corpus is finite");
+        let reloaded = exp.run_from_serialized(suite(), &bytes).expect("own corpus reloads");
+        assert_eq!(reloaded.names(), original.names());
+        assert_eq!(reloaded.all_traces(), original.all_traces());
+        assert_eq!(reloaded.traces(), original.traces(), "per-benchmark grouping survives");
+        // Downstream stages agree: same filters without re-tracing.
+        assert_eq!(*reloaded.loocv_filters(10), *original.loocv_filters(10));
+        // The text encoding loads through the same entry point.
+        let text = crate::write_trace(original.all_traces()).unwrap();
+        let from_text = exp.run_from_serialized(suite(), text.as_bytes()).expect("text corpus reloads");
+        assert_eq!(from_text.all_traces(), original.all_traces());
+    }
+
+    #[test]
+    fn mismatched_corpus_is_rejected_by_name() {
+        let exp = Experiment::new(MachineConfig::ppc7410()).with_timing(TimingMode::Deterministic);
+        let bytes = exp.run(suite()).serialize_traces().unwrap();
+        // Drop a program from the suite: its records no longer place.
+        let mut short = suite();
+        short.remove(1);
+        let err = match exp.run_from_serialized(short, &bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("orphan records must be rejected"),
+        };
+        match err {
+            CorpusError::Mismatch { benchmark, detail } => {
+                assert_eq!(benchmark, "beta");
+                assert!(detail.contains("no such program"), "got: {detail}");
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        // Garbage bytes surface the reader's named error.
+        let err = match exp.run_from_serialized(suite(), b"not a trace") {
+            Err(e) => e,
+            Ok(_) => panic!("garbage must be rejected"),
+        };
+        assert!(matches!(err, CorpusError::Read(crate::TraceReadError::UnknownFormat)), "got {err:?}");
     }
 
     #[test]

@@ -78,9 +78,12 @@ pub use eval::{
     app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio, ClassCounts,
     EvalTimes,
 };
-pub use experiment::{Experiment, ExperimentRun, LoocvFilters};
+pub use experiment::{CorpusError, Experiment, ExperimentRun, LoocvFilters};
 pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
-pub use io::{read_trace, write_trace, ParseTraceError, TraceWriteError};
+pub use io::{
+    read_trace, read_trace_auto, read_trace_binary, write_trace, write_trace_binary, BinaryTraceError, ParseTraceError,
+    TraceReadError, TraceWriteError,
+};
 pub use label::{build_dataset, LabelConfig};
 pub use learner::{Learner, LearnerKind};
 pub use matrix::{ExperimentMatrix, MachinePortfolio, MatrixRun, PortfolioEntry};

@@ -15,7 +15,7 @@ use std::time::Instant;
 use wts_features::{FeatureMask, FeatureVector, TraceShape};
 use wts_ir::{form_superblocks, BlockId, Inst, Method, MethodId, Program, ScopeKind};
 use wts_machine::{CostProvider, EstimatorKind, MachineConfig};
-use wts_sched::{ListScheduler, SchedulePolicy};
+use wts_sched::{ListScheduler, SchedScratch, ScheduleOutcome, SchedulePolicy};
 
 /// One line of the paper's trace file, plus the extra ground-truth and
 /// timing channels this reproduction needs.
@@ -179,18 +179,27 @@ pub fn collect_method_trace(
     options: &TraceOptions,
 ) -> Vec<TraceRecord> {
     let scheduler = ListScheduler::with_policy(machine, options.policy);
+    let mut ctx = SchedCtx::new(machine);
     let measured = options.measured.provider(machine);
     let mut out = Vec::new();
     match options.estimated {
-        EstimatorKind::Cheap => {
-            trace_method(benchmark, method, &scheduler, EstSource::Scheduler, measured.as_ref(), options, &mut out)
-        }
+        EstimatorKind::Cheap => trace_method(
+            benchmark,
+            method,
+            &scheduler,
+            &mut ctx,
+            EstSource::Scheduler,
+            measured.as_ref(),
+            options,
+            &mut out,
+        ),
         kind => {
             let estimated = kind.provider(machine);
             trace_method(
                 benchmark,
                 method,
                 &scheduler,
+                &mut ctx,
                 EstSource::Provider(estimated.as_ref()),
                 measured.as_ref(),
                 options,
@@ -199,6 +208,22 @@ pub fn collect_method_trace(
         }
     }
     out
+}
+
+/// Per-worker reusable scheduling state: the scheduler's scratch buffers,
+/// the outcome it fills, and the permuted-instruction buffer. One of
+/// these per shard keeps the collection hot loop allocation-free in
+/// steady state.
+struct SchedCtx<'m> {
+    scratch: SchedScratch<'m>,
+    outcome: ScheduleOutcome,
+    scheduled: Vec<Inst>,
+}
+
+impl<'m> SchedCtx<'m> {
+    fn new(machine: &'m MachineConfig) -> SchedCtx<'m> {
+        SchedCtx { scratch: SchedScratch::new(machine), outcome: ScheduleOutcome::default(), scheduled: Vec::new() }
+    }
 }
 
 /// Which source fills the `est_*` channels.
@@ -240,9 +265,10 @@ fn collect_with(
     let name = program.name();
     let shards = crate::parallel::shard_map(program.methods(), options.threads, |slice| {
         let scheduler = ListScheduler::with_policy(machine, options.policy);
+        let mut ctx = SchedCtx::new(machine);
         let mut out = Vec::new();
         for method in slice {
-            trace_method(name, method, &scheduler, estimated, measured, options, &mut out);
+            trace_method(name, method, &scheduler, &mut ctx, estimated, measured, options, &mut out);
         }
         out
     });
@@ -255,10 +281,12 @@ fn collect_with(
 
 /// Traces one method's scope units into `out` (the per-shard worker):
 /// its blocks at block scope, its formed superblock traces otherwise.
-fn trace_method(
+#[allow(clippy::too_many_arguments)]
+fn trace_method<'m>(
     benchmark: &str,
     method: &Method,
-    scheduler: &ListScheduler<'_>,
+    scheduler: &ListScheduler<'m>,
+    ctx: &mut SchedCtx<'m>,
     estimated: EstSource<'_>,
     measured: &dyn CostProvider,
     options: &TraceOptions,
@@ -273,7 +301,7 @@ fn trace_method(
                     block: block.id(),
                     exec_count: block.exec_count(),
                 };
-                trace_unit(benchmark, method.id(), &unit, scheduler, estimated, measured, options.timing, out);
+                trace_unit(benchmark, method.id(), &unit, scheduler, ctx, estimated, measured, options.timing, out);
             }
         }
         ScopeKind::Superblock(ratio) => {
@@ -284,7 +312,7 @@ fn trace_method(
                     block: BlockId(sb.entry_id()),
                     exec_count: sb.exec_count,
                 };
-                trace_unit(benchmark, method.id(), &unit, scheduler, estimated, measured, options.timing, out);
+                trace_unit(benchmark, method.id(), &unit, scheduler, ctx, estimated, measured, options.timing, out);
             }
         }
     }
@@ -313,11 +341,12 @@ impl ScopeUnit<'_> {
 /// same proxies — which is what pins degenerate superblock formation
 /// bit-identical to block-scope collection.
 #[allow(clippy::too_many_arguments)]
-fn trace_unit(
+fn trace_unit<'m>(
     benchmark: &str,
     method: MethodId,
     unit: &ScopeUnit<'_>,
-    scheduler: &ListScheduler<'_>,
+    scheduler: &ListScheduler<'m>,
+    ctx: &mut SchedCtx<'m>,
     estimated: EstSource<'_>,
     measured: &dyn CostProvider,
     timing: TimingMode,
@@ -328,22 +357,23 @@ fn trace_unit(
     let feature_ns = t0.elapsed().as_nanos() as u64;
 
     let t1 = Instant::now();
-    let outcome = if unit.speculative() {
-        scheduler.schedule_superblock(unit.insts)
+    if unit.speculative() {
+        scheduler.schedule_superblock_into(unit.insts, &mut ctx.scratch, &mut ctx.outcome);
     } else {
-        scheduler.schedule_insts(unit.insts)
-    };
+        scheduler.schedule_insts_into(unit.insts, &mut ctx.scratch, &mut ctx.outcome);
+    }
     let sched_ns = t1.elapsed().as_nanos() as u64;
+    let outcome = &ctx.outcome;
 
-    let scheduled = outcome.permute(unit.insts);
+    outcome.permute_into(unit.insts, &mut ctx.scheduled);
     let (est_unsched, est_sched) = match estimated {
         EstSource::Scheduler => (outcome.cycles_before, outcome.cycles_after),
-        EstSource::Provider(p) => (p.sequence_cycles(unit.insts), p.sequence_cycles(&scheduled)),
+        EstSource::Provider(p) => (p.sequence_cycles(unit.insts), p.sequence_cycles(&ctx.scheduled)),
     };
     let hw_unsched = measured.sequence_cycles(unit.insts);
-    let hw_sched = measured.sequence_cycles(&scheduled);
+    let hw_sched = measured.sequence_cycles(&ctx.scheduled);
 
-    let sched_work = insts_sched_work_proxy(unit.insts, unit.speculative());
+    let sched_work = sched_work_proxy(unit.insts.len(), ctx.scratch.last_edge_count());
     let feature_work = unit.insts.len() as u64;
     let (sched_ns, feature_ns) = match timing {
         TimingMode::WallClock => (sched_ns, feature_ns),
@@ -370,13 +400,13 @@ fn trace_unit(
 /// Deterministic scheduling-work proxy for one scope unit: per-unit
 /// setup (DAG allocation) + linear nodes/edges work + the selection
 /// loop's quadratic earliest-start queries. Matches the measured ~26:1
-/// sched:feature cost on the generated corpus. The speculative graph
-/// (the multi-block superblock path) has its own edge count, so the
-/// proxy charges the graph the scheduler actually built.
-fn insts_sched_work_proxy(insts: &[Inst], speculative: bool) -> u64 {
-    let graph =
-        if speculative { wts_deps::DepGraph::build_speculative(insts) } else { wts_deps::DepGraph::build(insts) };
-    (16 + 2 * (insts.len() + graph.edge_count()) + insts.len() * insts.len()) as u64
+/// sched:feature cost on the generated corpus. `edges` is the edge count
+/// of the graph the scheduler actually built for this unit
+/// ([`SchedScratch::last_edge_count`] — the speculative graph for
+/// multi-block traces), so the proxy charges real work without
+/// rebuilding the graph a second time.
+fn sched_work_proxy(n: usize, edges: usize) -> u64 {
+    (16 + 2 * (n + edges) + n * n) as u64
 }
 
 /// Deterministic totals of one production-style *filtered* scheduling
@@ -463,18 +493,19 @@ pub fn filtered_schedule_pass(
 ) -> FilteredPass {
     let shards = crate::parallel::shard_map(program.methods(), options.threads, |slice| {
         let scheduler = ListScheduler::with_policy(machine, options.policy);
+        let mut ctx = SchedCtx::new(machine);
         let mut totals = FilteredPass::default();
         for method in slice {
             match options.scope {
                 ScopeKind::Block => {
                     for block in method.blocks() {
-                        filtered_unit(block.insts(), TraceShape::block(), &scheduler, filter, &mut totals);
+                        filtered_unit(block.insts(), TraceShape::block(), &scheduler, &mut ctx, filter, &mut totals);
                     }
                 }
                 ScopeKind::Superblock(ratio) => {
                     for sb in form_superblocks(method, ratio) {
                         let shape = TraceShape::of_trace(&sb.insts, sb.width() as u32);
-                        filtered_unit(&sb.insts, shape, &scheduler, filter, &mut totals);
+                        filtered_unit(&sb.insts, shape, &scheduler, &mut ctx, filter, &mut totals);
                     }
                 }
             }
@@ -490,10 +521,11 @@ pub fn filtered_schedule_pass(
 
 /// One scope unit of the deployed pass: timed extraction + decision +
 /// (maybe) scheduling, then untimed work bookkeeping.
-fn filtered_unit(
+fn filtered_unit<'m>(
     insts: &[Inst],
     shape: TraceShape,
-    scheduler: &ListScheduler<'_>,
+    scheduler: &ListScheduler<'m>,
+    ctx: &mut SchedCtx<'m>,
     filter: &CompiledFilter,
     totals: &mut FilteredPass,
 ) {
@@ -504,22 +536,23 @@ fn filtered_unit(
     let features = FeatureVector::from_insts_shaped(insts, shape, filter.demand());
     let (decision, conditions) = filter.decide_counted(features.as_slice());
     if decision {
-        std::hint::black_box(if speculative {
-            scheduler.schedule_superblock(insts)
+        if speculative {
+            scheduler.schedule_superblock_into(insts, &mut ctx.scratch, &mut ctx.outcome);
         } else {
-            scheduler.schedule_insts(insts)
-        });
+            scheduler.schedule_insts_into(insts, &mut ctx.scratch, &mut ctx.outcome);
+        }
+        std::hint::black_box(&ctx.outcome);
     }
     totals.pass_ns += t0.elapsed().as_nanos() as u64;
 
-    // Bookkeeping (including the work proxy's own DepGraph rebuild)
-    // stays outside the timed window.
+    // Bookkeeping stays outside the timed window; the work proxy reads
+    // the edge count off the graph the scheduler just built.
     totals.total_blocks += 1;
     totals.conditions_evaluated += conditions;
     totals.extraction_work += filter.extraction_work(insts.len() as u64);
     if decision {
         totals.scheduled_blocks += 1;
-        totals.sched_work += insts_sched_work_proxy(insts, speculative);
+        totals.sched_work += sched_work_proxy(insts.len(), ctx.scratch.last_edge_count());
     }
 }
 

@@ -5,7 +5,9 @@
 //! valid-looking but wrong record set.
 
 use proptest::prelude::*;
-use wts_core::{read_trace, write_trace, TraceRecord};
+use wts_core::{
+    read_trace, read_trace_auto, read_trace_binary, write_trace, write_trace_binary, BinaryTraceError, TraceRecord,
+};
 use wts_features::{FeatureKind, FeatureVector};
 use wts_ir::{BlockId, MethodId};
 
@@ -128,5 +130,53 @@ proptest! {
         prop_assert_eq!(err.line(), target + 2);
         let name = FeatureKind::ALL[feature].rule_name();
         prop_assert!(err.to_string().contains(&format!("non-finite feature {name}")), "got: {}", err);
+    }
+
+    /// Both encodings carry the same records: binary round-trips exactly,
+    /// agrees with the text round-trip, and auto-detection dispatches
+    /// each encoding to the right reader.
+    #[test]
+    fn binary_and_text_encodings_agree(recs in prop::collection::vec(arb_record(), 0..20)) {
+        let bin = write_trace_binary(&recs).unwrap();
+        let text = write_trace(&recs).unwrap();
+        prop_assert_eq!(read_trace_binary(&bin).unwrap(), recs.clone());
+        prop_assert_eq!(read_trace_auto(&bin).unwrap(), read_trace(&text).unwrap());
+        prop_assert_eq!(read_trace_auto(text.as_bytes()).unwrap(), recs);
+    }
+
+    /// Chopping a valid binary file at any interior length must fail with
+    /// a *named* error — never a panic, never a silently short record set.
+    #[test]
+    fn truncated_binary_is_rejected_with_named_errors(recs in prop::collection::vec(arb_record(), 0..12),
+                                                      cut in 0usize..1_000_000) {
+        let full = write_trace_binary(&recs).unwrap();
+        let cut = cut % full.len();
+        match read_trace_binary(&full[..cut]) {
+            Err(BinaryTraceError::BadMagic)
+            | Err(BinaryTraceError::Truncated { .. })
+            | Err(BinaryTraceError::HostileHeader { .. }) => {}
+            other => prop_assert!(false, "truncation at {} must name the failure, got {:?}", cut, other),
+        }
+    }
+
+    /// Corrupting any byte of the fixed header — magic, feature count,
+    /// name length prefixes or name bytes — must be rejected by name.
+    /// (Benchmark names are free-form, so the mutation range stops at the
+    /// benchmark table.)
+    #[test]
+    fn hostile_binary_header_is_rejected_with_named_errors(recs in prop::collection::vec(arb_record(), 1..12),
+                                                           pos in 0usize..1_000_000,
+                                                           flip in 1u8..=255) {
+        let mut bytes = write_trace_binary(&recs).unwrap();
+        let feature_table_end: usize =
+            24 + 4 + FeatureKind::ALL.iter().map(|k| 2 + k.rule_name().len()).sum::<usize>();
+        let pos = pos % feature_table_end;
+        bytes[pos] ^= flip;
+        match read_trace_binary(&bytes) {
+            Err(BinaryTraceError::BadMagic)
+            | Err(BinaryTraceError::Truncated { .. })
+            | Err(BinaryTraceError::HostileHeader { .. }) => {}
+            other => prop_assert!(false, "flipping byte {} must name the failure, got {:?}", pos, other),
+        }
     }
 }

@@ -36,15 +36,29 @@ use wts_machine::MachineConfig;
 /// assert_eq!(cp[0], (m.latency(Opcode::Lwz) + m.latency(Opcode::Add)) as u64);
 /// ```
 pub fn critical_paths(graph: &DepGraph, insts: &[Inst], machine: &MachineConfig) -> Vec<u64> {
+    let mut cp = Vec::new();
+    critical_paths_into(graph, insts, machine, &mut cp);
+    cp
+}
+
+/// Like [`critical_paths`], but fills a caller-provided buffer so batch
+/// callers (the scheduler's scratch path) allocate nothing in steady
+/// state. `cp`'s previous contents are discarded; its allocation is
+/// reused.
+///
+/// # Panics
+///
+/// Panics if `graph` was not built from `insts` (length mismatch).
+pub fn critical_paths_into(graph: &DepGraph, insts: &[Inst], machine: &MachineConfig, cp: &mut Vec<u64>) {
     assert_eq!(graph.len(), insts.len(), "graph/instruction length mismatch");
     let n = insts.len();
-    let mut cp = vec![0u64; n];
+    cp.clear();
+    cp.resize(n, 0);
     for i in (0..n).rev() {
         let lat = machine.latency(insts[i].opcode()) as u64;
         let best_succ = graph.succs(i).iter().map(|&(s, _)| cp[s as usize]).max().unwrap_or(0);
         cp[i] = lat + best_succ;
     }
-    cp
 }
 
 #[cfg(test)]

@@ -1,6 +1,12 @@
 //! The dependence graph itself.
+//!
+//! Storage is compressed sparse row (CSR): one flat edge array plus an
+//! offset table per direction, so a node's adjacency is a contiguous
+//! slice and traversal touches no per-node heap allocations. Graphs are
+//! produced by a reusable [`GraphBuilder`] whose scratch state — dense
+//! per-register last-def/reader tables and a sort-and-dedup edge pass —
+//! is allocated once and reused across the blocks of a method.
 
-use std::collections::HashMap;
 use wts_ir::{Inst, Reg};
 
 /// Why one instruction must stay ordered after another.
@@ -27,17 +33,36 @@ pub enum DepKind {
 /// points from a lower to a higher index, so the graph is acyclic by
 /// construction. Parallel edges of different kinds between the same pair
 /// are collapsed, keeping the first (strongest) kind recorded.
-#[derive(Debug, Clone)]
+///
+/// Adjacency is stored CSR-style: `succs(i)` / `preds(i)` are slices of
+/// flat arrays indexed through offset tables. Successor lists are sorted
+/// by target; predecessor lists preserve discovery order (the order the
+/// dependence scan recorded them), which downstream consumers — notably
+/// the list scheduler's ready-queue insertion — rely on for bit-identical
+/// schedules.
+#[derive(Debug, Clone, Default)]
 pub struct DepGraph {
     n: usize,
-    preds: Vec<Vec<(u32, DepKind)>>,
-    succs: Vec<Vec<(u32, DepKind)>>,
+    pred_off: Vec<u32>,
+    preds: Vec<(u32, DepKind)>,
+    succ_off: Vec<u32>,
+    succs: Vec<(u32, DepKind)>,
 }
 
 impl DepGraph {
+    /// An empty graph, ready to be filled by
+    /// [`GraphBuilder::build_into`]. Equivalent to building from zero
+    /// instructions.
+    pub fn empty() -> DepGraph {
+        DepGraph::default()
+    }
+
     /// Builds the DAG for `insts` (one block's instructions, program order).
+    ///
+    /// Convenience for one-shot use; batch callers should reuse a
+    /// [`GraphBuilder`] across blocks instead.
     pub fn build(insts: &[Inst]) -> DepGraph {
-        Builder::new(insts.len(), false).run(insts)
+        GraphBuilder::new().build(insts, false)
     }
 
     /// Builds a *speculative* DAG for superblock scheduling: branches
@@ -47,7 +72,7 @@ impl DepGraph {
     /// scheduling with compensation code (Fisher 1981), which the paper
     /// cites as the enabling technique and leaves as future work (§3.1).
     pub fn build_speculative(insts: &[Inst]) -> DepGraph {
-        Builder::new(insts.len(), true).run(insts)
+        GraphBuilder::new().build(insts, true)
     }
 
     /// Number of instructions (nodes).
@@ -62,27 +87,31 @@ impl DepGraph {
 
     /// Predecessors of `i` (instructions that must come before it).
     pub fn preds(&self, i: usize) -> &[(u32, DepKind)] {
-        &self.preds[i]
+        &self.preds[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
     /// Successors of `i` (instructions that must come after it).
     pub fn succs(&self, i: usize) -> &[(u32, DepKind)] {
-        &self.succs[i]
+        &self.succs[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// True when an edge `from -> to` exists (any kind).
     pub fn has_edge(&self, from: usize, to: usize) -> bool {
-        self.succs[from].iter().any(|&(t, _)| t as usize == to)
+        self.edge_kind(from, to).is_some()
     }
 
     /// Kind of the edge `from -> to`, if present.
     pub fn edge_kind(&self, from: usize, to: usize) -> Option<DepKind> {
-        self.succs[from].iter().find(|&&(t, _)| t as usize == to).map(|&(_, k)| k)
+        // Successor slices are sorted by target, so binary search works;
+        // adjacency lists are short enough that this is mostly about not
+        // scanning the occasional barrier node's long list.
+        let s = self.succs(from);
+        s.binary_search_by_key(&(to as u32), |&(t, _)| t).ok().map(|k| s[k].1)
     }
 
     /// Total number of edges.
     pub fn edge_count(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.succs.len()
     }
 
     /// True when `order` is a permutation of `0..len` that respects every
@@ -99,7 +128,7 @@ impl DepGraph {
             pos[i] = p;
         }
         for i in 0..self.n {
-            for &(p, _) in &self.preds[i] {
+            for &(p, _) in self.preds(i) {
                 if pos[p as usize] > pos[i] {
                     return false;
                 }
@@ -112,43 +141,122 @@ impl DepGraph {
     /// boolean membership mask) and that are not themselves scheduled.
     pub fn ready(&self, scheduled: &[bool]) -> Vec<usize> {
         assert_eq!(scheduled.len(), self.n, "mask length mismatch");
-        (0..self.n).filter(|&i| !scheduled[i] && self.preds[i].iter().all(|&(p, _)| scheduled[p as usize])).collect()
+        (0..self.n).filter(|&i| !scheduled[i] && self.preds(i).iter().all(|&(p, _)| scheduled[p as usize])).collect()
     }
 }
 
-struct Builder {
-    preds: Vec<Vec<(u32, DepKind)>>,
-    succs: Vec<Vec<(u32, DepKind)>>,
-    edge_set: HashMap<(u32, u32), ()>,
-    speculative: bool,
+/// Sentinel for "no entry" in the dense per-register tables.
+const NONE: u32 = u32::MAX;
+
+/// One recorded (possibly-duplicate) dependence edge; `seq` is the
+/// global record order, used to keep the first kind when deduplicating
+/// and to preserve predecessor discovery order.
+#[derive(Clone, Copy)]
+struct RawEdge {
+    from: u32,
+    to: u32,
+    seq: u32,
+    kind: DepKind,
 }
 
-impl Builder {
-    fn new(n: usize, speculative: bool) -> Builder {
-        Builder { preds: vec![Vec::new(); n], succs: vec![Vec::new(); n], edge_set: HashMap::new(), speculative }
-    }
+/// Reusable dependence-scan state.
+///
+/// All scratch — the raw edge list, the dense per-register last-def and
+/// reader tables (indexed by [`Reg::dense_key`], validated by an epoch
+/// counter so clearing a block is O(1)), the store/load/barrier work
+/// lists — is allocated once and reused, so building the graphs of a
+/// whole method performs no steady-state heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use wts_deps::{DepGraph, GraphBuilder};
+/// use wts_ir::{Inst, Opcode, Reg};
+///
+/// let block = [Inst::new(Opcode::Li).def(Reg::gpr(1)).imm(1)];
+/// let mut builder = GraphBuilder::new();
+/// let mut graph = DepGraph::empty();
+/// builder.build_into(&block, false, &mut graph);
+/// assert_eq!(graph.len(), 1);
+/// assert_eq!(builder.last_edge_count(), graph.edge_count());
+/// ```
+pub struct GraphBuilder {
+    edges: Vec<RawEdge>,
+    /// Current block's epoch; table entries from other epochs are stale.
+    epoch: u64,
+    /// Per-register index of the last defining instruction.
+    last_def: Vec<(u64, u32)>,
+    /// Per-register head/tail into `reader_pool` for uses since the last
+    /// def, in use order.
+    readers: Vec<(u64, u32, u32)>,
+    /// Linked-list pool backing the per-register reader lists:
+    /// `(reader index, next pool slot)`.
+    reader_pool: Vec<(u32, u32)>,
+    stores: Vec<u32>,
+    loads_since_store: Vec<u32>,
+    since_barrier: Vec<u32>,
+    last_edges: usize,
+}
 
-    fn edge(&mut self, from: u32, to: u32, kind: DepKind) {
-        debug_assert!(from < to, "dependence edges must follow program order");
-        if self.edge_set.insert((from, to), ()).is_none() {
-            self.succs[from as usize].push((to, kind));
-            self.preds[to as usize].push((from, kind));
+impl GraphBuilder {
+    /// A fresh builder. The dense register tables grow on demand up to
+    /// [`Reg::dense_limit`] entries and are then reused across blocks,
+    /// so construction is cheap and steady-state builds allocate nothing.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder {
+            edges: Vec::new(),
+            epoch: 0,
+            last_def: Vec::new(),
+            readers: Vec::new(),
+            reader_pool: Vec::new(),
+            stores: Vec::new(),
+            loads_since_store: Vec::new(),
+            since_barrier: Vec::new(),
+            last_edges: 0,
         }
     }
 
-    fn run(mut self, insts: &[Inst]) -> DepGraph {
+    /// Grows the dense register tables to cover `key`. Stale (previous
+    /// epoch) fill values are fine: the epoch check treats them as absent.
+    fn ensure_key(&mut self, key: usize) {
+        debug_assert!(key < Reg::dense_limit());
+        if key >= self.last_def.len() {
+            self.last_def.resize(key + 1, (0, NONE));
+            self.readers.resize(key + 1, (0, NONE, NONE));
+        }
+    }
+
+    /// Number of edges in the most recently built graph. Lets callers
+    /// that only need the edge count (e.g. work-proxy accounting) avoid
+    /// keeping the graph alive.
+    pub fn last_edge_count(&self) -> usize {
+        self.last_edges
+    }
+
+    /// Builds into a fresh graph. Prefer [`GraphBuilder::build_into`]
+    /// when a graph buffer can be reused.
+    pub fn build(&mut self, insts: &[Inst], speculative: bool) -> DepGraph {
+        let mut g = DepGraph::empty();
+        self.build_into(insts, speculative, &mut g);
+        g
+    }
+
+    /// Runs the dependence scan for one block's instructions, replacing
+    /// `out`'s contents. `out`'s allocations are reused.
+    pub fn build_into(&mut self, insts: &[Inst], speculative: bool, out: &mut DepGraph) {
         let n = insts.len();
-        let mut last_def: HashMap<Reg, u32> = HashMap::new();
-        let mut uses_since_def: HashMap<Reg, Vec<u32>> = HashMap::new();
-        let mut stores: Vec<u32> = Vec::new();
-        let mut loads_since_store: Vec<u32> = Vec::new();
+        self.epoch += 1;
+        self.edges.clear();
+        self.reader_pool.clear();
+        self.stores.clear();
+        self.loads_since_store.clear();
+        self.since_barrier.clear();
         // Control transfers and hazardous instructions are reorder
         // barriers: chain everything between consecutive barriers. In
         // speculative mode, plain branches only order against
         // side-effecting or hazardous instructions — pure register
         // computation may cross a superblock's internal side exits.
         let mut last_barrier: Option<u32> = None;
-        let mut since_barrier: Vec<u32> = Vec::new();
         let mut last_branch: Option<u32> = None;
 
         for (idx, inst) in insts.iter().enumerate() {
@@ -156,32 +264,44 @@ impl Builder {
             let op = inst.opcode();
 
             for u in inst.uses() {
-                if let Some(&d) = last_def.get(u) {
+                let key = u.dense_key();
+                self.ensure_key(key);
+                if let Some(d) = self.lookup_def(key) {
                     self.edge(d, i, DepKind::True);
                 }
-                uses_since_def.entry(*u).or_default().push(i);
+                self.push_reader(key, i);
             }
             for d in inst.defs() {
-                if let Some(&p) = last_def.get(d) {
+                let key = d.dense_key();
+                self.ensure_key(key);
+                if let Some(p) = self.lookup_def(key) {
                     self.edge(p, i, DepKind::Output);
                 }
-                if let Some(readers) = uses_since_def.get(d) {
-                    for &r in readers.clone().iter() {
-                        if r != i {
-                            self.edge(r, i, DepKind::Anti);
-                        }
+                // Walk the reader list in use order; no clone needed since
+                // the pool and the edge list are disjoint.
+                let (epoch, mut cursor, _) = self.readers[key];
+                if epoch != self.epoch {
+                    cursor = NONE;
+                }
+                while cursor != NONE {
+                    let (r, next) = self.reader_pool[cursor as usize];
+                    if r != i {
+                        self.edge(r, i, DepKind::Anti);
                     }
+                    cursor = next;
                 }
             }
             if let Some(m) = inst.mem_ref() {
-                for &s in &stores {
+                for k in 0..self.stores.len() {
+                    let s = self.stores[k];
                     let sm = insts[s as usize].mem_ref().expect("stores carry mem refs");
                     if m.may_alias(sm) {
                         self.edge(s, i, DepKind::Memory);
                     }
                 }
                 if op.is_store() {
-                    for &l in &loads_since_store {
+                    for k in 0..self.loads_since_store.len() {
+                        let l = self.loads_since_store[k];
                         let lm = insts[l as usize].mem_ref().expect("loads carry mem refs");
                         if m.may_alias(lm) {
                             self.edge(l, i, DepKind::Memory);
@@ -193,12 +313,12 @@ impl Builder {
             // Speculative mode downgrades plain branches (not calls or
             // returns, which clobber machine state) to side-effect-only
             // barriers.
-            let is_full_barrier = if self.speculative {
+            let is_full_barrier = if speculative {
                 op.is_call() || op.is_return() || inst.is_hazardous()
             } else {
                 op.is_control() || inst.is_hazardous()
             };
-            let is_branch_barrier = self.speculative && op.is_branch();
+            let is_branch_barrier = speculative && op.is_branch();
             let effectful = inst.opcode().has_side_effect() || inst.is_hazardous();
 
             if let Some(b) = last_barrier {
@@ -209,43 +329,119 @@ impl Builder {
                 if let Some(br) = last_branch {
                     self.edge(br, i, DepKind::Control);
                 }
-                for &p in &since_barrier {
+                for k in 0..self.since_barrier.len() {
+                    let p = self.since_barrier[k];
                     let pi = &insts[p as usize];
                     if pi.opcode().has_side_effect() || pi.is_hazardous() {
                         self.edge(p, i, DepKind::Control);
                     }
                 }
                 last_branch = Some(i);
-                since_barrier.push(i);
+                self.since_barrier.push(i);
             } else if is_full_barrier {
                 let kind = if op.is_control() { DepKind::Control } else { DepKind::Hazard };
-                for &p in &since_barrier {
+                for k in 0..self.since_barrier.len() {
+                    let p = self.since_barrier[k];
                     self.edge(p, i, kind);
                 }
                 last_barrier = Some(i);
                 last_branch = None;
-                since_barrier.clear();
+                self.since_barrier.clear();
             } else {
                 if effectful {
                     if let Some(br) = last_branch {
                         self.edge(br, i, DepKind::Control);
                     }
                 }
-                since_barrier.push(i);
+                self.since_barrier.push(i);
             }
 
             for d in inst.defs() {
-                last_def.insert(*d, i);
-                uses_since_def.insert(*d, Vec::new());
+                let key = d.dense_key();
+                self.last_def[key] = (self.epoch, i);
+                self.readers[key] = (self.epoch, NONE, NONE);
             }
             if op.is_store() {
-                stores.push(i);
-                loads_since_store.clear();
+                self.stores.push(i);
+                self.loads_since_store.clear();
             } else if op.is_load() {
-                loads_since_store.push(i);
+                self.loads_since_store.push(i);
             }
         }
-        DepGraph { n, preds: self.preds, succs: self.succs }
+        self.finish(n, out);
+    }
+
+    fn lookup_def(&self, key: usize) -> Option<u32> {
+        let (epoch, d) = self.last_def[key];
+        (epoch == self.epoch && d != NONE).then_some(d)
+    }
+
+    fn push_reader(&mut self, key: usize, i: u32) {
+        let slot = self.reader_pool.len() as u32;
+        self.reader_pool.push((i, NONE));
+        let entry = &mut self.readers[key];
+        if entry.0 != self.epoch || entry.1 == NONE {
+            *entry = (self.epoch, slot, slot);
+        } else {
+            self.reader_pool[entry.2 as usize].1 = slot;
+            entry.2 = slot;
+        }
+    }
+
+    fn edge(&mut self, from: u32, to: u32, kind: DepKind) {
+        debug_assert!(from < to, "dependence edges must follow program order");
+        let seq = self.edges.len() as u32;
+        self.edges.push(RawEdge { from, to, seq, kind });
+    }
+
+    /// Deduplicates the raw edge list (first kind recorded per pair wins)
+    /// and lays it out as CSR adjacency: successors sorted by target,
+    /// predecessors in discovery order — exactly the orders the old
+    /// nested-Vec representation produced by chronological pushes.
+    fn finish(&mut self, n: usize, out: &mut DepGraph) {
+        // Chronologically, a fixed source's successors were recorded in
+        // ascending target order (the target is always the instruction
+        // being scanned), so sorting by (from, to, seq) and keeping the
+        // lowest seq per pair reproduces both the successor slice order
+        // and the first-kind-wins dedup of the old hash-set path.
+        self.edges.sort_unstable_by_key(|e| (e.from, e.to, e.seq));
+        self.edges.dedup_by(|b, a| a.from == b.from && a.to == b.to);
+
+        out.n = n;
+        out.succ_off.clear();
+        out.succs.clear();
+        out.pred_off.clear();
+        out.preds.clear();
+        out.succ_off.resize(n + 1, 0);
+        out.pred_off.resize(n + 1, 0);
+
+        out.succs.reserve(self.edges.len());
+        for e in &self.edges {
+            out.succ_off[e.from as usize + 1] += 1;
+            out.succs.push((e.to, e.kind));
+        }
+        for i in 0..n {
+            out.succ_off[i + 1] += out.succ_off[i];
+        }
+
+        // Predecessor slices preserve the order the scan discovered the
+        // edges (not ascending source), matching the old push order.
+        self.edges.sort_unstable_by_key(|e| (e.to, e.seq));
+        out.preds.reserve(self.edges.len());
+        for e in &self.edges {
+            out.pred_off[e.to as usize + 1] += 1;
+            out.preds.push((e.from, e.kind));
+        }
+        for i in 0..n {
+            out.pred_off[i + 1] += out.pred_off[i];
+        }
+        self.last_edges = self.edges.len();
+    }
+}
+
+impl Default for GraphBuilder {
+    fn default() -> GraphBuilder {
+        GraphBuilder::new()
     }
 }
 
@@ -423,5 +619,61 @@ mod tests {
         let i1 = add(3, 1, 2);
         let g = DepGraph::build(&[i0, i1]);
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_the_first_kind_recorded() {
+        // i1 truly depends on i0 via r1 (recorded while scanning uses)
+        // and anti-depends via r9 (recorded later, while scanning defs):
+        // the True edge, recorded first, wins.
+        let i0 = Inst::new(Opcode::Add).def(Reg::gpr(1)).use_(Reg::gpr(9)).use_(Reg::gpr(9));
+        let i1 = Inst::new(Opcode::Add).def(Reg::gpr(9)).use_(Reg::gpr(1)).use_(Reg::gpr(1));
+        let g = DepGraph::build(&[i0, i1]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::True));
+    }
+
+    #[test]
+    fn builder_reuse_across_blocks_is_clean() {
+        // Same builder, different blocks: no state may leak between runs.
+        let mut builder = GraphBuilder::new();
+        let mut g = DepGraph::empty();
+
+        builder.build_into(&[add(1, 9, 9), add(2, 1, 9)], false, &mut g);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::True));
+        assert_eq!(builder.last_edge_count(), 1);
+
+        // A block reusing the same registers with no dependence: the old
+        // last-def/reader entries must not leak in.
+        builder.build_into(&[add(1, 9, 9), add(2, 8, 8)], false, &mut g);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(builder.last_edge_count(), 0);
+
+        builder.build_into(&[store(1, 0), load(2, 0)], false, &mut g);
+        assert_eq!(g.edge_kind(0, 1), Some(DepKind::Memory));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn builder_matches_one_shot_builds() {
+        let blocks: Vec<Vec<Inst>> = vec![
+            vec![add(1, 9, 9), add(2, 1, 9), store(2, 0), load(3, 0)],
+            vec![load(1, 4), Inst::new(Opcode::Bc).use_(Reg::cr(0)), add(2, 1, 1)],
+            vec![],
+            vec![add(1, 1, 1)],
+        ];
+        let mut builder = GraphBuilder::new();
+        let mut g = DepGraph::empty();
+        for block in &blocks {
+            for &speculative in &[false, true] {
+                builder.build_into(block, speculative, &mut g);
+                let fresh = if speculative { DepGraph::build_speculative(block) } else { DepGraph::build(block) };
+                assert_eq!(g.edge_count(), fresh.edge_count());
+                for i in 0..block.len() {
+                    assert_eq!(g.preds(i), fresh.preds(i));
+                    assert_eq!(g.succs(i), fresh.succs(i));
+                }
+            }
+        }
     }
 }

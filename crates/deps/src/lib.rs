@@ -30,5 +30,5 @@
 mod critical;
 mod graph;
 
-pub use critical::critical_paths;
-pub use graph::{DepGraph, DepKind};
+pub use critical::{critical_paths, critical_paths_into};
+pub use graph::{DepGraph, DepKind, GraphBuilder};

@@ -95,9 +95,34 @@ impl BasicBlock {
         for &i in order {
             assert!(!seen[i], "duplicate index {i} in order");
             seen[i] = true;
-            insts.push(self.insts[i].clone());
+            insts.push(self.insts[i]);
         }
         BasicBlock { id: self.id, insts, exec_count: self.exec_count }
+    }
+
+    /// Permutes this block's instructions into `order` in place, using
+    /// `buf` as swap space. `buf`'s contents are discarded and its
+    /// allocation reused (after the call it holds the block's previous
+    /// storage), so repeated application allocates nothing in steady
+    /// state. The allocation-free counterpart of
+    /// [`BasicBlock::reordered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order`'s length differs from the block's, or (debug
+    /// builds only) when `order` is not a permutation.
+    pub fn permute_in_place(&mut self, order: &[usize], buf: &mut Vec<Inst>) {
+        assert_eq!(order.len(), self.insts.len(), "order length mismatch");
+        debug_assert!(
+            {
+                let mut seen = vec![false; order.len()];
+                order.iter().all(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true))
+            },
+            "order must be a permutation"
+        );
+        buf.clear();
+        buf.extend(order.iter().map(|&i| self.insts[i]));
+        std::mem::swap(&mut self.insts, buf);
     }
 
     /// Checks structural invariants (terminator placement, operand shape).

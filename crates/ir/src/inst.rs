@@ -154,11 +154,134 @@ impl fmt::Display for Hazards {
     }
 }
 
+/// An inline fixed-capacity operand list — the `SmallVec` idiom without
+/// the dependency.
+///
+/// Def/use lists are tiny (nothing in the ISA writes more than two
+/// registers or reads more than three), so operands live inside the
+/// instruction itself and building an [`Inst`] performs no heap
+/// allocation. The filler in unused slots never escapes: comparison,
+/// hashing and iteration see only the live prefix.
+///
+/// # Examples
+///
+/// ```
+/// use wts_ir::{Reg, RegList};
+/// let mut l = RegList::new();
+/// l.push(Reg::gpr(3));
+/// l.push(Reg::gpr(4));
+/// assert_eq!(l.as_slice(), &[Reg::gpr(3), Reg::gpr(4)]);
+/// ```
+#[derive(Clone, Copy)]
+pub struct RegList {
+    regs: [Reg; RegList::CAPACITY],
+    len: u8,
+}
+
+impl RegList {
+    /// Inline capacity. [`RegList::push`] past this panics — a new opcode
+    /// with wider operand lists must raise the capacity here, not fall
+    /// back to spilling.
+    pub const CAPACITY: usize = 4;
+
+    /// An empty list.
+    pub const fn new() -> RegList {
+        RegList { regs: [Reg::gpr(0); RegList::CAPACITY], len: 0 }
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the list already holds [`RegList::CAPACITY`] registers.
+    pub fn push(&mut self, r: Reg) {
+        assert!(
+            (self.len as usize) < RegList::CAPACITY,
+            "operand list overflow: an instruction holds at most {} defs or uses",
+            RegList::CAPACITY,
+        );
+        self.regs[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// The live registers, in insertion order.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Number of live registers.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no register has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for RegList {
+    fn default() -> RegList {
+        RegList::new()
+    }
+}
+
+impl std::ops::Deref for RegList {
+    type Target = [Reg];
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for RegList {
+    fn eq(&self, other: &RegList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for RegList {}
+
+impl std::hash::Hash for RegList {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for RegList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a RegList {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<Reg> for RegList {
+    /// # Panics
+    ///
+    /// Panics when the iterator yields more than [`RegList::CAPACITY`]
+    /// registers.
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegList {
+        let mut list = RegList::new();
+        for r in iter {
+            list.push(r);
+        }
+        list
+    }
+}
+
 /// A single machine instruction.
 ///
 /// Construction is builder-style: [`Inst::new`] then chained
 /// [`def`](Inst::def) / [`use_`](Inst::use_) / [`mem`](Inst::mem) /
-/// [`hazard`](Inst::hazard) / [`imm`](Inst::imm) calls.
+/// [`hazard`](Inst::hazard) / [`imm`](Inst::imm) calls. Operands are
+/// stored inline ([`RegList`]), so an `Inst` is a small `Copy` value and
+/// blocks of instructions are flat, cache-friendly arrays.
 ///
 /// # Examples
 ///
@@ -172,11 +295,11 @@ impl fmt::Display for Hazards {
 /// assert!(ld.opcode().is_load());
 /// assert!(ld.hazards().contains(Hazards::PEI));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Inst {
     opcode: Opcode,
-    defs: Vec<Reg>,
-    uses: Vec<Reg>,
+    defs: RegList,
+    uses: RegList,
     mem: Option<MemRef>,
     hazards: Hazards,
     imm: Option<i64>,
@@ -185,7 +308,7 @@ pub struct Inst {
 impl Inst {
     /// A new instruction with the given opcode and no operands.
     pub fn new(opcode: Opcode) -> Inst {
-        Inst { opcode, defs: Vec::new(), uses: Vec::new(), mem: None, hazards: Hazards::NONE, imm: None }
+        Inst { opcode, defs: RegList::new(), uses: RegList::new(), mem: None, hazards: Hazards::NONE, imm: None }
     }
 
     /// Adds a defined (written) register.
@@ -227,12 +350,12 @@ impl Inst {
 
     /// Registers written by this instruction.
     pub fn defs(&self) -> &[Reg] {
-        &self.defs
+        self.defs.as_slice()
     }
 
     /// Registers read by this instruction.
     pub fn uses(&self) -> &[Reg] {
-        &self.uses
+        self.uses.as_slice()
     }
 
     /// The memory reference, if this instruction accesses memory.
@@ -310,6 +433,37 @@ mod tests {
         assert!(!h.contains(Hazards::YIELD));
         assert!(Hazards::NONE.is_none());
         assert_eq!(h.categories().len(), 2);
+    }
+
+    #[test]
+    fn reg_list_tracks_live_prefix_only() {
+        let a: RegList = [Reg::gpr(1), Reg::gpr(2)].into_iter().collect();
+        let mut b = RegList::new();
+        b.push(Reg::gpr(1));
+        b.push(Reg::gpr(2));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(format!("{a:?}"), format!("{:?}", [Reg::gpr(1), Reg::gpr(2)]));
+        // The filler value in dead slots is invisible: a list holding a
+        // real r0 differs from an empty one.
+        let mut c = RegList::new();
+        c.push(Reg::gpr(0));
+        assert_ne!(c, RegList::new());
+        assert_eq!(RegList::default(), RegList::new());
+    }
+
+    #[test]
+    fn reg_list_overflow_panics_with_capacity_in_message() {
+        let err = std::panic::catch_unwind(|| {
+            let mut l = RegList::new();
+            for i in 0..=RegList::CAPACITY {
+                l.push(Reg::gpr(i as u16));
+            }
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("operand list overflow"), "got: {msg}");
     }
 
     #[test]

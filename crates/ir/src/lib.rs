@@ -40,7 +40,7 @@ mod validate;
 
 pub use block::{BasicBlock, BlockId};
 pub use category::{Category, CategorySet};
-pub use inst::{Hazards, Inst, MemRef, MemSpace};
+pub use inst::{Hazards, Inst, MemRef, MemSpace, RegList};
 pub use method::{Method, MethodId, Program};
 pub use opcode::{Opcode, UnitClass};
 pub use reg::{Reg, RegClass};

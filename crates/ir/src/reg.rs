@@ -59,37 +59,37 @@ pub struct Reg {
 
 impl Reg {
     /// Creates a register of the given class and index.
-    pub fn new(class: RegClass, index: u16) -> Reg {
+    pub const fn new(class: RegClass, index: u16) -> Reg {
         Reg { class, index }
     }
 
     /// General-purpose register `r<index>`.
-    pub fn gpr(index: u16) -> Reg {
+    pub const fn gpr(index: u16) -> Reg {
         Reg::new(RegClass::Gpr, index)
     }
 
     /// Floating-point register `f<index>`.
-    pub fn fpr(index: u16) -> Reg {
+    pub const fn fpr(index: u16) -> Reg {
         Reg::new(RegClass::Fpr, index)
     }
 
     /// Condition-register field `cr<index>`.
-    pub fn cr(index: u16) -> Reg {
+    pub const fn cr(index: u16) -> Reg {
         Reg::new(RegClass::Cr, index)
     }
 
     /// Special-purpose register `spr<index>` (0 = LR, 1 = CTR by convention).
-    pub fn spr(index: u16) -> Reg {
+    pub const fn spr(index: u16) -> Reg {
         Reg::new(RegClass::Spr, index)
     }
 
     /// The link register (call/return linkage).
-    pub fn lr() -> Reg {
+    pub const fn lr() -> Reg {
         Reg::spr(0)
     }
 
     /// The count register (indirect branches).
-    pub fn ctr() -> Reg {
+    pub const fn ctr() -> Reg {
         Reg::spr(1)
     }
 

@@ -12,7 +12,7 @@ use wts_core::{CompiledFilter, Filter};
 use wts_features::FeatureVector;
 use wts_ir::Program;
 use wts_machine::{CostModel, MachineConfig, PipelineSim};
-use wts_sched::{ListScheduler, SchedulePolicy};
+use wts_sched::{ListScheduler, SchedScratch, ScheduleOutcome, SchedulePolicy};
 
 /// Timing and counts for one compile of a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,10 +100,17 @@ impl<'m> CompileSession<'m> {
         )
     }
 
-    /// Compiles one (cloned) method in place, accumulating stats.
+    /// Compiles one (cloned) method in place, accumulating stats. The
+    /// scratch state (scheduler buffers, outcome, permute buffer) is
+    /// reused across every block of the shard, so the steady-state pass
+    /// allocates nothing per block.
+    #[allow(clippy::too_many_arguments)]
     fn compile_method(
         &self,
-        scheduler: &ListScheduler<'_>,
+        scheduler: &ListScheduler<'m>,
+        scratch: &mut SchedScratch<'m>,
+        outcome: &mut ScheduleOutcome,
+        permute_buf: &mut Vec<wts_ir::Inst>,
         method: &mut wts_ir::Method,
         filter: &CompiledFilter,
         optimize: bool,
@@ -125,8 +132,8 @@ impl<'m> CompileSession<'m> {
 
             if decision {
                 let t2 = Instant::now();
-                let outcome = scheduler.schedule_block(block);
-                *block = outcome.apply(block);
+                scheduler.schedule_block_into(block, scratch, outcome);
+                outcome.apply_in_place(block, permute_buf);
                 stats.sched_ns += t2.elapsed().as_nanos() as u64;
                 stats.scheduled_blocks += 1;
             }
@@ -147,11 +154,23 @@ impl<'m> CompileSession<'m> {
         // order, so the result is identical whatever the thread count.
         let shards = wts_core::parallel::shard_map(program.methods(), threads, |slice| {
             let scheduler = ListScheduler::with_policy(self.machine, self.policy);
+            let mut scratch = SchedScratch::new(self.machine);
+            let mut outcome = ScheduleOutcome::default();
+            let mut permute_buf = Vec::new();
             let mut stats = CompileStats::default();
             let mut compiled = slice.to_vec();
             for method in &mut compiled {
                 let optimize = optimize_method(method);
-                self.compile_method(&scheduler, method, &engine, optimize, &mut stats);
+                self.compile_method(
+                    &scheduler,
+                    &mut scratch,
+                    &mut outcome,
+                    &mut permute_buf,
+                    method,
+                    &engine,
+                    optimize,
+                    &mut stats,
+                );
             }
             (compiled, stats)
         });

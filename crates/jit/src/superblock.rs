@@ -11,8 +11,8 @@
 //! scheduling — weighted by profile counts.
 
 use std::collections::HashMap;
-use wts_machine::{CostModel, MachineConfig};
-use wts_sched::ListScheduler;
+use wts_machine::{IssueState, MachineConfig};
+use wts_sched::{ListScheduler, SchedScratch, ScheduleOutcome};
 
 use wts_ir::Program;
 pub use wts_ir::{form_superblocks, ScopeKind, Superblock};
@@ -61,7 +61,13 @@ impl SuperblockGain {
 /// accounting so the comparison is apples-to-apples.
 pub fn superblock_gain(program: &Program, machine: &MachineConfig, ratio_percent: u32) -> SuperblockGain {
     let scheduler = ListScheduler::new(machine);
-    let cost = CostModel::new(machine);
+    // One set of reusable buffers serves every trace of the program:
+    // scheduler scratch, the outcome, the local-concatenation buffer and
+    // the costing simulator all stay allocated across iterations.
+    let mut scratch = SchedScratch::new(machine);
+    let mut out = ScheduleOutcome::default();
+    let mut cost_state = IssueState::new(machine);
+    let mut local_insts = Vec::new();
     let mut gain = SuperblockGain::default();
     for method in program.methods() {
         // One id → layout-index map per method; the old per-constituent
@@ -69,25 +75,26 @@ pub fn superblock_gain(program: &Program, machine: &MachineConfig, ratio_percent
         // method.
         let index: HashMap<u32, usize> = method.blocks().iter().enumerate().map(|(i, b)| (b.id().0, i)).collect();
         for sb in form_superblocks(method, ratio_percent) {
-            let unsched = cost.sequence_cycles(&sb.insts);
+            let unsched = cost_state.replay(&sb.insts);
             // Local: schedule each constituent block separately, then
             // cost the concatenation of the scheduled blocks.
-            let mut local_insts = Vec::with_capacity(sb.insts.len());
+            local_insts.clear();
+            local_insts.reserve(sb.insts.len());
             let mut offset = 0;
             for &bid in &sb.block_ids {
                 let block = &method.blocks()[index[&bid]];
-                let out = scheduler.schedule_block(block);
-                local_insts.extend(out.order.iter().map(|&k| block.insts()[k].clone()));
+                scheduler.schedule_block_into(block, &mut scratch, &mut out);
+                local_insts.extend(out.order.iter().map(|&k| block.insts()[k]));
                 offset += block.len();
             }
             debug_assert_eq!(offset, sb.insts.len());
-            let local = cost.sequence_cycles(&local_insts);
-            let merged = scheduler.schedule_superblock(&sb.insts);
+            let local = cost_state.replay(&local_insts);
+            scheduler.schedule_superblock_into(&sb.insts, &mut scratch, &mut out);
 
             gain.unscheduled += sb.exec_count * unsched;
             gain.local += sb.exec_count * local;
             // Guard as the scheduler does: never accept a worse order.
-            gain.superblock += sb.exec_count * merged.cycles_after.min(local);
+            gain.superblock += sb.exec_count * out.cycles_after.min(local);
             if sb.width() > 1 {
                 gain.merged_traces += 1;
             }

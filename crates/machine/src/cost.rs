@@ -58,6 +58,33 @@ impl<'m> IssueState<'m> {
         self.max_completion
     }
 
+    /// Rewinds to a fresh state (cycle 0, all units free) without
+    /// dropping container capacity, so a long-lived state can be reused
+    /// across blocks with no steady-state allocation.
+    pub fn reset(&mut self) {
+        self.reg_ready.clear();
+        self.unit_free = [0; FunctionalUnit::COUNT];
+        self.store_done.clear();
+        self.load_issued.clear();
+        self.barrier_floor = 0;
+        self.max_completion = 0;
+        self.last_issue = 0;
+        self.cur_cycle = 0;
+        self.nonbranch_in_cycle = 0;
+        self.branch_in_cycle = 0;
+    }
+
+    /// Resets, then issues every instruction in order; returns the
+    /// sequence's completion time. The allocation-free equivalent of
+    /// [`CostModel::sequence_cycles`].
+    pub fn replay(&mut self, insts: &[Inst]) -> u64 {
+        self.reset();
+        for inst in insts {
+            self.issue(inst);
+        }
+        self.completion_time()
+    }
+
     /// Cycle when `inst`'s data and ordering constraints are satisfied
     /// (not yet accounting for issue slots or functional units).
     fn ready_cycle(&self, inst: &Inst) -> u64 {
@@ -202,11 +229,7 @@ impl<'m> CostModel<'m> {
 
     /// Estimated cycles for an explicit instruction sequence.
     pub fn sequence_cycles(&self, insts: &[Inst]) -> u64 {
-        let mut st = IssueState::new(self.machine);
-        for inst in insts {
-            st.issue(inst);
-        }
-        st.completion_time()
+        IssueState::new(self.machine).replay(insts)
     }
 
     /// A lower bound on any order's cycle count: the length (in latency) of
@@ -392,7 +415,7 @@ mod tests {
             Inst::new(Opcode::Add).def(Reg::gpr(3)).use_(Reg::gpr(7)).use_(Reg::gpr(8)),
             Inst::new(Opcode::Add).def(Reg::gpr(4)).use_(Reg::gpr(7)).use_(Reg::gpr(8)),
         ];
-        let good = vec![bad[0].clone(), bad[2].clone(), bad[3].clone(), bad[1].clone()];
+        let good = vec![bad[0], bad[2], bad[3], bad[1]];
         assert!(cycles(good) < cycles(bad));
     }
 
@@ -408,6 +431,23 @@ mod tests {
         let h = cm.dependence_height(&insts);
         assert_eq!(h, (m.latency(Opcode::Lfd) + m.latency(Opcode::Fmul) + m.latency(Opcode::Fadd)) as u64);
         assert!(cm.sequence_cycles(&insts) >= h);
+    }
+
+    #[test]
+    fn reset_state_replays_like_fresh() {
+        let mach = m();
+        let warm = vec![
+            Inst::new(Opcode::Stw).use_(Reg::gpr(1)).use_(Reg::gpr(2)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Fadd).def(Reg::fpr(1)).use_(Reg::fpr(0)).use_(Reg::fpr(0)),
+            Inst::new(Opcode::Sync),
+        ];
+        let probe = vec![
+            Inst::new(Opcode::Lwz).def(Reg::gpr(3)).use_(Reg::gpr(4)).mem(MemRef::slot(MemSpace::Heap, 0)),
+            Inst::new(Opcode::Add).def(Reg::gpr(1)).use_(Reg::gpr(3)).use_(Reg::gpr(3)),
+        ];
+        let mut st = IssueState::new(&mach);
+        st.replay(&warm);
+        assert_eq!(st.replay(&probe), CostModel::new(&mach).sequence_cycles(&probe), "no state may leak through reset");
     }
 
     #[test]

@@ -330,16 +330,7 @@ mod tests {
             add(7, 20, 21),
             add(8, 22, 23),
         ];
-        let good = [
-            bad[0].clone(),
-            bad[2].clone(),
-            bad[4].clone(),
-            bad[6].clone(),
-            bad[1].clone(),
-            bad[3].clone(),
-            bad[7].clone(),
-            bad[5].clone(),
-        ];
+        let good = [bad[0], bad[2], bad[4], bad[6], bad[1], bad[3], bad[7], bad[5]];
         let mach = m();
         let cm = CostModel::new(&mach);
         let ps = PipelineSim::new(&mach);

@@ -34,9 +34,11 @@
 mod list;
 mod outcome;
 mod policy;
+mod scratch;
 mod verify;
 
 pub use list::ListScheduler;
 pub use outcome::ScheduleOutcome;
 pub use policy::SchedulePolicy;
+pub use scratch::SchedScratch;
 pub use verify::{verify_schedule, VerifyError};

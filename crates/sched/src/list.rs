@@ -1,10 +1,10 @@
 //! The CPS list scheduler.
 
 use crate::policy::XorShift64;
-use crate::{ScheduleOutcome, SchedulePolicy};
-use wts_deps::{critical_paths, DepGraph};
+use crate::{SchedScratch, ScheduleOutcome, SchedulePolicy};
+use wts_deps::critical_paths_into;
 use wts_ir::{BasicBlock, Inst};
-use wts_machine::{CostModel, IssueState, MachineConfig};
+use wts_machine::{IssueState, MachineConfig};
 
 /// List scheduler over basic blocks.
 ///
@@ -47,7 +47,7 @@ impl<'m> ListScheduler<'m> {
 
     /// Schedules an explicit instruction sequence.
     pub fn schedule_insts(&self, insts: &[Inst]) -> ScheduleOutcome {
-        self.schedule_with(insts, DepGraph::build)
+        self.one_shot(insts, false)
     }
 
     /// Schedules a *superblock*: a straight-line trace whose internal
@@ -56,55 +56,100 @@ impl<'m> ListScheduler<'m> {
     /// scheduling), which is what gives superblocks their edge over
     /// per-block scheduling (paper §3.1).
     pub fn schedule_superblock(&self, insts: &[Inst]) -> ScheduleOutcome {
-        self.schedule_with(insts, DepGraph::build_speculative)
+        self.one_shot(insts, true)
     }
 
-    fn schedule_with(&self, insts: &[Inst], build: impl Fn(&[Inst]) -> DepGraph) -> ScheduleOutcome {
+    /// Schedules a block into caller-provided buffers; see
+    /// [`ListScheduler::schedule_insts_into`].
+    pub fn schedule_block_into(&self, block: &BasicBlock, scratch: &mut SchedScratch<'m>, out: &mut ScheduleOutcome) {
+        self.schedule_insts_into(block.insts(), scratch, out);
+    }
+
+    /// Schedules an instruction sequence into caller-provided buffers:
+    /// the scratch's and outcome's allocations are reused, so batch
+    /// callers schedule block after block with zero steady-state heap
+    /// allocation. Produces bit-identical outcomes to
+    /// [`ListScheduler::schedule_insts`].
+    pub fn schedule_insts_into(&self, insts: &[Inst], scratch: &mut SchedScratch<'m>, out: &mut ScheduleOutcome) {
+        self.schedule_core(insts, false, scratch, out);
+    }
+
+    /// Superblock counterpart of [`ListScheduler::schedule_insts_into`]
+    /// (speculative dependence graph; see
+    /// [`ListScheduler::schedule_superblock`]).
+    pub fn schedule_superblock_into(&self, insts: &[Inst], scratch: &mut SchedScratch<'m>, out: &mut ScheduleOutcome) {
+        self.schedule_core(insts, true, scratch, out);
+    }
+
+    fn one_shot(&self, insts: &[Inst], speculative: bool) -> ScheduleOutcome {
+        let mut scratch = SchedScratch::new(self.machine);
+        let mut out = ScheduleOutcome::default();
+        self.schedule_core(insts, speculative, &mut scratch, &mut out);
+        out
+    }
+
+    fn schedule_core(
+        &self,
+        insts: &[Inst],
+        speculative: bool,
+        scratch: &mut SchedScratch<'m>,
+        out: &mut ScheduleOutcome,
+    ) {
+        debug_assert!(std::ptr::eq(self.machine, scratch.machine), "scratch was created for a different machine");
         let n = insts.len();
-        let cost = CostModel::new(self.machine);
-        let cycles_before = cost.sequence_cycles(insts);
+        let cycles_before = scratch.before_state.replay(insts);
+        out.order.clear();
+        out.cycles_before = cycles_before;
         if n <= 1 {
-            return ScheduleOutcome { order: (0..n).collect(), cycles_before, cycles_after: cycles_before };
+            out.order.extend(0..n);
+            out.cycles_after = cycles_before;
+            scratch.last_edges = 0;
+            return;
         }
 
-        let graph = build(insts);
-        let cp = critical_paths(&graph, insts, self.machine);
+        scratch.builder.build_into(insts, speculative, &mut scratch.graph);
+        scratch.last_edges = scratch.builder.last_edge_count();
+        critical_paths_into(&scratch.graph, insts, self.machine, &mut scratch.cp);
         // The scheduler owns its rng unconditionally: every entry point
         // (blocks, explicit slices, superblocks) threads the same state,
         // so no path can reach the random policy without one. The
         // deterministic policies simply never draw from it.
         let mut rng = XorShift64::new(self.rng_seed());
 
-        let mut remaining_preds: Vec<usize> = (0..n).map(|i| graph.preds(i).len()).collect();
-        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
-        let mut order = Vec::with_capacity(n);
-        let mut state = IssueState::new(self.machine);
+        scratch.remaining_preds.clear();
+        scratch.remaining_preds.extend((0..n).map(|i| scratch.graph.preds(i).len() as u32));
+        scratch.ready.clear();
+        scratch.ready.extend((0..n).filter(|&i| scratch.remaining_preds[i] == 0));
+        scratch.state.reset();
 
-        while let Some(pos) = self.select(&ready, &cp, &state, insts, &mut rng) {
-            let chosen = ready.swap_remove(pos);
-            state.issue(&insts[chosen]);
-            order.push(chosen);
-            for &(s, _) in graph.succs(chosen) {
+        while let Some(pos) = self.select(&scratch.ready, &scratch.cp, &scratch.state, insts, &mut rng) {
+            let chosen = scratch.ready.swap_remove(pos);
+            scratch.state.issue(&insts[chosen]);
+            out.order.push(chosen);
+            for &(s, _) in scratch.graph.succs(chosen) {
                 let s = s as usize;
-                remaining_preds[s] -= 1;
-                if remaining_preds[s] == 0 {
-                    ready.push(s);
+                scratch.remaining_preds[s] -= 1;
+                if scratch.remaining_preds[s] == 0 {
+                    scratch.ready.push(s);
                 }
             }
         }
-        debug_assert_eq!(order.len(), n, "scheduler must place every instruction");
+        debug_assert_eq!(out.order.len(), n, "scheduler must place every instruction");
 
         // The running state issued every instruction in the chosen order,
         // so its completion time *is* the new order's cost — no clone and
         // re-simulate pass (this is the hottest loop in trace collection).
-        let cycles_after = state.completion_time();
+        let cycles_after = scratch.state.completion_time();
         if cycles_after > cycles_before {
             // Greedy list scheduling is not optimal; when the estimator
             // rates the new order worse, keep the original (the estimate
             // is free — it was needed for the comparison anyway).
-            return ScheduleOutcome { order: (0..n).collect(), cycles_before, cycles_after: cycles_before };
+            out.order.clear();
+            out.order.extend(0..n);
+            out.cycles_after = cycles_before;
+            return;
         }
-        ScheduleOutcome { order, cycles_before, cycles_after }
+        out.cycles_after = cycles_after;
     }
 
     /// Convenience: schedule and apply in one step.
@@ -313,7 +358,7 @@ mod tests {
         let insts = vec![load(1, 0), add(2, 1, 1), Inst::new(Opcode::Bc).use_(Reg::cr(0)), add(3, 8, 8), add(4, 9, 9)];
         let mut b = BasicBlock::new(0);
         for i in &insts {
-            b.push(i.clone());
+            b.push(*i);
         }
         let from_block = s.schedule_block(&b);
         let from_slice = s.schedule_insts(&insts);
@@ -397,6 +442,40 @@ mod tests {
         let out = ListScheduler::new(&m).schedule_superblock(&insts);
         let pos = |i: usize| out.order.iter().position(|&x| x == i).unwrap();
         assert!(pos(0) < pos(1), "store stays above the exit");
+    }
+
+    #[test]
+    fn scratch_path_matches_one_shot_for_every_policy() {
+        let m = machine();
+        let blocks: Vec<Vec<Inst>> = vec![
+            vec![],
+            vec![add(1, 2, 3)],
+            vec![load(1, 0), add(2, 1, 1), add(3, 8, 8), add(4, 9, 9)],
+            vec![add(1, 9, 9), Inst::new(Opcode::Bl).def(Reg::lr()), add(2, 8, 8)],
+            vec![load(1, 0), add(2, 1, 1), Inst::new(Opcode::Bc).use_(Reg::cr(0)), add(3, 8, 8)],
+        ];
+        for policy in [
+            SchedulePolicy::CriticalPath,
+            SchedulePolicy::EarliestStart,
+            SchedulePolicy::CriticalPathOnly,
+            SchedulePolicy::Random(7),
+        ] {
+            let s = ListScheduler::with_policy(&m, policy);
+            // One scratch and one outcome reused across all blocks: no
+            // state may leak from one schedule into the next.
+            let mut scratch = SchedScratch::new(&m);
+            let mut out = ScheduleOutcome::default();
+            for insts in &blocks {
+                s.schedule_insts_into(insts, &mut scratch, &mut out);
+                assert_eq!(out, s.schedule_insts(insts), "{policy} block diverged");
+                assert_eq!(
+                    scratch.last_edge_count(),
+                    if insts.len() <= 1 { 0 } else { wts_deps::DepGraph::build(insts).edge_count() }
+                );
+                s.schedule_superblock_into(insts, &mut scratch, &mut out);
+                assert_eq!(out, s.schedule_superblock(insts), "{policy} superblock diverged");
+            }
+        }
     }
 
     #[test]

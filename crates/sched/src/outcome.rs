@@ -7,7 +7,7 @@ use wts_ir::BasicBlock;
 /// `order[k]` is the original index of the instruction placed at position
 /// `k` of the new schedule. Cycle counts come from the cheap in-order
 /// cost model — the same estimator the paper uses for its labels.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ScheduleOutcome {
     /// New order, as original indices.
     pub order: Vec<usize>,
@@ -42,6 +42,18 @@ impl ScheduleOutcome {
         block.reordered(&self.order)
     }
 
+    /// Applies the schedule to `block` in place, using `buf` as swap
+    /// space (see [`BasicBlock::permute_in_place`]). Unlike
+    /// [`ScheduleOutcome::apply`], no new block and no new instruction
+    /// storage is allocated in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was produced for a block of different length.
+    pub fn apply_in_place(&self, block: &mut BasicBlock, buf: &mut Vec<wts_ir::Inst>) {
+        block.permute_in_place(&self.order, buf);
+    }
+
     /// Applies the schedule to a raw instruction slice (the superblock
     /// pipeline's unit — a trace has no single block to reorder).
     ///
@@ -49,8 +61,21 @@ impl ScheduleOutcome {
     ///
     /// Panics if the outcome was produced for a slice of different length.
     pub fn permute(&self, insts: &[wts_ir::Inst]) -> Vec<wts_ir::Inst> {
+        let mut out = Vec::new();
+        self.permute_into(insts, &mut out);
+        out
+    }
+
+    /// Like [`ScheduleOutcome::permute`], but fills a caller-provided
+    /// buffer (contents discarded, allocation reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was produced for a slice of different length.
+    pub fn permute_into(&self, insts: &[wts_ir::Inst], out: &mut Vec<wts_ir::Inst>) {
         assert_eq!(self.order.len(), insts.len(), "schedule length must match the instruction slice");
-        self.order.iter().map(|&i| insts[i].clone()).collect()
+        out.clear();
+        out.extend(self.order.iter().map(|&i| insts[i]));
     }
 }
 
@@ -85,5 +110,24 @@ mod tests {
         let r = out.apply(&b);
         assert_eq!(r.insts()[0], b.insts()[1]);
         assert_eq!(r.insts()[1], b.insts()[0]);
+    }
+
+    #[test]
+    fn in_place_and_buffered_paths_match_the_allocating_ones() {
+        let mut b = BasicBlock::new(4);
+        b.set_exec_count(9);
+        for v in 1..=3i64 {
+            b.push(Inst::new(Opcode::Li).def(Reg::gpr(v as u16)).imm(v));
+        }
+        let out = outcome(3, 3, vec![2, 0, 1]);
+        let expect = out.apply(&b);
+        let mut inplace = b.clone();
+        let mut buf = Vec::new();
+        out.apply_in_place(&mut inplace, &mut buf);
+        assert_eq!(inplace, expect);
+        assert_eq!(buf.len(), 3, "buf holds the block's previous storage");
+        let mut v = Vec::new();
+        out.permute_into(b.insts(), &mut v);
+        assert_eq!(v, out.permute(b.insts()));
     }
 }

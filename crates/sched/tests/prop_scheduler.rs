@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use wts_ir::{Hazards, Inst, MemRef, MemSpace, Opcode, Reg};
-use wts_machine::{CostModel, MachineConfig};
-use wts_sched::{verify_schedule, ListScheduler, SchedulePolicy};
+use wts_machine::{registry, CostModel, MachineConfig};
+use wts_sched::{verify_schedule, ListScheduler, SchedScratch, ScheduleOutcome, SchedulePolicy};
 
 /// Blocks mixing ALU/memory/hazard/control instructions; a terminator, if
 /// generated, is forced to the end (as the IR requires).
@@ -82,7 +82,7 @@ proptest! {
         // And the reported costs are truthful.
         let cm = CostModel::new(&m);
         prop_assert_eq!(out.cycles_before, cm.sequence_cycles(&insts));
-        let scheduled: Vec<Inst> = out.order.iter().map(|&i| insts[i].clone()).collect();
+        let scheduled: Vec<Inst> = out.order.iter().map(|&i| insts[i]).collect();
         prop_assert_eq!(out.cycles_after, cm.sequence_cycles(&scheduled));
     }
 
@@ -110,7 +110,7 @@ proptest! {
         let m = MachineConfig::ppc7410();
         let s = ListScheduler::new(&m);
         let once = s.schedule_insts(&insts);
-        let scheduled: Vec<Inst> = once.order.iter().map(|&i| insts[i].clone()).collect();
+        let scheduled: Vec<Inst> = once.order.iter().map(|&i| insts[i]).collect();
         let twice = s.schedule_insts(&scheduled);
         prop_assert_eq!(twice.cycles_after, once.cycles_after);
     }
@@ -121,5 +121,33 @@ proptest! {
         let cps = ListScheduler::new(&m).schedule_insts(&insts);
         let rand = ListScheduler::with_policy(&m, SchedulePolicy::Random(3)).schedule_insts(&insts);
         prop_assert!(cps.cycles_after <= rand.cycles_after.max(cps.cycles_before));
+    }
+
+    /// The allocation-free entry points are the hot path; they must be
+    /// outcome-identical to the one-shot API on every registry machine
+    /// and every policy — including `Random`, whose ready-queue draws
+    /// would expose any divergence in graph slice order or scratch reuse.
+    #[test]
+    fn scratch_path_equals_one_shot_everywhere(blocks in prop::collection::vec(arb_block(12), 1..4), seed in 0u64..u64::MAX) {
+        for m in registry() {
+            for policy in [
+                SchedulePolicy::CriticalPath,
+                SchedulePolicy::EarliestStart,
+                SchedulePolicy::CriticalPathOnly,
+                SchedulePolicy::Random(seed),
+            ] {
+                let s = ListScheduler::with_policy(&m, policy);
+                // One scratch/outcome pair survives the whole sequence,
+                // so any state leaking between schedules diverges here.
+                let mut scratch = SchedScratch::new(&m);
+                let mut out = ScheduleOutcome::default();
+                for insts in &blocks {
+                    s.schedule_insts_into(insts, &mut scratch, &mut out);
+                    prop_assert_eq!(&out, &s.schedule_insts(insts), "{} block path diverged", policy);
+                    s.schedule_superblock_into(insts, &mut scratch, &mut out);
+                    prop_assert_eq!(&out, &s.schedule_superblock(insts), "{} superblock path diverged", policy);
+                }
+            }
+        }
     }
 }

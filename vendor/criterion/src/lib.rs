@@ -7,8 +7,18 @@
 //! `measurement_time` loosely, times each sample with [`std::time::Instant`],
 //! and prints a `name  time: [min mean max]` line per benchmark. There is
 //! no statistical analysis, plotting or baseline comparison.
+//!
+//! Two environment variables extend the real crate's surface for CI use:
+//!
+//! * `CRITERION_SAMPLES=<n>` caps every benchmark at `n` samples and
+//!   shrinks the warm-up/measurement budgets, for quick smoke runs.
+//! * `CRITERION_SUMMARY_JSON=<path>` appends one JSON object per
+//!   benchmark (`{"name":…,"min_ns":…,"mean_ns":…,"max_ns":…,"samples":…}`)
+//!   to `path`, so wrapper scripts can collect machine-readable results
+//!   without scraping stdout.
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -117,14 +127,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchName, mut f: F) -> &mut Self {
+    fn bencher(&self) -> Bencher {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
         };
+        apply_env_caps(&mut b.sample_size, &mut b.warm_up_time, &mut b.measurement_time);
+        b
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchName, mut f: F) -> &mut Self {
+        let mut b = self.bencher();
         f(&mut b);
         self.report(id.into_bench_name(), &b.samples);
         self
@@ -137,20 +153,17 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher {
-            samples: Vec::new(),
-            sample_size: self.sample_size,
-            warm_up_time: self.warm_up_time,
-            measurement_time: self.measurement_time,
-        };
+        let mut b = self.bencher();
         f(&mut b, input);
         self.report(id.into_bench_name(), &b.samples);
         self
     }
 
     fn report(&mut self, id: String, samples: &[Duration]) {
-        let line = summarize(&format!("{}/{}", self.name, id), samples);
+        let name = format!("{}/{}", self.name, id);
+        let line = summarize(&name, samples);
         println!("{line}");
+        append_summary_json(&name, samples);
         self.criterion.lines.push(line);
     }
 
@@ -172,6 +185,55 @@ fn summarize(name: &str, samples: &[Duration]) -> String {
         fmt_duration(*max),
         samples.len(),
     )
+}
+
+/// Sample-count cap from `CRITERION_SAMPLES`, if set and parseable.
+fn sample_cap() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES").ok()?.parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Applies the `CRITERION_SAMPLES` quick-run cap to a bench's settings:
+/// the sample count is capped and the time budgets shrunk so a CI smoke
+/// pass finishes in seconds rather than minutes.
+fn apply_env_caps(sample_size: &mut usize, warm_up: &mut Duration, measurement: &mut Duration) {
+    if let Some(cap) = sample_cap() {
+        *sample_size = (*sample_size).min(cap);
+        *warm_up = (*warm_up).min(Duration::from_millis(200));
+        *measurement = (*measurement).min(Duration::from_millis(500));
+    }
+}
+
+/// Appends one JSON result line to `$CRITERION_SUMMARY_JSON`, if set.
+/// Failures to open or write the file are reported on stderr but never
+/// fail the bench run.
+fn append_summary_json(name: &str, samples: &[Duration]) {
+    let Ok(path) = std::env::var("CRITERION_SUMMARY_JSON") else { return };
+    if path.is_empty() || samples.is_empty() {
+        return;
+    }
+    let min = samples.iter().min().unwrap().as_nanos();
+    let max = samples.iter().max().unwrap().as_nanos();
+    let mean = samples.iter().map(Duration::as_nanos).sum::<u128>() / samples.len() as u128;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let record = format!(
+        "{{\"name\":\"{escaped}\",\"min_ns\":{min},\"mean_ns\":{mean},\"max_ns\":{max},\"samples\":{}}}\n",
+        samples.len(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion shim: cannot append summary to {path}: {e}");
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -213,8 +275,10 @@ impl Criterion {
             warm_up_time: Duration::from_secs(3),
             measurement_time: Duration::from_secs(5),
         };
+        apply_env_caps(&mut b.sample_size, &mut b.warm_up_time, &mut b.measurement_time);
         f(&mut b);
         println!("{}", summarize(name, &b.samples));
+        append_summary_json(name, &b.samples);
         self
     }
 }
