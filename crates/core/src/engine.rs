@@ -88,7 +88,39 @@ pub struct CompiledFilter {
     conds: Vec<CompiledCond>,
     /// Exclusive end offset of each rule's conditions within `conds`.
     rule_ends: Vec<u32>,
+    /// Per-rule calibrated confidence (Laplace-smoothed training
+    /// precision), indexed like `rule_ends`.
+    scores: Vec<f64>,
+    /// Calibrated P(positive) of the reject region — the score emitted
+    /// when no rule fires.
+    default_score: f64,
     demand: FeatureMask,
+}
+
+/// One unit's calibrated verdict: which rule fired (if any) and the
+/// Laplace-smoothed probability that scheduling the unit pays off.
+///
+/// The boolean the legacy seam exposed is [`fired`](FilterScore::fired)
+/// `.is_some()` — [`decision`](FilterScore::decision) — and is computed
+/// from exactly the same short-circuit walk, so a
+/// [`DecisionPolicy::HardThreshold`](crate::DecisionPolicy::HardThreshold)
+/// deployment is bit-identical to the pre-score engine. The probability
+/// rides along for the cost-sensitive policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterScore {
+    /// Index of the first rule whose conditions all held, if any.
+    pub fired: Option<u32>,
+    /// Calibrated P(scheduling improves this unit): the firing rule's
+    /// confidence, or the reject region's residual positive rate.
+    pub probability: f64,
+}
+
+impl FilterScore {
+    /// The legacy boolean decision: did any rule fire?
+    #[inline]
+    pub fn decision(&self) -> bool {
+        self.fired.is_some()
+    }
 }
 
 impl CompiledFilter {
@@ -102,29 +134,56 @@ impl CompiledFilter {
     pub fn from_rule_set(rules: &RuleSet, name: impl Into<String>) -> CompiledFilter {
         let mut conds = Vec::with_capacity(rules.condition_count());
         let mut rule_ends = Vec::with_capacity(rules.len());
-        for rule in rules.rules() {
+        let mut scores = Vec::with_capacity(rules.len());
+        for (k, rule) in rules.rules().iter().enumerate() {
             for c in rule.conditions() {
                 conds.push(CompiledCond { attr: c.attr as u32, op: c.op, threshold: c.threshold });
             }
             rule_ends.push(conds.len() as u32);
+            scores.push(rules.rule_confidence(k));
         }
         let demand = FeatureMask::of(rules.referenced_attrs().into_iter().map(|a| {
             FeatureKind::from_index(a).unwrap_or_else(|| panic!("rule attribute {a} is not a known feature"))
         }));
-        CompiledFilter { name: name.into(), conds, rule_ends, demand }
+        CompiledFilter {
+            name: name.into(),
+            conds,
+            rule_ends,
+            scores,
+            default_score: rules.default_confidence(),
+            demand,
+        }
     }
 
-    /// The fixed LS strategy: a single empty rule that always fires.
+    /// The fixed LS strategy: a single empty rule that always fires,
+    /// with full confidence.
     pub fn always() -> CompiledFilter {
-        CompiledFilter { name: "LS".into(), conds: Vec::new(), rule_ends: vec![0], demand: FeatureMask::EMPTY }
+        CompiledFilter {
+            name: "LS".into(),
+            conds: Vec::new(),
+            rule_ends: vec![0],
+            scores: vec![1.0],
+            default_score: 0.0,
+            demand: FeatureMask::EMPTY,
+        }
     }
 
-    /// The fixed NS strategy: no rules, nothing ever fires.
+    /// The fixed NS strategy: no rules, nothing ever fires, nothing is
+    /// ever believed schedulable.
     pub fn never() -> CompiledFilter {
-        CompiledFilter { name: "NS".into(), conds: Vec::new(), rule_ends: Vec::new(), demand: FeatureMask::EMPTY }
+        CompiledFilter {
+            name: "NS".into(),
+            conds: Vec::new(),
+            rule_ends: Vec::new(),
+            scores: Vec::new(),
+            default_score: 0.0,
+            demand: FeatureMask::EMPTY,
+        }
     }
 
-    /// The size-threshold baseline: one rule, `bbLen >= min_len`.
+    /// The size-threshold baseline: one rule, `bbLen >= min_len`. A
+    /// hand-written heuristic has no training record, so both regions
+    /// score the uninformed 0.5.
     pub fn size_threshold(min_len: usize) -> CompiledFilter {
         CompiledFilter {
             name: format!("size>={min_len}"),
@@ -134,6 +193,8 @@ impl CompiledFilter {
                 threshold: min_len as f64,
             }],
             rule_ends: vec![1],
+            scores: vec![0.5],
+            default_score: 0.5,
             demand: FeatureMask::of([FeatureKind::BbLen]),
         }
     }
@@ -165,18 +226,65 @@ impl CompiledFilter {
     /// short-circuiting accounted for.
     #[inline]
     pub fn decide_counted(&self, values: &[f64]) -> (bool, u64) {
-        self.walk(|attr| values[attr])
+        let (fired, evaluated) = self.walk(|attr| values[attr]);
+        (fired.is_some(), evaluated)
     }
 
-    /// The one rule-table walk every decision path shares, parameterized
-    /// over how a feature value is fetched (dense slice or SoA column) so
-    /// the short-circuit and firing-order semantics cannot diverge
-    /// between the scalar and batch paths.
+    /// The calibrated score for one feature vector.
     #[inline]
-    fn walk(&self, mut value: impl FnMut(usize) -> f64) -> (bool, u64) {
+    pub fn score(&self, values: &[f64]) -> FilterScore {
+        self.score_counted(values).0
+    }
+
+    /// The calibrated score plus the conditions evaluated to reach it —
+    /// the same short-circuit walk as [`decide_counted`], so scoring
+    /// costs exactly what deciding costs; only the table lookup of the
+    /// firing rule's confidence is added.
+    ///
+    /// [`decide_counted`]: CompiledFilter::decide_counted
+    #[inline]
+    pub fn score_counted(&self, values: &[f64]) -> (FilterScore, u64) {
+        let (fired, evaluated) = self.walk(|attr| values[attr]);
+        (self.score_of(fired), evaluated)
+    }
+
+    /// Scores every row of a batch against the SoA columns, sharded like
+    /// [`classify_batch`](CompiledFilter::classify_batch); row `i`'s
+    /// `decision()` equals `classify_batch`'s row `i` for every thread
+    /// count.
+    pub fn score_batch(&self, batch: &FeatureBatch, threads: usize) -> Vec<FilterScore> {
+        let rows: Vec<u32> = (0..batch.len() as u32).collect();
+        let shards = crate::parallel::shard_map(&rows, threads, |slice| {
+            slice
+                .iter()
+                .map(|&row| self.score_of(self.walk(|attr| batch.value(attr, row as usize)).0))
+                .collect::<Vec<FilterScore>>()
+        });
+        shards.into_iter().flatten().collect()
+    }
+
+    /// Resolves a walk's fired-rule index into the calibrated score.
+    #[inline]
+    fn score_of(&self, fired: Option<u32>) -> FilterScore {
+        let probability = match fired {
+            Some(k) => self.scores[k as usize],
+            None => self.default_score,
+        };
+        FilterScore { fired, probability }
+    }
+
+    /// The one rule-table walk every path shares — boolean decisions,
+    /// counted work, calibrated scores, scalar and batch alike —
+    /// parameterized over how a feature value is fetched (dense slice or
+    /// SoA column) so the short-circuit and firing-order semantics
+    /// cannot diverge between any two of them. Returns the index of the
+    /// first rule that fired (the decision is its presence) and the
+    /// number of conditions evaluated.
+    #[inline]
+    fn walk(&self, mut value: impl FnMut(usize) -> f64) -> (Option<u32>, u64) {
         let mut evaluated = 0u64;
         let mut start = 0u32;
-        for &end in &self.rule_ends {
+        for (k, &end) in self.rule_ends.iter().enumerate() {
             let mut fired = true;
             for cond in &self.conds[start as usize..end as usize] {
                 evaluated += 1;
@@ -186,11 +294,11 @@ impl CompiledFilter {
                 }
             }
             if fired {
-                return (true, evaluated);
+                return (Some(k as u32), evaluated);
             }
             start = end;
         }
-        (false, evaluated)
+        (None, evaluated)
     }
 
     /// Conditions evaluated for one feature vector (the
@@ -227,7 +335,7 @@ impl CompiledFilter {
     /// One row's decision against the SoA columns.
     #[inline]
     fn decide_row(&self, batch: &FeatureBatch, row: usize) -> bool {
-        self.walk(|attr| batch.value(attr, row)).0
+        self.walk(|attr| batch.value(attr, row)).0.is_some()
     }
 }
 
@@ -417,6 +525,86 @@ mod tests {
         }
         assert!(FeatureBatch::from_traces(&[]).is_empty());
         assert!(compiled.classify_batch(&FeatureBatch::default(), 4).is_empty());
+    }
+
+    fn statted_rule_set() -> RuleSet {
+        let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();
+        RuleSet::new(
+            attr_names,
+            "list",
+            "orig",
+            vec![
+                Rule::from_conditions(vec![
+                    Condition { attr: FeatureKind::BbLen.index(), op: Op::Ge, threshold: 7.0 },
+                    Condition { attr: FeatureKind::Loads.index(), op: Op::Ge, threshold: 0.3 },
+                ]),
+                Rule::from_conditions(vec![Condition { attr: FeatureKind::Calls.index(), op: Op::Le, threshold: 0.1 }]),
+            ],
+            vec![RuleStats { hits: 924, misses: 12 }, RuleStats { hits: 10, misses: 30 }],
+            RuleStats { hits: 27476, misses: 1946 },
+        )
+    }
+
+    #[test]
+    fn scores_lower_the_laplace_confidences() {
+        let rs = statted_rule_set();
+        let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
+        // Rule 0 fires: high confidence.
+        let (s, n) = compiled.score_counted(fv(8.0, 0.5, 0.9).as_slice());
+        assert_eq!(s.fired, Some(0));
+        assert!((s.probability - rs.rule_confidence(0)).abs() < 1e-12);
+        assert!(s.probability > 0.9);
+        // Rule 1 fires: a weak rule stays weak.
+        let (s, _) = compiled.score_counted(fv(3.0, 0.9, 0.05).as_slice());
+        assert_eq!(s.fired, Some(1));
+        assert!((s.probability - rs.rule_confidence(1)).abs() < 1e-12);
+        assert!(s.probability < 0.5);
+        // Nothing fires: the reject region's residual positive rate.
+        let (s, _) = compiled.score_counted(fv(3.0, 0.0, 0.9).as_slice());
+        assert_eq!(s.fired, None);
+        assert!(!s.decision());
+        assert!((s.probability - rs.default_confidence()).abs() < 1e-12);
+        // Work accounting is unchanged by scoring.
+        assert_eq!(n, compiled.decide_counted(fv(8.0, 0.5, 0.9).as_slice()).1);
+    }
+
+    #[test]
+    fn score_decisions_are_bit_identical_to_decide_everywhere() {
+        let compiled = CompiledFilter::from_rule_set(&statted_rule_set(), "L/N");
+        let vectors = [fv(8.0, 0.5, 0.9), fv(3.0, 0.9, 0.05), fv(8.0, 0.1, 0.9), fv(1.0, 0.0, 0.5)];
+        for v in &vectors {
+            let (score, work) = compiled.score_counted(v.as_slice());
+            assert_eq!(score.decision(), compiled.decide(v.as_slice()), "{v}");
+            assert_eq!(work, compiled.decide_counted(v.as_slice()).1, "{v}");
+            assert_eq!(compiled.score(v.as_slice()), score);
+        }
+        let batch = FeatureBatch::from_vectors(vectors.iter());
+        for threads in [1, 2, 7] {
+            let scores = compiled.score_batch(&batch, threads);
+            let decisions = compiled.classify_batch(&batch, threads);
+            assert_eq!(scores.len(), decisions.len());
+            for (s, d) in scores.iter().zip(&decisions) {
+                assert_eq!(s.decision(), *d, "{threads} threads");
+            }
+            let scalar: Vec<FilterScore> = vectors.iter().map(|v| compiled.score(v.as_slice())).collect();
+            assert_eq!(scores, scalar, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn degenerate_tables_score_their_beliefs() {
+        let always = CompiledFilter::always();
+        let s = always.score(fv(0.0, 0.0, 0.0).as_slice());
+        assert_eq!((s.fired, s.probability), (Some(0), 1.0));
+        let never = CompiledFilter::never();
+        let s = never.score(fv(99.0, 1.0, 0.0).as_slice());
+        assert_eq!((s.fired, s.probability), (None, 0.0));
+        let size = CompiledFilter::size_threshold(5);
+        assert_eq!(size.score(fv(8.0, 0.0, 0.0).as_slice()).probability, 0.5);
+        assert_eq!(size.score(fv(3.0, 0.0, 0.0).as_slice()).probability, 0.5);
+        // Un-statted rule sets fall back to the uninformed 0.5 too.
+        let unstatted = CompiledFilter::from_rule_set(&two_rule_set(), "L/N");
+        assert_eq!(unstatted.score(fv(8.0, 0.5, 0.9).as_slice()).probability, 0.5);
     }
 
     #[test]

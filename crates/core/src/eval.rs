@@ -7,6 +7,7 @@
 //! work accounting is honest: per-condition (short-circuit aware) filter
 //! cost plus demand-masked extraction cost, instead of flat constants.
 
+use crate::policy::{DecisionPolicy, UnitEconomics};
 use crate::{Filter, LabelConfig, TraceRecord};
 use std::time::Instant;
 use wts_ripper::ConfusionMatrix;
@@ -58,6 +59,12 @@ pub struct EvalTimes {
     pub scheduled_blocks: usize,
     /// Total blocks.
     pub total_blocks: usize,
+    /// Estimator cycles the selected blocks' scheduling recovers at run
+    /// time, execution-weighted: `Σ exec · (est_unsched − est_sched)`
+    /// over the scheduled blocks. Signed, because a scheduling decision
+    /// the estimator dislikes must show up as a debit, not be clamped
+    /// away. Feeds [`net_cycles`](EvalTimes::net_cycles).
+    pub benefit_cycles: i64,
 }
 
 impl EvalTimes {
@@ -97,6 +104,18 @@ impl EvalTimes {
         overhead as f64 / self.always_work as f64
     }
 
+    /// The expected net application cycles this deployment earns: run
+    /// time recovered by the scheduled blocks minus the whole filtered
+    /// compile spend ([`filtered_work`](EvalTimes::filtered_work):
+    /// extraction + filter conditions + scheduling of selected blocks)
+    /// priced at `cycles_per_work` application cycles per work unit —
+    /// the same operating point a
+    /// [`BenefitModel`](crate::BenefitModel) deploys with. The
+    /// calibration table compares policies on exactly this number.
+    pub fn net_cycles(&self, cycles_per_work: f64) -> f64 {
+        self.benefit_cycles as f64 - cycles_per_work * self.filtered_work as f64
+    }
+
     /// Accumulates another benchmark's measurement into this one (used
     /// by the per-machine aggregation of the filter-cost table).
     pub fn accumulate(&mut self, other: &EvalTimes) {
@@ -108,6 +127,7 @@ impl EvalTimes {
         self.feature_work += other.feature_work;
         self.scheduled_blocks += other.scheduled_blocks;
         self.total_blocks += other.total_blocks;
+        self.benefit_cycles += other.benefit_cycles;
     }
 }
 
@@ -198,13 +218,30 @@ fn time_ratio(traces: &[TraceRecord], filter: &dyn Filter, cycles: impl Fn(&Trac
 /// than a forty-condition one, and a filter that reads two features is
 /// cheaper than one that reads twelve.
 pub fn sched_time_ratio(traces: &[TraceRecord], filter: &dyn Filter) -> EvalTimes {
+    sched_time_policy(traces, filter, &DecisionPolicy::HardThreshold)
+}
+
+/// [`sched_time_ratio`] with the schedule/skip call delegated to an
+/// explicit [`DecisionPolicy`]. Scoring rides the same short-circuit
+/// walk as the boolean decision, so under
+/// [`HardThreshold`](DecisionPolicy::HardThreshold) every channel —
+/// decisions, work, counts — is bit-identical to the legacy path; a
+/// cost-sensitive policy changes only which units are scheduled, and
+/// the [`benefit_cycles`](EvalTimes::benefit_cycles) /
+/// [`net_cycles`](EvalTimes::net_cycles) channels report whether those
+/// calls were worth it.
+pub fn sched_time_policy(traces: &[TraceRecord], filter: &dyn Filter, policy: &DecisionPolicy) -> EvalTimes {
     let compiled = filter.compile();
     let mut out = EvalTimes { total_blocks: traces.len(), ..EvalTimes::default() };
     for r in traces {
+        let insts = r.features.bb_len() as u64;
+        let feature_work = compiled.extraction_work(insts);
         let t0 = Instant::now();
-        let (decision, conditions) = compiled.decide_counted(r.features.as_slice());
+        let (score, conditions) = compiled.score_counted(r.features.as_slice());
+        let unit =
+            UnitEconomics { insts, exec_count: r.exec_count, filter_work: conditions, extraction_work: feature_work };
+        let decision = policy.decide(score, &unit);
         let filter_ns = t0.elapsed().as_nanos() as u64;
-        let feature_work = compiled.extraction_work(r.features.bb_len() as u64);
 
         out.always_ns += r.sched_ns;
         out.always_work += r.sched_work;
@@ -216,6 +253,30 @@ pub fn sched_time_ratio(traces: &[TraceRecord], filter: &dyn Filter) -> EvalTime
             out.scheduled_blocks += 1;
             out.filtered_ns += r.sched_ns;
             out.filtered_work += r.sched_work;
+            out.benefit_cycles += r.exec_count as i64 * (r.est_unsched as i64 - r.est_sched as i64);
+        }
+    }
+    out
+}
+
+/// The oracle-best-per-unit row of the calibration table: with the true
+/// per-unit channels in hand, schedule exactly the units whose
+/// execution-weighted estimator savings beat their own measured
+/// scheduling work priced at `cycles_per_work`. No filter runs — zero
+/// extraction and condition work is charged — so this is the
+/// non-deployable upper bound on [`EvalTimes::net_cycles`] any policy
+/// over these traces can reach.
+pub fn oracle_times(traces: &[TraceRecord], cycles_per_work: f64) -> EvalTimes {
+    let mut out = EvalTimes { total_blocks: traces.len(), ..EvalTimes::default() };
+    for r in traces {
+        let benefit = r.exec_count as i64 * (r.est_unsched as i64 - r.est_sched as i64);
+        out.always_ns += r.sched_ns;
+        out.always_work += r.sched_work;
+        if benefit as f64 > cycles_per_work * r.sched_work as f64 {
+            out.scheduled_blocks += 1;
+            out.filtered_ns += r.sched_ns;
+            out.filtered_work += r.sched_work;
+            out.benefit_cycles += benefit;
         }
     }
     out
@@ -404,6 +465,121 @@ mod tests {
         assert_eq!(e.overhead_fraction(), 0.0);
         assert_eq!(app_time_ratio(&[], &AlwaysSchedule), 1.0);
         assert_eq!(predicted_time_ratio(&[], &AlwaysSchedule), 100.0);
+    }
+
+    #[test]
+    fn ratio_edge_cases_are_pinned() {
+        // The PR-4 convention, spelled out channel by channel:
+        // 0/0 = 1.0 (indistinguishable), x/0 = +inf (never free).
+        let zero = EvalTimes::default();
+        assert_eq!(zero.work_ratio(), 1.0);
+        assert_eq!(zero.measured_ratio(), 1.0);
+        let spent = EvalTimes { filtered_work: 7, filtered_ns: 7, ..EvalTimes::default() };
+        assert_eq!(spent.work_ratio(), f64::INFINITY);
+        assert_eq!(spent.measured_ratio(), f64::INFINITY);
+        let normal = EvalTimes { filtered_work: 50, always_work: 100, ..EvalTimes::default() };
+        assert_eq!(normal.work_ratio(), 0.5);
+    }
+
+    #[test]
+    fn accumulating_an_infinite_side_recovers_a_finite_ratio() {
+        // One benchmark had nothing to schedule but the filter still
+        // spent work (ratio +inf); another was normal. The aggregate
+        // must charge the stranded spend against the real denominator —
+        // finite again, and strictly worse than the normal benchmark
+        // alone.
+        let stranded = EvalTimes { filtered_work: 10, filter_work: 10, ..EvalTimes::default() };
+        assert_eq!(stranded.work_ratio(), f64::INFINITY);
+        assert_eq!(stranded.overhead_fraction(), f64::INFINITY);
+        let normal = EvalTimes { filtered_work: 50, always_work: 100, filter_work: 5, ..EvalTimes::default() };
+        let mut sum = normal;
+        sum.accumulate(&stranded);
+        assert_eq!(sum.always_work, 100);
+        assert_eq!(sum.filtered_work, 60);
+        assert!((sum.work_ratio() - 0.6).abs() < 1e-12);
+        assert!(sum.work_ratio() > normal.work_ratio());
+        assert!((sum.overhead_fraction() - 0.15).abs() < 1e-12);
+        // Accumulating the other way is the same (order-independent).
+        let mut other = stranded;
+        other.accumulate(&normal);
+        assert_eq!(other, sum);
+    }
+
+    #[test]
+    fn accumulate_sums_benefit_and_counts() {
+        let a = EvalTimes { benefit_cycles: 40, scheduled_blocks: 2, total_blocks: 3, ..EvalTimes::default() };
+        let b = EvalTimes { benefit_cycles: -15, scheduled_blocks: 1, total_blocks: 4, ..EvalTimes::default() };
+        let mut sum = a;
+        sum.accumulate(&b);
+        assert_eq!(sum.benefit_cycles, 25);
+        assert_eq!(sum.scheduled_blocks, 3);
+        assert_eq!(sum.total_blocks, 7);
+    }
+
+    #[test]
+    fn policy_hard_threshold_matches_the_legacy_path_channel_for_channel() {
+        let t = traces();
+        for filter in [&SizeThresholdFilter::new(5) as &dyn Filter, &AlwaysSchedule, &NeverSchedule] {
+            let legacy = sched_time_ratio(&t, filter);
+            let hard = sched_time_policy(&t, filter, &DecisionPolicy::HardThreshold);
+            assert_eq!(
+                (legacy.filtered_work, legacy.always_work, legacy.filter_work, legacy.feature_work),
+                (hard.filtered_work, hard.always_work, hard.filter_work, hard.feature_work)
+            );
+            assert_eq!(legacy.scheduled_blocks, hard.scheduled_blocks);
+            assert_eq!(legacy.benefit_cycles, hard.benefit_cycles);
+        }
+    }
+
+    #[test]
+    fn benefit_cycles_weighs_scheduled_blocks_by_execution() {
+        let t = traces();
+        let e = sched_time_ratio(&t, &SizeThresholdFilter::new(5));
+        // Scheduled: the hot big block (100·(100−80)) and the cold one
+        // (1·(50−40)); the small no-benefit block is skipped.
+        assert_eq!(e.benefit_cycles, 100 * 20 + 10);
+        assert!((e.net_cycles(0.0) - e.benefit_cycles as f64).abs() < 1e-12);
+        assert!(e.net_cycles(1.0) < e.net_cycles(0.0), "pricing work in can only lower the net");
+        let ns = sched_time_ratio(&t, &NeverSchedule);
+        assert_eq!(ns.benefit_cycles, 0);
+        assert_eq!(ns.net_cycles(5.0), 0.0, "scheduling nothing and spending nothing nets zero");
+    }
+
+    #[test]
+    fn expected_benefit_skips_cold_and_worthless_units() {
+        use crate::policy::BenefitModel;
+        let t = traces();
+        // A generous operating point schedules the hot beneficial block
+        // but skips the cold one (gain 10 < quadratic sched estimate).
+        let policy = DecisionPolicy::ExpectedBenefit(BenefitModel { saved_per_inst: 2.0, cycles_per_work: 1.0 });
+        let e = sched_time_policy(&t, &AlwaysSchedule, &policy);
+        // AlwaysSchedule scores every unit at probability 1, so the
+        // policy keeps both hot blocks (it cannot see that one has no
+        // benefit) but drops the cold one: gain 2·12·1 = 24 is under the
+        // quadratic scheduling estimate for 12 instructions.
+        assert_eq!(e.scheduled_blocks, 2, "the cold block is not worth its spend");
+        assert_eq!(e.benefit_cycles, 100 * 20);
+        // The hard policy under LS schedules everything, including the
+        // units whose compile spend outweighs their benefit.
+        let hard = sched_time_policy(&t, &AlwaysSchedule, &DecisionPolicy::HardThreshold);
+        assert_eq!(hard.scheduled_blocks, 3);
+        assert!(e.net_cycles(1.0) > hard.net_cycles(1.0), "cost-sensitivity must beat schedule-everything here");
+    }
+
+    #[test]
+    fn oracle_is_an_upper_bound_and_charges_no_filter() {
+        let t = traces();
+        let oracle = oracle_times(&t, 1.0);
+        assert_eq!(oracle.filter_work + oracle.feature_work, 0, "the oracle needs no filter");
+        assert_eq!(oracle.total_blocks, 3);
+        // Schedules the hot block (2000 > 50) but not the cold one
+        // (10 < 50) or the no-benefit one.
+        assert_eq!(oracle.scheduled_blocks, 1);
+        assert_eq!(oracle.benefit_cycles, 2000);
+        for filter in [&SizeThresholdFilter::new(5) as &dyn Filter, &AlwaysSchedule, &NeverSchedule] {
+            let e = sched_time_ratio(&t, filter);
+            assert!(oracle.net_cycles(1.0) >= e.net_cycles(1.0), "{}", filter.name());
+        }
     }
 
     #[test]

@@ -48,8 +48,8 @@
 //! ```
 
 use crate::eval::{
-    app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio, ClassCounts,
-    EvalTimes,
+    app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_policy,
+    sched_time_ratio, ClassCounts, EvalTimes,
 };
 use crate::label::{build_dataset, LabelConfig};
 use crate::learner::{Learner, LearnerKind};
@@ -545,6 +545,37 @@ impl ExperimentRun {
         let mut total = EvalTimes::default();
         for bench in &self.names {
             total.accumulate(&self.sched_time(t, bench));
+        }
+        total
+    }
+
+    /// The leave-one-out calibrated expected-benefit policy for `bench`:
+    /// the savings rate comes from every *other* benchmark's traces,
+    /// mirroring the LOOCV training protocol — the held-out fold never
+    /// calibrates its own model, just as it never trains its own filter.
+    pub fn policy_for(&self, bench: &str, cycles_per_work: f64) -> crate::DecisionPolicy {
+        let i = self.index_of(bench);
+        let others = self.traces.iter().enumerate().filter(|&(j, _)| j != i).flat_map(|(_, t)| t);
+        crate::DecisionPolicy::expected_benefit(others, cycles_per_work)
+    }
+
+    /// [`sched_time`](ExperimentRun::sched_time) with the schedule/skip
+    /// call delegated to an explicit [`DecisionPolicy`](crate::DecisionPolicy).
+    pub fn sched_time_with_policy(&self, t: u32, bench: &str, policy: &crate::DecisionPolicy) -> EvalTimes {
+        sched_time_policy(self.trace_for(bench), &self.filter_for(t, bench), policy)
+    }
+
+    /// [`sched_time_total`](ExperimentRun::sched_time_total) under the
+    /// per-fold expected-benefit policy at operating point
+    /// `cycles_per_work`: each benchmark is evaluated with a
+    /// [`BenefitModel`](crate::BenefitModel) calibrated on the other
+    /// benchmarks' traces ([`policy_for`](ExperimentRun::policy_for)),
+    /// so the aggregate is as honest as the LOOCV error numbers.
+    pub fn sched_time_expected_benefit(&self, t: u32, cycles_per_work: f64) -> EvalTimes {
+        let mut total = EvalTimes::default();
+        for bench in &self.names {
+            let policy = self.policy_for(bench, cycles_per_work);
+            total.accumulate(&self.sched_time_with_policy(t, bench, &policy));
         }
         total
     }

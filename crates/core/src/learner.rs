@@ -107,15 +107,16 @@ impl LearnerKind {
 
 impl Learner for LearnerKind {
     fn fit(&self, data: &Dataset) -> RuleSet {
+        // The stump/tree backends lower through the same stats
+        // attribution RIPPER's finish pass uses, so their rules carry
+        // honest leaf class frequencies: each lowered rule's
+        // (hits/misses) record is the training composition of the
+        // instances it fires on first, and the default record is the
+        // reject region's. The calibrated scores the compiled engine
+        // emits are Laplace-smoothed from exactly these counts.
         let lowered = |rules: Vec<wts_ripper::Rule>| {
-            RuleSet::new(
-                data.attr_names().to_vec(),
-                data.pos_label(),
-                data.neg_label(),
-                rules,
-                vec![],
-                Default::default(),
-            )
+            let (stats, default_stats) = wts_ripper::attribute_stats(&rules, data);
+            RuleSet::new(data.attr_names().to_vec(), data.pos_label(), data.neg_label(), rules, stats, default_stats)
         };
         match self {
             LearnerKind::Ripper(config) => config.fit(data),
@@ -194,6 +195,25 @@ mod tests {
             let rules = kind.fit(&d);
             assert!(rules.is_empty(), "{}: empty data must not invent rules", kind.name());
             assert!(!rules.predict(&[5.0]));
+        }
+    }
+
+    #[test]
+    fn stump_and_tree_rules_carry_leaf_class_frequencies() {
+        let d = dataset();
+        for kind in [LearnerKind::Stump, LearnerKind::tree()] {
+            let rules = kind.fit(&d);
+            assert!(!rules.is_empty(), "{}: the separable dataset must induce rules", kind.name());
+            let fired: usize = rules.stats().iter().map(|s| s.hits + s.misses).sum();
+            let defaulted = rules.default_stats().hits + rules.default_stats().misses;
+            assert_eq!(fired + defaulted, d.len(), "{}: every instance attributed exactly once", kind.name());
+            assert!(fired > 0, "{}: some instances must fire a rule", kind.name());
+            // x >= 0.4 is learnable here, so firing regions are mostly
+            // positive and the reject region mostly negative.
+            for (k, s) in rules.stats().iter().enumerate() {
+                assert!(rules.rule_confidence(k) > 0.5, "{}: rule {k} {s:?} should be positive-leaning", kind.name());
+            }
+            assert!(rules.default_confidence() < 0.5, "{}: reject region should be negative-leaning", kind.name());
         }
     }
 

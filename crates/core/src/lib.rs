@@ -68,15 +68,16 @@ mod label;
 mod learner;
 mod matrix;
 pub mod parallel;
+mod policy;
 #[doc(hidden)]
 pub mod testutil;
 mod trace;
 mod train;
 
-pub use engine::{CompiledFilter, FeatureBatch};
+pub use engine::{CompiledFilter, FeatureBatch, FilterScore};
 pub use eval::{
-    app_time_ratio, classification_matrix, predicted_time_ratio, runtime_classification, sched_time_ratio, ClassCounts,
-    EvalTimes,
+    app_time_ratio, classification_matrix, oracle_times, predicted_time_ratio, runtime_classification,
+    sched_time_policy, sched_time_ratio, ClassCounts, EvalTimes,
 };
 pub use experiment::{CorpusError, Experiment, ExperimentRun, LoocvFilters};
 pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
@@ -86,10 +87,11 @@ pub use io::{
 };
 pub use label::{build_dataset, LabelConfig};
 pub use learner::{Learner, LearnerKind};
-pub use matrix::{ExperimentMatrix, MachinePortfolio, MatrixRun, PortfolioEntry};
+pub use matrix::{CalibrationRow, ExperimentMatrix, MachinePortfolio, MatrixRun, PortfolioEntry};
+pub use policy::{BenefitModel, DecisionPolicy, UnitEconomics};
 pub use trace::{
     collect_method_trace, collect_trace, collect_trace_with, collect_trace_with_policy, collect_trace_with_providers,
-    filtered_schedule_pass, FilteredPass, TimingMode, TraceOptions, TraceRecord,
+    filtered_schedule_pass, filtered_schedule_pass_with, FilteredPass, TimingMode, TraceOptions, TraceRecord,
 };
 pub use train::{train_filter, train_loocv, train_loocv_sharded, TrainConfig};
 // The scope axis: formation lives in `wts_ir`, the pipeline threads it.

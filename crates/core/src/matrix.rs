@@ -46,10 +46,11 @@
 //! assert_eq!(matrix.run_for("embedded").all_traces().len(), 1);
 //! ```
 
-use crate::eval::classification_matrix;
+use crate::eval::{classification_matrix, oracle_times};
 use crate::experiment::{Experiment, ExperimentRun};
 use crate::label::LabelConfig;
 use crate::learner::LearnerKind;
+use crate::policy::BenefitModel;
 use crate::trace::{collect_method_trace, TraceRecord};
 use crate::{EvalTimes, LearnedFilter};
 use wts_ir::Program;
@@ -302,6 +303,65 @@ impl MatrixRun {
     }
 }
 
+/// The calibration table: how each decision policy spends and recovers
+/// cycles on each machine, at one labeling threshold and operating
+/// point.
+impl MatrixRun {
+    /// One [`CalibrationRow`] per machine at threshold `t` and operating
+    /// point `cycles_per_work`:
+    ///
+    /// * **baseline** — the threshold-`t` LOOCV filters under the
+    ///   paper's hard policy (schedule iff a rule fired);
+    /// * **expected_benefit** — the same filters, with the schedule/skip
+    ///   call made by a per-fold
+    ///   [`BenefitModel`] calibrated on the *other* benchmarks' traces;
+    /// * **oracle** — the non-deployable upper bound that schedules
+    ///   exactly the units whose measured benefit beats their scheduling
+    ///   spend, charging no filter or extraction work.
+    ///
+    /// The headline comparison is
+    /// [`net_cycles`](crate::EvalTimes::net_cycles) at the same
+    /// operating point: estimator cycles recovered minus compile-time
+    /// work priced in application cycles.
+    pub fn calibration(&self, t: u32, cycles_per_work: f64) -> Vec<CalibrationRow> {
+        self.machines
+            .iter()
+            .zip(&self.runs)
+            .map(|(m, run)| CalibrationRow {
+                machine: m.name().to_string(),
+                model: BenefitModel::calibrate(run.all_traces(), cycles_per_work),
+                baseline: run.sched_time_total(t),
+                expected_benefit: run.sched_time_expected_benefit(t, cycles_per_work),
+                oracle: oracle_times(run.all_traces(), cycles_per_work),
+            })
+            .collect()
+    }
+}
+
+/// One machine's row of the calibration table: the same LOOCV filters
+/// evaluated under the hard policy and the expected-benefit policy,
+/// bracketed by the per-unit oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRow {
+    /// Machine name.
+    pub machine: String,
+    /// The whole-corpus savings rate at the chosen operating point —
+    /// the display model; each fold's decisions use a leave-one-out
+    /// calibration of the same shape.
+    pub model: BenefitModel,
+    /// The hard-threshold policy: the legacy boolean seam, bit-identical
+    /// to the pre-score engine.
+    pub baseline: EvalTimes,
+    /// The expected-benefit policy with per-fold LOOCV-calibrated
+    /// models.
+    pub expected_benefit: EvalTimes,
+    /// Oracle-best per unit: schedules exactly the units whose measured
+    /// benefit beats their scheduling spend, with no filter or
+    /// extraction charged. Non-deployable; brackets what any policy
+    /// could recover.
+    pub oracle: EvalTimes,
+}
+
 /// One learner's row of the portfolio table on one machine: aggregate
 /// LOOCV classification error, geometric-mean time ratios, model size
 /// and the honest overhead accounting of its compiled filters.
@@ -490,6 +550,55 @@ mod tests {
                     assert!(best.overhead_work() <= e.overhead_work(), "{}: {} is cheaper", mp.machine, e.learner);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn calibration_brackets_every_policy_with_the_oracle() {
+        let m = deterministic().run(&suite());
+        let c = 1.0;
+        let rows = m.calibration(0, c);
+        assert_eq!(rows.len(), m.machines().len());
+        for (row, expect) in rows.iter().zip(m.machine_names()) {
+            assert_eq!(row.machine, expect);
+            assert_eq!(row.model.cycles_per_work, c);
+            assert!(row.model.saved_per_inst >= 0.0);
+            for times in [&row.baseline, &row.expected_benefit, &row.oracle] {
+                assert_eq!(times.total_blocks, 3 * 5 * 3, "{}: all benchmarks aggregated", row.machine);
+            }
+            assert_eq!(row.oracle.filter_work + row.oracle.feature_work, 0, "the oracle runs no filter");
+            // The oracle sees the true per-unit channels; no deployable
+            // policy over the same traces can net more.
+            let bound = row.oracle.net_cycles(c);
+            assert!(row.baseline.net_cycles(c) <= bound + 1e-9, "{}: baseline beats the oracle", row.machine);
+            assert!(row.expected_benefit.net_cycles(c) <= bound + 1e-9, "{}: eb beats the oracle", row.machine);
+        }
+        // The point of the policy layer: cost-sensitivity must pay off
+        // somewhere in the registry.
+        assert!(
+            rows.iter().any(|r| r.expected_benefit.net_cycles(c) >= r.baseline.net_cycles(c)),
+            "expected-benefit never reaches the fixed-threshold baseline on any machine"
+        );
+    }
+
+    #[test]
+    fn calibration_baseline_matches_the_filter_cost_table() {
+        let m = deterministic().run(&suite());
+        let rows = m.calibration(0, 2.0);
+        for ((name, cost), row) in m.filter_cost(0).iter().zip(&rows) {
+            assert_eq!(name, &row.machine);
+            // Every deterministic channel agrees (the ns channels are
+            // wall-clock and excluded).
+            let b = &row.baseline;
+            assert_eq!(
+                (cost.filtered_work, cost.always_work, cost.filter_work, cost.feature_work),
+                (b.filtered_work, b.always_work, b.filter_work, b.feature_work),
+                "{name}: the hard-policy row is the legacy aggregate"
+            );
+            assert_eq!(
+                (cost.scheduled_blocks, cost.total_blocks, cost.benefit_cycles),
+                (b.scheduled_blocks, b.total_blocks, b.benefit_cycles)
+            );
         }
     }
 

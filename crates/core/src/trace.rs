@@ -491,6 +491,24 @@ pub fn filtered_schedule_pass(
     filter: &CompiledFilter,
     options: &TraceOptions,
 ) -> FilteredPass {
+    filtered_schedule_pass_with(program, machine, filter, &crate::DecisionPolicy::HardThreshold, options)
+}
+
+/// [`filtered_schedule_pass`] with the schedule/skip call delegated to
+/// an explicit [`DecisionPolicy`](crate::DecisionPolicy): the deployed
+/// loop scores each unit through the same short-circuit walk the
+/// boolean path uses and hands the calibrated score plus the unit's
+/// economics (size, profile weight, work already spent deciding) to the
+/// policy. Under
+/// [`HardThreshold`](crate::DecisionPolicy::HardThreshold) the pass is
+/// bit-identical to [`filtered_schedule_pass`] on every work channel.
+pub fn filtered_schedule_pass_with(
+    program: &Program,
+    machine: &MachineConfig,
+    filter: &CompiledFilter,
+    policy: &crate::DecisionPolicy,
+    options: &TraceOptions,
+) -> FilteredPass {
     let shards = crate::parallel::shard_map(program.methods(), options.threads, |slice| {
         let scheduler = ListScheduler::with_policy(machine, options.policy);
         let mut ctx = SchedCtx::new(machine);
@@ -499,13 +517,19 @@ pub fn filtered_schedule_pass(
             match options.scope {
                 ScopeKind::Block => {
                     for block in method.blocks() {
-                        filtered_unit(block.insts(), TraceShape::block(), &scheduler, &mut ctx, filter, &mut totals);
+                        let unit = PassUnit {
+                            insts: block.insts(),
+                            shape: TraceShape::block(),
+                            exec_count: block.exec_count(),
+                        };
+                        filtered_unit(&unit, &scheduler, &mut ctx, filter, policy, &mut totals);
                     }
                 }
                 ScopeKind::Superblock(ratio) => {
                     for sb in form_superblocks(method, ratio) {
                         let shape = TraceShape::of_trace(&sb.insts, sb.width() as u32);
-                        filtered_unit(&sb.insts, shape, &scheduler, &mut ctx, filter, &mut totals);
+                        let unit = PassUnit { insts: &sb.insts, shape, exec_count: sb.exec_count };
+                        filtered_unit(&unit, &scheduler, &mut ctx, filter, policy, &mut totals);
                     }
                 }
             }
@@ -519,22 +543,38 @@ pub fn filtered_schedule_pass(
     totals
 }
 
+/// One scope unit of the deployed pass, as handed to [`filtered_unit`].
+struct PassUnit<'a> {
+    insts: &'a [Inst],
+    shape: TraceShape,
+    exec_count: u64,
+}
+
 /// One scope unit of the deployed pass: timed extraction + decision +
 /// (maybe) scheduling, then untimed work bookkeeping.
 fn filtered_unit<'m>(
-    insts: &[Inst],
-    shape: TraceShape,
+    unit: &PassUnit<'_>,
     scheduler: &ListScheduler<'m>,
     ctx: &mut SchedCtx<'m>,
     filter: &CompiledFilter,
+    policy: &crate::DecisionPolicy,
     totals: &mut FilteredPass,
 ) {
-    let speculative = shape.width > 1;
+    let insts = unit.insts;
+    let speculative = unit.shape.width > 1;
+    let extraction_work = filter.extraction_work(insts.len() as u64);
     // Time only what the deployed pass would run: masked extraction,
-    // the condition table, and the scheduler.
+    // the condition table, the policy call and the scheduler.
     let t0 = Instant::now();
-    let features = FeatureVector::from_insts_shaped(insts, shape, filter.demand());
-    let (decision, conditions) = filter.decide_counted(features.as_slice());
+    let features = FeatureVector::from_insts_shaped(insts, unit.shape, filter.demand());
+    let (score, conditions) = filter.score_counted(features.as_slice());
+    let economics = crate::UnitEconomics {
+        insts: insts.len() as u64,
+        exec_count: unit.exec_count,
+        filter_work: conditions,
+        extraction_work,
+    };
+    let decision = policy.decide(score, &economics);
     if decision {
         if speculative {
             scheduler.schedule_superblock_into(insts, &mut ctx.scratch, &mut ctx.outcome);
@@ -549,7 +589,7 @@ fn filtered_unit<'m>(
     // the edge count off the graph the scheduler just built.
     totals.total_blocks += 1;
     totals.conditions_evaluated += conditions;
-    totals.extraction_work += filter.extraction_work(insts.len() as u64);
+    totals.extraction_work += extraction_work;
     if decision {
         totals.scheduled_blocks += 1;
         totals.sched_work += sched_work_proxy(insts.len(), ctx.scratch.last_edge_count());

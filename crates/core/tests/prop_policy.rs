@@ -1,0 +1,202 @@
+//! The decision layer's correctness contract: scoring is the boolean
+//! engine plus calibration — a [`HardThreshold`](DecisionPolicy) deployment
+//! is bit-identical to the legacy `decide` path on random tables, through
+//! the batch API, and on every trained LOOCV fold across every registry
+//! machine, learner backend, and scheduling scope.
+
+use proptest::prelude::*;
+use wts_core::{
+    filtered_schedule_pass, filtered_schedule_pass_with, DecisionPolicy, Experiment, FeatureBatch, Filter, Learner,
+    LearnerKind, ScopeKind, TimingMode, TraceOptions, UnitEconomics,
+};
+use wts_features::{FeatureKind, FeatureVector};
+use wts_ripper::{Condition, Op, Rule, RuleSet, RuleStats};
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    (0usize..FeatureKind::COUNT, prop::bool::ANY, 0u32..40).prop_map(|(attr, ge, t)| Condition {
+        attr,
+        op: if ge { Op::Ge } else { Op::Le },
+        threshold: t as f64 / 8.0,
+    })
+}
+
+/// Random rule sets *with* random coverage statistics, so scores span
+/// the whole calibration range instead of sitting on the empty-stats
+/// default of one half.
+fn arb_statted_rule_set() -> impl Strategy<Value = RuleSet> {
+    // One (conditions, stats) pair per rule, so the stats vector always
+    // matches the rule count.
+    let rules = prop::collection::vec((prop::collection::vec(arb_condition(), 0..5), 0usize..500, 0usize..500), 0..5);
+    (rules, (0usize..500, 0usize..500)).prop_map(|(rules, default)| {
+        let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();
+        let stats = rules.iter().map(|&(_, hits, misses)| RuleStats { hits, misses }).collect();
+        RuleSet::new(
+            attr_names,
+            "list",
+            "orig",
+            rules.into_iter().map(|(conds, _, _)| Rule::from_conditions(conds)).collect(),
+            stats,
+            RuleStats { hits: default.0, misses: default.1 },
+        )
+    })
+}
+
+fn arb_vector() -> impl Strategy<Value = FeatureVector> {
+    let fracs = prop::collection::vec(0u32..17, FeatureKind::CATEGORY_COUNT..FeatureKind::CATEGORY_COUNT + 1);
+    (0u32..200, fracs).prop_map(|(bb_len, fracs)| {
+        let mut v = [0.0; FeatureKind::COUNT];
+        v[FeatureKind::BbLen.index()] = bb_len as f64;
+        for (i, f) in fracs.iter().enumerate() {
+            v[i + 1] = *f as f64 / 16.0;
+        }
+        FeatureVector::from_values(v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scoring_never_changes_the_decision_or_the_work(rs in arb_statted_rule_set(),
+                                                      vectors in prop::collection::vec(arb_vector(), 1..20)) {
+        let compiled = wts_core::CompiledFilter::from_rule_set(&rs, "L/N");
+        let hard = DecisionPolicy::HardThreshold;
+        for v in &vectors {
+            let (decision, work) = compiled.decide_counted(v.as_slice());
+            let (score, score_work) = compiled.score_counted(v.as_slice());
+            prop_assert_eq!(work, score_work, "scoring rides the same short-circuit walk");
+            prop_assert_eq!(decision, score.decision());
+            prop_assert_eq!(decision, compiled.score(v.as_slice()).decision());
+            // The hard policy ignores the economics entirely.
+            let unit = UnitEconomics { insts: 1, exec_count: u64::MAX, filter_work: work, extraction_work: 0 };
+            prop_assert_eq!(decision, hard.decide(score, &unit));
+            prop_assert!((0.0..=1.0).contains(&score.probability), "calibrated score out of range: {}", score.probability);
+        }
+    }
+
+    #[test]
+    fn score_batch_matches_scalar_at_any_thread_count(rs in arb_statted_rule_set(),
+                                                      vectors in prop::collection::vec(arb_vector(), 0..40),
+                                                      threads in 1usize..8) {
+        let compiled = wts_core::CompiledFilter::from_rule_set(&rs, "L/N");
+        let batch = FeatureBatch::from_vectors(vectors.iter());
+        let batched = compiled.score_batch(&batch, threads);
+        prop_assert_eq!(batched.len(), vectors.len());
+        for (s, v) in batched.iter().zip(&vectors) {
+            prop_assert_eq!(*s, compiled.score(v.as_slice()));
+            prop_assert_eq!(s.decision(), compiled.decide(v.as_slice()));
+        }
+    }
+}
+
+/// One deterministic pass-channel comparison: the policy-aware pass
+/// under [`DecisionPolicy::HardThreshold`] against the legacy pass, on
+/// every deterministic channel.
+fn assert_pass_pinned(
+    program: &wts_ir::Program,
+    machine: &wts_machine::MachineConfig,
+    filter: &dyn Filter,
+    scope: ScopeKind,
+    context: &str,
+) {
+    let options = TraceOptions { timing: TimingMode::Deterministic, scope, ..TraceOptions::default() };
+    let compiled = filter.compile();
+    let legacy = filtered_schedule_pass(program, machine, &compiled, &options);
+    let hard = filtered_schedule_pass_with(program, machine, &compiled, &DecisionPolicy::HardThreshold, &options);
+    assert_eq!(legacy.total_blocks, hard.total_blocks, "{context}: total units");
+    assert_eq!(legacy.scheduled_blocks, hard.scheduled_blocks, "{context}: scheduled units");
+    assert_eq!(legacy.conditions_evaluated, hard.conditions_evaluated, "{context}: filter work");
+    assert_eq!(legacy.extraction_work, hard.extraction_work, "{context}: extraction work");
+    assert_eq!(legacy.sched_work, hard.sched_work, "{context}: scheduling work");
+}
+
+/// The acceptance bar: on every registry machine and every portfolio
+/// backend, a hard-threshold deployment of each block-scope LOOCV fold
+/// is bit-identical to the legacy boolean filter — per-record decisions,
+/// batch scores, and the deployed pass's work channels.
+#[test]
+fn hard_threshold_deployments_pin_the_boolean_seam_at_block_scope() {
+    let programs = wts_core::testutil::learnable_suite(5);
+    for machine in wts_machine::registry() {
+        let run = Experiment::new(machine.clone()).with_timing(TimingMode::Deterministic).run(programs.clone());
+        for learner in LearnerKind::portfolio() {
+            for (bench, learned) in run.loocv_filters_for(0, &learner).iter() {
+                let compiled = learned.compile();
+                for r in run.all_traces() {
+                    let (decision, work) = compiled.decide_counted(r.features.as_slice());
+                    let (score, score_work) = compiled.score_counted(r.features.as_slice());
+                    assert_eq!(decision, score.decision(), "{}/{}/{bench}", machine.name(), learner.name());
+                    assert_eq!(work, score_work, "{}/{}/{bench}", machine.name(), learner.name());
+                    assert!((0.0..=1.0).contains(&score.probability));
+                }
+                let batch = FeatureBatch::from_traces(run.all_traces());
+                let scored: Vec<bool> = compiled.score_batch(&batch, 4).iter().map(|s| s.decision()).collect();
+                assert_eq!(scored, compiled.classify_batch(&batch, 4), "{}/{}/{bench}", machine.name(), learner.name());
+                for program in run.programs() {
+                    assert_pass_pinned(
+                        program,
+                        &machine,
+                        learned,
+                        ScopeKind::Block,
+                        &format!("{}/{}/{bench}/{}", machine.name(), learner.name(), program.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same bar at superblock scope: the policy-aware pass under the
+/// hard policy stays pinned to the legacy pass when the decision unit is
+/// a formed trace, for every registry machine and backend.
+#[test]
+fn hard_threshold_deployments_pin_the_boolean_seam_at_superblock_scope() {
+    let programs = wts_core::testutil::mergeable_suite(4);
+    let scope = ScopeKind::Superblock(70);
+    for machine in wts_machine::registry() {
+        let run = Experiment::new(machine.clone())
+            .with_timing(TimingMode::Deterministic)
+            .with_scope(scope)
+            .run(programs.clone());
+        assert!(
+            run.all_traces().iter().any(|r| r.features.get(FeatureKind::TraceWidth) > 1.0),
+            "{}: the corpus must contain genuinely merged traces",
+            machine.name()
+        );
+        for learner in LearnerKind::portfolio() {
+            for (bench, learned) in run.loocv_filters_for(0, &learner).iter() {
+                for program in run.programs() {
+                    assert_pass_pinned(
+                        program,
+                        &machine,
+                        learned,
+                        scope,
+                        &format!("{}/{}/{bench}/{}", machine.name(), learner.name(), program.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fixed strategies score their beliefs but decide exactly as before —
+/// including through the pass — and an `ExpectedBenefit` pass can only
+/// schedule a subset of what an always-fired filter would (sanity: the
+/// graded policy is actually wired through the deployed pass).
+#[test]
+fn fixed_filters_stay_pinned_and_expected_benefit_reaches_the_pass() {
+    use wts_core::{AlwaysSchedule, BenefitModel, NeverSchedule, SizeThresholdFilter};
+    let programs = wts_core::testutil::learnable_suite(3);
+    let machine = wts_machine::MachineConfig::ppc7410();
+    for f in [&AlwaysSchedule as &dyn Filter, &NeverSchedule, &SizeThresholdFilter::new(5)] {
+        assert_pass_pinned(&programs[0], &machine, f, ScopeKind::Block, &f.name());
+    }
+    let options = TraceOptions { timing: TimingMode::Deterministic, ..TraceOptions::default() };
+    let compiled = AlwaysSchedule.compile();
+    let hard = filtered_schedule_pass(&programs[0], &machine, &compiled, &options);
+    let stingy = DecisionPolicy::ExpectedBenefit(BenefitModel { saved_per_inst: 0.0, cycles_per_work: 1.0 });
+    let none = filtered_schedule_pass_with(&programs[0], &machine, &compiled, &stingy, &options);
+    assert_eq!(none.scheduled_blocks, 0, "a zero-rate model schedules nothing");
+    assert_eq!(none.total_blocks, hard.total_blocks);
+    assert!(none.sched_work < hard.sched_work, "skipping everything must shed the scheduling work");
+}

@@ -15,7 +15,7 @@
 //! machine at block and superblock scope side by side.
 
 use std::process::ExitCode;
-use wts_experiments::{table1, table2, table7, Experiments, PORTFOLIO_TOLERANCE};
+use wts_experiments::{table1, table2, table7, Experiments, CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE};
 
 const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|superblock|adaptive|selftrain|matrix|portfolio|all]...";
 
@@ -133,6 +133,7 @@ fn main() -> ExitCode {
                         println!("{}", e.machine_sweep(m));
                         println!("{}", e.cross_machine(m, 0));
                         println!("{}", e.filter_overhead(m, 0));
+                        println!("{}", e.calibration(m, 0, CALIBRATION_OPERATING_POINT));
                     }
                     "portfolio" => {
                         let m = matrix_run.get_or_insert_with(|| {
@@ -141,6 +142,7 @@ fn main() -> ExitCode {
                         });
                         eprintln!("# training every backend on every machine...");
                         println!("{}", e.portfolio(m, 0, PORTFOLIO_TOLERANCE));
+                        println!("{}", e.calibration(m, 0, CALIBRATION_OPERATING_POINT));
                     }
                     "factory" => println!("{}", e.factory_filter(20)),
                     _ => unreachable!("validated above"),

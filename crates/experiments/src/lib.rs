@@ -23,7 +23,7 @@ mod statics;
 mod table;
 mod tables;
 
-pub use matrix::PORTFOLIO_TOLERANCE;
+pub use matrix::{CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE};
 pub use statics::{table1, table2, table7};
 pub use table::Table;
 

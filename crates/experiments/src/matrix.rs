@@ -17,6 +17,13 @@ use wts_jit::{superblock_gain, SuperblockGain};
 /// trades real accuracy for overhead savings.
 pub const PORTFOLIO_TOLERANCE: f64 = 2.0;
 
+/// The default operating point of the calibration table: one unit of
+/// compile-time work (filter conditions, masked extraction, scheduling
+/// proxy) priced at one application cycle. A JIT under compile-time
+/// pressure would deploy a higher value; `repro`'s tables use this
+/// neutral point so the policies are compared on the same footing.
+pub const CALIBRATION_OPERATING_POINT: f64 = 1.0;
+
 impl Experiments {
     /// Runs the full pipeline for every registry machine over the FP
     /// suite's programs, sharding the machines×methods product across
@@ -113,6 +120,56 @@ impl Experiments {
             }
             let best = mp.best_entry();
             table.push_row(portfolio_cells(&mp.machine, &format!("best={}", best.learner), best));
+        }
+        table
+    }
+
+    /// The calibration table: per registry machine, the threshold-`t`
+    /// LOOCV filters evaluated under both decision policies, bracketed
+    /// by the per-unit oracle. Columns are expected net application
+    /// cycles ([`EvalTimes::net_cycles`](wts_core::EvalTimes::net_cycles)
+    /// at `cycles_per_work`) and scheduled-unit counts for:
+    ///
+    /// * **hard** — the paper's fixed operating point (schedule iff a
+    ///   rule fired), bit-identical to the boolean seam;
+    /// * **eb** — the expected-benefit policy, each fold deciding with a
+    ///   [`BenefitModel`](wts_core::BenefitModel) calibrated on the
+    ///   *other* benchmarks (the LOOCV protocol applied to calibration);
+    /// * **oracle** — schedules exactly the units whose measured benefit
+    ///   beats their own scheduling spend, charging no filter. The
+    ///   non-deployable ceiling.
+    ///
+    /// The `Δ(eb−hard)` column is the headline: where it is positive,
+    /// cost-sensitive decisions recover cycles the fixed threshold
+    /// leaves on the table — without retraining anything.
+    pub fn calibration(&self, matrix: &MatrixRun, t: u32, cycles_per_work: f64) -> Table {
+        let headers = vec![
+            format!("Machine (t={t}, c={cycles_per_work})"),
+            "Rate".into(),
+            "Hard net".into(),
+            "EB net".into(),
+            "Oracle net".into(),
+            "Δ(eb−hard)".into(),
+            "Sched hard".into(),
+            "Sched eb".into(),
+            "Sched oracle".into(),
+        ];
+        let mut table =
+            Table::new("Calibration: expected net application cycles per decision policy, per machine", headers);
+        for row in matrix.calibration(t, cycles_per_work) {
+            let hard = row.baseline.net_cycles(cycles_per_work);
+            let eb = row.expected_benefit.net_cycles(cycles_per_work);
+            table.push_row(vec![
+                row.machine,
+                f3(row.model.saved_per_inst),
+                format!("{hard:.0}"),
+                format!("{eb:.0}"),
+                format!("{:.0}", row.oracle.net_cycles(cycles_per_work)),
+                format!("{:.0}", eb - hard),
+                row.baseline.scheduled_blocks.to_string(),
+                row.expected_benefit.scheduled_blocks.to_string(),
+                row.oracle.scheduled_blocks.to_string(),
+            ]);
         }
         table
     }
@@ -317,6 +374,31 @@ mod tests {
             });
             assert!(matched, "machine {i}: the best= row must repeat one backend's cells verbatim");
         }
+    }
+
+    #[test]
+    fn calibration_table_brackets_policies_and_pays_off_somewhere() {
+        let e = harness();
+        let m = e.matrix();
+        let t = e.calibration(&m, 0, CALIBRATION_OPERATING_POINT);
+        assert_eq!(t.row_count(), registry_names().len());
+        let mut eb_wins = 0usize;
+        for row in 0..t.row_count() {
+            assert_eq!(t.cell(row, 0), registry_names()[row]);
+            let hard: f64 = t.cell(row, 2).parse().unwrap();
+            let eb: f64 = t.cell(row, 3).parse().unwrap();
+            let oracle: f64 = t.cell(row, 4).parse().unwrap();
+            assert!(oracle >= hard && oracle >= eb, "row {row}: the oracle is the ceiling");
+            let delta: f64 = t.cell(row, 5).parse().unwrap();
+            assert!((delta - (eb - hard)).abs() <= 1.0, "row {row}: Δ column disagrees with its operands");
+            if eb >= hard {
+                eb_wins += 1;
+            }
+            let sched_hard: usize = t.cell(row, 6).parse().unwrap();
+            let sched_eb: usize = t.cell(row, 7).parse().unwrap();
+            assert!(sched_hard > 0 && sched_eb > 0, "row {row}: both policies must schedule something");
+        }
+        assert!(eb_wins >= 1, "expected-benefit must reach the fixed threshold on at least one machine");
     }
 
     #[test]

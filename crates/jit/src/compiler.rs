@@ -1,14 +1,20 @@
-//! The JIT scheduling pass: features → filter → (maybe) schedule.
+//! The JIT scheduling pass: features → filter → decision policy →
+//! (maybe) schedule.
 //!
 //! The filter is lowered once per compile ([`Filter::compile`]) and every
 //! block then runs the deployed fast path: one demand-masked feature
 //! pass over exactly the features the compiled rules read, then the flat
-//! condition table. Decisions are bit-identical to the interpreted
-//! filter, so the output program is unchanged — only the filter's own
-//! cost shrinks.
+//! condition table, which now yields a calibrated
+//! [`FilterScore`](wts_core::FilterScore). The schedule/skip call is
+//! made by the session's [`DecisionPolicy`] — under the default
+//! [`HardThreshold`](DecisionPolicy::HardThreshold) it is bit-identical
+//! to the interpreted boolean filter, so the output program is
+//! unchanged; an [`ExpectedBenefit`](DecisionPolicy::ExpectedBenefit)
+//! session weighs each block's calibrated probability and hotness
+//! against the compile spend instead.
 
 use std::time::Instant;
-use wts_core::{CompiledFilter, Filter};
+use wts_core::{CompiledFilter, DecisionPolicy, Filter, UnitEconomics};
 use wts_features::FeatureVector;
 use wts_ir::Program;
 use wts_machine::{CostModel, MachineConfig, PipelineSim};
@@ -52,22 +58,38 @@ impl CompileStats {
 pub struct CompileSession<'m> {
     machine: &'m MachineConfig,
     policy: SchedulePolicy,
+    decision: DecisionPolicy,
 }
 
 impl<'m> CompileSession<'m> {
-    /// A session with the default CPS scheduler.
+    /// A session with the default CPS scheduler and the hard-threshold
+    /// decision policy (the paper's operating point).
     pub fn new(machine: &'m MachineConfig) -> CompileSession<'m> {
-        CompileSession { machine, policy: SchedulePolicy::CriticalPath }
+        CompileSession { machine, policy: SchedulePolicy::CriticalPath, decision: DecisionPolicy::HardThreshold }
     }
 
     /// A session with an explicit scheduling policy.
     pub fn with_policy(machine: &'m MachineConfig, policy: SchedulePolicy) -> CompileSession<'m> {
-        CompileSession { machine, policy }
+        CompileSession { machine, policy, decision: DecisionPolicy::HardThreshold }
+    }
+
+    /// Selects how the session turns filter scores into schedule/skip
+    /// calls. The default [`DecisionPolicy::HardThreshold`] reproduces
+    /// the boolean filter bit-for-bit; an expected-benefit policy makes
+    /// the compile cost-sensitive without retraining the filter.
+    pub fn with_decision_policy(mut self, decision: DecisionPolicy) -> CompileSession<'m> {
+        self.decision = decision;
+        self
     }
 
     /// The target machine.
     pub fn machine(&self) -> &MachineConfig {
         self.machine
+    }
+
+    /// The session's decision policy.
+    pub fn decision_policy(&self) -> &DecisionPolicy {
+        &self.decision
     }
 
     /// Compiles `program` under `filter`: every block gets features
@@ -127,7 +149,15 @@ impl<'m> CompileSession<'m> {
             stats.feature_ns += t0.elapsed().as_nanos() as u64;
 
             let t1 = Instant::now();
-            let decision = filter.decide(features.as_slice());
+            let insts = block.insts().len() as u64;
+            let (score, conditions) = filter.score_counted(features.as_slice());
+            let unit = UnitEconomics {
+                insts,
+                exec_count: block.exec_count(),
+                filter_work: conditions,
+                extraction_work: filter.extraction_work(insts),
+            };
+            let decision = self.decision.decide(score, &unit);
             stats.filter_ns += t1.elapsed().as_nanos() as u64;
 
             if decision {
@@ -295,6 +325,48 @@ mod tests {
         assert_eq!(&out, p);
         assert_eq!(stats.scheduled_blocks, 0);
         assert_eq!(stats.pass_ns(), 0, "cold methods skip the whole pass");
+    }
+
+    #[test]
+    fn default_session_is_hard_threshold() {
+        let m = machine();
+        assert_eq!(*CompileSession::new(&m).decision_policy(), DecisionPolicy::HardThreshold);
+    }
+
+    #[test]
+    fn hard_threshold_session_is_bit_identical_to_the_boolean_seam() {
+        let m = machine();
+        let suite = Suite::specjvm98(0.02);
+        let p = suite.benchmarks()[0].program();
+        let filter = SizeThresholdFilter::new(5);
+        let base = CompileSession::new(&m);
+        let explicit = CompileSession::new(&m).with_decision_policy(DecisionPolicy::HardThreshold);
+        let (a, a_stats) = base.compile(p, &filter);
+        let (b, b_stats) = explicit.compile(p, &filter);
+        assert_eq!(a, b, "an explicit hard policy must not change the output program");
+        assert_eq!(a_stats.scheduled_blocks, b_stats.scheduled_blocks);
+    }
+
+    #[test]
+    fn expected_benefit_session_skips_cold_blocks_a_rule_fired_on() {
+        let m = machine();
+        let suite = Suite::specjvm98(0.02);
+        let p = suite.benchmarks()[0].program();
+        // A stingy operating point with a modest savings rate: only hot
+        // blocks can justify the quadratic scheduling estimate.
+        let model = wts_core::BenefitModel { saved_per_inst: 0.5, cycles_per_work: 50.0 };
+        let eb = CompileSession::new(&m).with_decision_policy(DecisionPolicy::ExpectedBenefit(model));
+        let (out, stats) = eb.compile(p, &AlwaysSchedule);
+        let (_, hard) = CompileSession::new(&m).compile(p, &AlwaysSchedule);
+        assert!(stats.scheduled_blocks < hard.scheduled_blocks, "cost-sensitivity must skip some blocks");
+        assert!(stats.scheduled_blocks > 0, "hot blocks still pay");
+        out.validate().expect("policy-filtered program remains valid");
+        // The punitive extreme schedules nothing and is a no-op.
+        let punitive = wts_core::BenefitModel { saved_per_inst: 0.0, cycles_per_work: 1.0 };
+        let none = CompileSession::new(&m).with_decision_policy(DecisionPolicy::ExpectedBenefit(punitive));
+        let (unchanged, n_stats) = none.compile(p, &AlwaysSchedule);
+        assert_eq!(&unchanged, p);
+        assert_eq!(n_stats.scheduled_blocks, 0);
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use data::{Dataset, Instance};
 pub use metrics::{geometric_mean, ConfusionMatrix};
 pub use parse::{parse_rule_set, ParseRuleSetError};
 pub use ripper::RipperConfig;
-pub use rule::{Condition, Op, Rule, RuleSet, RuleStats};
+pub use rule::{attribute_stats, Condition, Op, Rule, RuleSet, RuleStats};

@@ -3,7 +3,7 @@
 use crate::data::{stratified_split, Dataset};
 use crate::grow::{coverage, grow_from, grow_rule, prune_metric, prune_rule, Cover};
 use crate::mdl::{total_dl, DL_BUDGET};
-use crate::rule::{Rule, RuleSet, RuleStats};
+use crate::rule::{Rule, RuleSet};
 
 /// Configuration for [`RipperConfig::fit`].
 ///
@@ -168,26 +168,7 @@ impl<'d> Fit<'d> {
     }
 
     fn finish(&self, rules: Vec<Rule>) -> RuleSet {
-        let mut stats = vec![RuleStats::default(); rules.len()];
-        let mut default_stats = RuleStats::default();
-        for inst in self.data.instances() {
-            match rules.iter().position(|r| r.matches(&inst.values)) {
-                Some(k) => {
-                    if inst.positive {
-                        stats[k].hits += 1;
-                    } else {
-                        stats[k].misses += 1;
-                    }
-                }
-                None => {
-                    if inst.positive {
-                        default_stats.misses += 1;
-                    } else {
-                        default_stats.hits += 1;
-                    }
-                }
-            }
-        }
+        let (stats, default_stats) = crate::rule::attribute_stats(&rules, self.data);
         RuleSet::new(
             self.data.attr_names().to_vec(),
             self.data.pos_label(),

@@ -1,5 +1,6 @@
 //! Rules, conditions and ordered rule sets.
 
+use crate::data::Dataset;
 use std::fmt;
 
 /// Comparison direction of a [`Condition`].
@@ -108,6 +109,48 @@ pub struct RuleStats {
     pub misses: usize,
 }
 
+impl RuleStats {
+    /// Laplace-smoothed precision of the rule's firings:
+    /// `(hits + 1) / (hits + misses + 2)`. The smoothing keeps a rule
+    /// that fired on a handful of training instances from claiming
+    /// certainty, and an empty (0/0) record reads as the uninformed 0.5.
+    pub fn laplace(&self) -> f64 {
+        (self.hits + 1) as f64 / (self.hits + self.misses + 2) as f64
+    }
+}
+
+/// First-firing-rule attribution of training statistics: each instance
+/// is charged to the first rule that matches it (hit when the instance
+/// is positive, miss otherwise); instances no rule matches go to the
+/// default record, where `hits` counts correct negatives and `misses`
+/// counts the positives the rule list failed to cover. This is exactly
+/// the accounting RIPPER's own `finish` pass performs, factored out so
+/// the stump/tree backends can attach honest class frequencies to their
+/// lowered rules too.
+pub fn attribute_stats(rules: &[Rule], data: &Dataset) -> (Vec<RuleStats>, RuleStats) {
+    let mut stats = vec![RuleStats::default(); rules.len()];
+    let mut default_stats = RuleStats::default();
+    for inst in data.instances() {
+        match rules.iter().position(|r| r.matches(&inst.values)) {
+            Some(k) => {
+                if inst.positive {
+                    stats[k].hits += 1;
+                } else {
+                    stats[k].misses += 1;
+                }
+            }
+            None => {
+                if inst.positive {
+                    default_stats.misses += 1;
+                } else {
+                    default_stats.hits += 1;
+                }
+            }
+        }
+    }
+    (stats, default_stats)
+}
+
 /// An ordered rule set with a default (negative-class) rule at the end.
 ///
 /// Prediction: the first matching rule fires and predicts the positive
@@ -191,6 +234,44 @@ impl RuleSet {
     /// Predicts whether `values` belongs to the positive class.
     pub fn predict(&self, values: &[f64]) -> bool {
         self.rules.iter().any(|r| r.matches(values))
+    }
+
+    /// Laplace-smoothed confidence that an instance fired on by rule `k`
+    /// really is positive — the rule's training `(hits/misses)` record
+    /// pushed through [`RuleStats::laplace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn rule_confidence(&self, k: usize) -> f64 {
+        self.stats[k].laplace()
+    }
+
+    /// Laplace-smoothed probability that an instance *no* rule fires on
+    /// is nevertheless positive. The default record counts correct
+    /// negatives as `hits` and uncovered positives as `misses`, so this
+    /// is `(misses + 1) / (hits + misses + 2)` — the residual positive
+    /// rate of the rule list's reject region.
+    pub fn default_confidence(&self) -> f64 {
+        let d = &self.default_stats;
+        (d.misses + 1) as f64 / (d.hits + d.misses + 2) as f64
+    }
+
+    /// Calibrated score of `values`: the firing rule's
+    /// [`rule_confidence`](RuleSet::rule_confidence), or
+    /// [`default_confidence`](RuleSet::default_confidence) when no rule
+    /// fires. Always in `(0, 1)`; an un-statted set scores the
+    /// uninformed 0.5 either way.
+    pub fn score(&self, values: &[f64]) -> f64 {
+        match self.firing_rule(values) {
+            Some(k) => self.rule_confidence(k),
+            None => self.default_confidence(),
+        }
+    }
+
+    /// The default (no-rule-fired) training record.
+    pub fn default_stats(&self) -> &RuleStats {
+        &self.default_stats
     }
 
     /// Index of the first rule that fires, if any.
@@ -361,6 +442,44 @@ mod tests {
         assert!(Rule::new().referenced_attrs().is_empty());
         let empty = RuleSet::new(vec!["a".into()], "p", "n", vec![], vec![], RuleStats::default());
         assert!(empty.referenced_attrs().is_empty());
+    }
+
+    #[test]
+    fn laplace_smooths_toward_half() {
+        assert_eq!(RuleStats::default().laplace(), 0.5);
+        assert!((RuleStats { hits: 924, misses: 12 }.laplace() - 925.0 / 938.0).abs() < 1e-12);
+        assert!((RuleStats { hits: 0, misses: 10 }.laplace() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_follow_the_firing_rule() {
+        let rs = ruleset();
+        // Rule 0 fires: its Laplace confidence.
+        assert!((rs.score(&[8.0, 0.0]) - rs.rule_confidence(0)).abs() < 1e-12);
+        // Rule 1 fires.
+        assert!((rs.score(&[6.0, 0.5]) - rs.rule_confidence(1)).abs() < 1e-12);
+        // Nothing fires: the default's residual positive rate.
+        let expect = (1946.0 + 1.0) / (27476.0 + 1946.0 + 2.0);
+        assert!((rs.score(&[3.0, 0.0]) - expect).abs() < 1e-12);
+        assert!((rs.default_confidence() - expect).abs() < 1e-12);
+        // Precise rules are confident; the default region is not.
+        assert!(rs.score(&[8.0, 0.0]) > 0.9);
+        assert!(rs.score(&[3.0, 0.0]) < 0.1);
+    }
+
+    #[test]
+    fn attribute_stats_matches_first_firing_rule_accounting() {
+        let mut d = Dataset::new(vec!["x".into()], "p", "n");
+        d.push(vec![9.0], true, 0); // rule 0 hit
+        d.push(vec![9.0], false, 0); // rule 0 miss
+        d.push(vec![6.0], true, 0); // rule 1 hit (rule 0 needs >= 7)
+        d.push(vec![1.0], true, 0); // uncovered positive -> default miss
+        d.push(vec![1.0], false, 0); // correct negative -> default hit
+        let rules =
+            vec![Rule::from_conditions(vec![cond(0, Op::Ge, 7.0)]), Rule::from_conditions(vec![cond(0, Op::Ge, 5.0)])];
+        let (stats, default_stats) = attribute_stats(&rules, &d);
+        assert_eq!(stats, vec![RuleStats { hits: 1, misses: 1 }, RuleStats { hits: 1, misses: 0 }]);
+        assert_eq!(default_stats, RuleStats { hits: 1, misses: 1 });
     }
 
     #[test]

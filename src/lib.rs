@@ -58,9 +58,9 @@ pub use wts_sched as sched;
 /// Commonly used items, importable with one `use`.
 pub mod prelude {
     pub use wts_core::{
-        CompiledFilter, Experiment, ExperimentMatrix, ExperimentRun, FeatureBatch, Filter, LabelConfig, LearnedFilter,
-        Learner, LearnerKind, MachinePortfolio, MatrixRun, PortfolioEntry, ScopeKind, SizeThresholdFilter, TimingMode,
-        TraceOptions, TraceRecord,
+        BenefitModel, CompiledFilter, DecisionPolicy, Experiment, ExperimentMatrix, ExperimentRun, FeatureBatch,
+        Filter, FilterScore, LabelConfig, LearnedFilter, Learner, LearnerKind, MachinePortfolio, MatrixRun,
+        PortfolioEntry, ScopeKind, SizeThresholdFilter, TimingMode, TraceOptions, TraceRecord, UnitEconomics,
     };
     pub use wts_deps::DepGraph;
     pub use wts_features::{FeatureKind, FeatureMask, FeatureVector, TraceShape};

@@ -167,6 +167,40 @@ fn superblock_smoke_scope_scenario_on_every_machine() {
     }
 }
 
+/// The CI-enabled calibration smoke test: at realistic scale, the
+/// decision-policy layer holds its acceptance bar on the full registry —
+/// the hard policy and the LOOCV-calibrated expected-benefit policy are
+/// both bracketed by the per-unit oracle, and cost-sensitive decisions
+/// reach or beat the fixed-threshold baseline's expected net cycles on
+/// at least one machine.
+#[test]
+#[ignore = "calibration smoke test: realistic scale; CI runs it with -- --ignored"]
+fn calibration_smoke_policies_bracketed_by_the_oracle_on_every_machine() {
+    let c = 1.0;
+    let programs = generated_programs(0.05);
+    let matrix = deterministic_matrix().run(&programs);
+    let rows = matrix.calibration(0, c);
+    assert_eq!(rows.len(), registry().len(), "one calibration row per registry machine");
+    let mut eb_wins = 0usize;
+    for row in &rows {
+        assert!(row.model.saved_per_inst > 0.0, "{}: scheduling never helps?", row.machine);
+        assert_eq!(row.oracle.filter_work + row.oracle.feature_work, 0, "{}: the oracle runs no filter", row.machine);
+        let bound = row.oracle.net_cycles(c);
+        assert!(bound > 0.0, "{}: even the oracle nets nothing", row.machine);
+        assert!(row.baseline.net_cycles(c) <= bound + 1e-9, "{}: hard policy beats the oracle", row.machine);
+        assert!(row.expected_benefit.net_cycles(c) <= bound + 1e-9, "{}: eb policy beats the oracle", row.machine);
+        assert!(
+            row.baseline.scheduled_blocks > 0 && row.expected_benefit.scheduled_blocks > 0,
+            "{}: both policies must schedule something",
+            row.machine
+        );
+        if row.expected_benefit.net_cycles(c) >= row.baseline.net_cycles(c) {
+            eb_wins += 1;
+        }
+    }
+    assert!(eb_wins >= 1, "expected-benefit must reach the fixed-threshold baseline on at least one machine");
+}
+
 /// The CI-enabled matrix smoke test: a realistic-scale sweep, checking
 /// the cross-machine signal the registry was built to expose — the slow
 /// in-order embedded core leaves more schedulable blocks than the wide
