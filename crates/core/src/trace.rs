@@ -365,6 +365,19 @@ fn trace_unit<'m>(
     let sched_ns = t1.elapsed().as_nanos() as u64;
     let outcome = &ctx.outcome;
 
+    // With the `verify` feature, every unit this pass schedules is
+    // checked by the independent wts-verify analyses (debug builds only;
+    // a release build with the feature on pays nothing).
+    #[cfg(all(feature = "verify", debug_assertions))]
+    {
+        let diags = wts_verify::verify_unit(scheduler.machine(), unit.insts, unit.speculative(), outcome);
+        assert!(
+            diags.is_empty(),
+            "trace collection produced an unverifiable schedule:\n{}",
+            wts_verify::render(&diags)
+        );
+    }
+
     outcome.permute_into(unit.insts, &mut ctx.scheduled);
     let (est_unsched, est_sched) = match estimated {
         EstSource::Scheduler => (outcome.cycles_before, outcome.cycles_after),
@@ -584,6 +597,18 @@ fn filtered_unit<'m>(
         std::hint::black_box(&ctx.outcome);
     }
     totals.pass_ns += t0.elapsed().as_nanos() as u64;
+
+    // Verify outside the timed window so the feature doesn't skew the
+    // deployment-cost accounting it is checking.
+    #[cfg(all(feature = "verify", debug_assertions))]
+    if decision {
+        let diags = wts_verify::verify_unit(scheduler.machine(), insts, speculative, &ctx.outcome);
+        assert!(
+            diags.is_empty(),
+            "the filtered pass produced an unverifiable schedule:\n{}",
+            wts_verify::render(&diags)
+        );
+    }
 
     // Bookkeeping stays outside the timed window; the work proxy reads
     // the edge count off the graph the scheduler just built.

@@ -106,7 +106,8 @@ impl DepGraph {
         // adjacency lists are short enough that this is mostly about not
         // scanning the occasional barrier node's long list.
         let s = self.succs(from);
-        s.binary_search_by_key(&(to as u32), |&(t, _)| t).ok().map(|k| s[k].1)
+        let to = u32::try_from(to).ok()?;
+        s.binary_search_by_key(&to, |&(t, _)| t).ok().map(|k| s[k].1)
     }
 
     /// Total number of edges.
@@ -260,7 +261,7 @@ impl GraphBuilder {
         let mut last_branch: Option<u32> = None;
 
         for (idx, inst) in insts.iter().enumerate() {
-            let i = idx as u32;
+            let i = u32::try_from(idx).expect("blocks are far below u32::MAX insts");
             let op = inst.opcode();
 
             for u in inst.uses() {
@@ -377,7 +378,7 @@ impl GraphBuilder {
     }
 
     fn push_reader(&mut self, key: usize, i: u32) {
-        let slot = self.reader_pool.len() as u32;
+        let slot = u32::try_from(self.reader_pool.len()).expect("reader pool outgrew u32 indices");
         self.reader_pool.push((i, NONE));
         let entry = &mut self.readers[key];
         if entry.0 != self.epoch || entry.1 == NONE {
@@ -390,7 +391,7 @@ impl GraphBuilder {
 
     fn edge(&mut self, from: u32, to: u32, kind: DepKind) {
         debug_assert!(from < to, "dependence edges must follow program order");
-        let seq = self.edges.len() as u32;
+        let seq = u32::try_from(self.edges.len()).expect("edge list outgrew u32 sequence numbers");
         self.edges.push(RawEdge { from, to, seq, kind });
     }
 

@@ -53,7 +53,7 @@ impl OracleBuilder {
         let mut last_branch: Option<u32> = None;
 
         for (idx, inst) in insts.iter().enumerate() {
-            let i = idx as u32;
+            let i = u32::try_from(idx).expect("generated blocks fit u32 indices");
             let op = inst.opcode();
 
             for u in inst.uses() {

@@ -17,7 +17,7 @@
 use std::process::ExitCode;
 use wts_experiments::{table1, table2, table7, Experiments, CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE};
 
-const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|superblock|adaptive|selftrain|matrix|portfolio|all]...";
+const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|superblock|adaptive|selftrain|matrix|portfolio|verify|all]...";
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
@@ -68,6 +68,7 @@ fn main() -> ExitCode {
         "selftrain",
         "matrix",
         "portfolio",
+        "verify",
     ];
     if artifacts.iter().any(|a| a == "all") {
         artifacts = all.iter().map(|s| s.to_string()).collect();
@@ -114,6 +115,10 @@ fn main() -> ExitCode {
                     "machines" => println!("{}", e.machines()),
                     "policies" => println!("{}", e.policies()),
                     "superblocks" => println!("{}", e.superblocks()),
+                    "verify" => {
+                        eprintln!("# checking the pipeline on every registry machine x policy x scope...");
+                        println!("{}", e.verify());
+                    }
                     "superblock" => {
                         let m = matrix_run.get_or_insert_with(|| {
                             eprintln!("# tracing the FP suite on every registry machine...");

@@ -22,6 +22,7 @@ mod matrix;
 mod statics;
 mod table;
 mod tables;
+mod verify;
 
 pub use matrix::{CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE};
 pub use statics::{table1, table2, table7};

@@ -1,0 +1,102 @@
+//! `repro verify`: the pipeline-wide static-checker sweep.
+//!
+//! Runs the full `wts-verify` pass — dependence soundness against the
+//! O(n²) oracle, timing legality against the independent re-simulation,
+//! speculation safety for superblock traces — over the generated FP
+//! corpus on **every registry machine × every scheduling policy × both
+//! scopes**, and folds the result into one diagnostics row per machine.
+//! A healthy pipeline prints all-zero diagnostic columns; anything else
+//! is a bug in `wts-deps`, `wts-sched` or `wts-machine`, and the
+//! offending diagnostics are echoed to stderr.
+
+use crate::table::Table;
+use crate::{Experiments, SuiteKind, SUPERBLOCK_RATIO};
+use wts_ir::ScopeKind;
+use wts_machine::registry;
+use wts_sched::SchedulePolicy;
+use wts_verify::{render, verify_program, Analysis, VerifyReport};
+
+/// The policies the sweep exercises: every deterministic heuristic plus
+/// one seeded random policy (the adversarial one — any ordering the
+/// ready-queue can legally emit must verify).
+pub(crate) fn sweep_policies() -> [SchedulePolicy; 4] {
+    [
+        SchedulePolicy::CriticalPath,
+        SchedulePolicy::EarliestStart,
+        SchedulePolicy::CriticalPathOnly,
+        SchedulePolicy::Random(0x5EED),
+    ]
+}
+
+/// Both scope axes: per-block and speculative superblock traces at the
+/// standard formation ratio.
+pub(crate) fn sweep_scopes() -> [ScopeKind; 2] {
+    [ScopeKind::Block, ScopeKind::Superblock(SUPERBLOCK_RATIO)]
+}
+
+impl Experiments {
+    /// The per-machine diagnostics table of the checker sweep.
+    pub fn verify(&self) -> Table {
+        let mut table = Table::new(
+            format!("wts-verify: corpus x registry x policy x scope (scale {})", self.scale()),
+            vec![
+                "machine".into(),
+                "units".into(),
+                "changed".into(),
+                "structure".into(),
+                "dependence".into(),
+                "timing".into(),
+                "speculation".into(),
+                "total".into(),
+            ],
+        );
+        let programs = self.run(SuiteKind::Fp).programs();
+        for machine in registry() {
+            let mut merged: Option<VerifyReport> = None;
+            for policy in sweep_policies() {
+                for scope in sweep_scopes() {
+                    for program in programs {
+                        let report = verify_program(program, &machine, policy, scope);
+                        match merged.as_mut() {
+                            Some(m) => m.merge(report),
+                            None => merged = Some(report),
+                        }
+                    }
+                }
+            }
+            let report = merged.expect("registry sweep covers at least one program");
+            if !report.is_clean() {
+                eprintln!("{}", render(&report.diagnostics));
+            }
+            table.push_row(vec![
+                report.machine.clone(),
+                report.units.to_string(),
+                report.changed.to_string(),
+                report.count(Analysis::Structure).to_string(),
+                report.count(Analysis::Dependence).to_string(),
+                report.count(Analysis::Timing).to_string(),
+                report.count(Analysis::Speculation).to_string(),
+                report.diagnostics.len().to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_sweep_reports_zero_diagnostics_per_registry_machine() {
+        let e = Experiments::new(0.02);
+        let table = e.verify();
+        assert_eq!(table.row_count(), registry().len(), "one row per registry machine");
+        for row in 0..table.row_count() {
+            let units: usize = table.cell(row, 1).parse().unwrap();
+            assert!(units > 0, "{}: sweep examined no units", table.cell(row, 0));
+            let total: usize = table.cell(row, 7).parse().unwrap();
+            assert_eq!(total, 0, "{}: {} diagnostics on the untampered pipeline", table.cell(row, 0), total);
+        }
+    }
+}

@@ -1,4 +1,11 @@
 //! Structural validation of blocks.
+//!
+//! The `Display` text of [`ValidateError`] follows the shared diagnostic
+//! prose convention (also used by `wts-verify`'s `Diagnostic`): lowercase
+//! prose naming the offending instruction by opcode and index, e.g.
+//! `terminator bc at index 3 is not the last instruction`. The checker
+//! embeds these messages verbatim under its `structure` analysis, so the
+//! two layers read identically in reports.
 
 use crate::{BasicBlock, Opcode, RegClass};
 use std::fmt;

@@ -280,6 +280,13 @@ pub(crate) fn generate_program(spec: &BenchmarkSpec, scale: f64) -> Program {
         }
         program.push_method(method);
     }
+    // Synthetic corpora are structurally valid by construction; in debug
+    // builds the generator enforces it eagerly so a bad generation rule
+    // fails here, not deep inside tracing or scheduling.
+    #[cfg(debug_assertions)]
+    if let Err(e) = program.validate() {
+        panic!("blockgen produced structurally invalid IR for {}: {e}", spec.name);
+    }
     program
 }
 
@@ -313,6 +320,17 @@ mod tests {
         let p = generate_program(&spec(1), 1.0);
         p.validate().expect("valid IR");
         assert!(p.block_count() >= 80);
+    }
+
+    #[test]
+    fn generation_validates_eagerly_at_every_scale() {
+        // The debug gate inside `generate_program` already ran; this
+        // pins that the public validate() agrees with it at the scales
+        // the pipeline actually uses.
+        for scale in [0.01, 0.05, 1.0] {
+            let p = generate_program(&spec(3), scale);
+            p.validate().expect("generated corpora are structurally valid by construction");
+        }
     }
 
     #[test]

@@ -163,6 +163,17 @@ impl<'m> CompileSession<'m> {
             if decision {
                 let t2 = Instant::now();
                 scheduler.schedule_block_into(block, scratch, outcome);
+                // With the `verify` feature, the schedule is checked by
+                // wts-verify before it is applied (debug builds only).
+                #[cfg(all(feature = "verify", debug_assertions))]
+                {
+                    let diags = wts_verify::verify_unit(self.machine, block.insts(), false, outcome);
+                    assert!(
+                        diags.is_empty(),
+                        "the compile session produced an unverifiable schedule:\n{}",
+                        wts_verify::render(&diags)
+                    );
+                }
                 outcome.apply_in_place(block, permute_buf);
                 stats.sched_ns += t2.elapsed().as_nanos() as u64;
                 stats.scheduled_blocks += 1;

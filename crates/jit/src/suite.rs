@@ -14,6 +14,12 @@ impl Benchmark {
     /// Generates the benchmark at the given scale.
     pub fn generate(spec: BenchmarkSpec, scale: f64) -> Benchmark {
         let program = spec.generate(scale);
+        // Same eager structural gate as `generate_program`: a benchmark
+        // entering a suite is valid IR or the debug build stops here.
+        #[cfg(debug_assertions)]
+        if let Err(e) = program.validate() {
+            panic!("suite generation produced structurally invalid IR for {}: {e}", spec.name);
+        }
         Benchmark { spec, program }
     }
 

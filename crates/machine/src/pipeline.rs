@@ -57,7 +57,7 @@ fn scan_deps(insts: &[Inst]) -> SimDeps {
     let mut since_barrier: Vec<u32> = Vec::new();
 
     for (idx, inst) in insts.iter().enumerate() {
-        let i = idx as u32;
+        let i = u32::try_from(idx).expect("simulated blocks are far below u32::MAX insts");
         let op = inst.opcode();
         // True data dependences.
         for u in inst.uses() {

@@ -59,7 +59,7 @@ proptest! {
     fn identical_independent_ops_are_order_invariant(n in 1usize..10, seed in 0u64..100) {
         // n adds over disjoint registers: any permutation costs the same.
         let m = MachineConfig::ppc7410();
-        let insts: Vec<Inst> = (0..n as u16)
+        let insts: Vec<Inst> = (0..u16::try_from(n).unwrap())
             .map(|i| Inst::new(Opcode::Add).def(Reg::gpr(10 + i)).use_(Reg::gpr(1)).use_(Reg::gpr(2)))
             .collect();
         let mut shuffled = insts.clone();

@@ -117,7 +117,9 @@ impl<'m> ListScheduler<'m> {
         let mut rng = XorShift64::new(self.rng_seed());
 
         scratch.remaining_preds.clear();
-        scratch.remaining_preds.extend((0..n).map(|i| scratch.graph.preds(i).len() as u32));
+        scratch
+            .remaining_preds
+            .extend((0..n).map(|i| u32::try_from(scratch.graph.preds(i).len()).expect("pred lists fit u32")));
         scratch.ready.clear();
         scratch.ready.extend((0..n).filter(|&i| scratch.remaining_preds[i] == 0));
         scratch.state.reset();

@@ -116,8 +116,8 @@ mod tests {
     fn in_place_and_buffered_paths_match_the_allocating_ones() {
         let mut b = BasicBlock::new(4);
         b.set_exec_count(9);
-        for v in 1..=3i64 {
-            b.push(Inst::new(Opcode::Li).def(Reg::gpr(v as u16)).imm(v));
+        for v in 1..=3u16 {
+            b.push(Inst::new(Opcode::Li).def(Reg::gpr(v)).imm(i64::from(v)));
         }
         let out = outcome(3, 3, vec![2, 0, 1]);
         let expect = out.apply(&b);

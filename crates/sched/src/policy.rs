@@ -56,7 +56,7 @@ impl XorShift64 {
 
     pub(crate) fn pick(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        (self.next_u64() % n as u64) as usize
+        usize::try_from(self.next_u64() % n as u64).expect("residue mod a usize fits usize")
     }
 }
 

@@ -75,6 +75,51 @@ pub fn verify_schedule(insts: &[Inst], order: &[usize]) -> Result<(), VerifyErro
     Ok(())
 }
 
+/// Like [`verify_schedule`], but collects *every* violation instead of
+/// stopping at the first: the length mismatch (if any), every repeated or
+/// out-of-range index, and every violated dependence edge. An empty vector
+/// means the order is a legal schedule.
+///
+/// Builds a non-speculative dependence graph internally; callers holding
+/// a graph (possibly speculative) should use [`verify_schedule_all_against`].
+pub fn verify_schedule_all(insts: &[Inst], order: &[usize]) -> Vec<VerifyError> {
+    verify_schedule_all_against(&DepGraph::build(insts), order)
+}
+
+/// Collects every violation of `order` against a prebuilt dependence
+/// graph. This is the entry point `wts-verify` reuses so the same
+/// permutation walk serves both the block graph and the speculative
+/// superblock graph.
+pub fn verify_schedule_all_against(graph: &DepGraph, order: &[usize]) -> Vec<VerifyError> {
+    let n = graph.len();
+    let mut errors = Vec::new();
+    if order.len() != n {
+        errors.push(VerifyError::LengthMismatch { expected: n, got: order.len() });
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (p, &i) in order.iter().enumerate() {
+        if i >= n || pos[i] != usize::MAX {
+            errors.push(VerifyError::NotAPermutation { index: i });
+        } else {
+            pos[i] = p;
+        }
+    }
+    for to in 0..n {
+        if pos[to] == usize::MAX {
+            continue; // never placed: already reported above
+        }
+        for &(from, _) in graph.preds(to) {
+            let from = from as usize;
+            // An unplaced producer is a permutation error, not a
+            // dependence one; only compare positions that exist.
+            if pos[from] != usize::MAX && pos[from] > pos[to] {
+                errors.push(VerifyError::DependenceViolated { from, to });
+            }
+        }
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +159,42 @@ mod tests {
     fn error_messages_are_informative() {
         let e = VerifyError::DependenceViolated { from: 2, to: 5 };
         assert!(e.to_string().contains("2 -> 5"));
+    }
+
+    #[test]
+    fn all_reports_every_violation_not_just_the_first() {
+        // 1 depends on 0 and 3 depends on 2; reversing both pairs breaks both.
+        let insts = vec![add(1, 9), add(2, 1), add(3, 8), add(4, 3)];
+        let errors = verify_schedule_all(&insts, &[1, 0, 3, 2]);
+        assert!(errors.contains(&VerifyError::DependenceViolated { from: 0, to: 1 }));
+        assert!(errors.contains(&VerifyError::DependenceViolated { from: 2, to: 3 }));
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn all_agrees_with_first_error_semantics() {
+        let cases: Vec<(Vec<Inst>, Vec<usize>)> = vec![
+            (vec![add(1, 9), add(2, 8)], vec![0, 1]),
+            (vec![add(1, 9), add(2, 8)], vec![1, 0]),
+            (vec![add(1, 9)], vec![]),
+            (vec![add(1, 9), add(2, 8)], vec![0, 0]),
+            (vec![add(1, 9), add(2, 8)], vec![0, 5]),
+            (vec![add(1, 9), add(2, 1)], vec![1, 0]),
+        ];
+        for (insts, order) in cases {
+            let all = verify_schedule_all(&insts, &order);
+            match verify_schedule(&insts, &order) {
+                Ok(()) => assert!(all.is_empty(), "{order:?}: all={all:?}"),
+                Err(e) => assert_eq!(all.first(), Some(&e), "{order:?}: first error must agree"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_collects_duplicate_indices_alongside_the_length_mismatch() {
+        let insts = vec![add(1, 9), add(2, 8), add(3, 7)];
+        let errors = verify_schedule_all(&insts, &[0, 0]);
+        assert!(errors.contains(&VerifyError::LengthMismatch { expected: 3, got: 2 }));
+        assert!(errors.contains(&VerifyError::NotAPermutation { index: 0 }));
     }
 }

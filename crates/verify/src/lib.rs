@@ -1,0 +1,68 @@
+//! Translation-validation-style static checking for the scheduling
+//! pipeline.
+//!
+//! The paper's pipeline (Cavazos & Moss, PLDI 2004) rests on three
+//! claims it never independently checks: the dependence graph is
+//! faithful to the instructions, the scheduler's cycle accounting is
+//! faithful to the machine model, and speculative trace scheduling never
+//! moves an observable instruction across a side exit. `wts-verify`
+//! checks all three from first principles, sharing nothing with the
+//! production implementations beyond the `wts-ir` instruction encoding
+//! and the documented machine parameters:
+//!
+//! - **Dependence soundness/completeness** ([`oracle_edges`],
+//!   [`check_dependences`]): a deliberately simple O(n²) oracle
+//!   re-derives every true/anti/output/memory/control/hazard edge from
+//!   def/use/memref sets and demands the CSR [`wts_deps::DepGraph`] has
+//!   exactly those edges — a missing edge is unsound (error), an extra
+//!   edge is lost parallelism (warning) — plus a consistency audit of
+//!   the CSR encoding itself.
+//! - **Timing legality** ([`resimulate`], [`check_timing`]): an
+//!   independent in-order re-simulation against the
+//!   [`wts_machine::MachineConfig`] (latencies, issue/branch width,
+//!   functional-unit occupancy) verifies every
+//!   [`wts_sched::ScheduleOutcome`]'s claimed cycle counts, audits the
+//!   derived issue events for producer-before-consumer, width and unit
+//!   capacity violations, and cross-checks both cost providers against
+//!   the latency-weighted dependence-chain lower bound.
+//! - **Speculation safety** ([`check_speculation`]): no store, call or
+//!   hazardous instruction crosses a side exit in a scheduled
+//!   superblock trace, and the trace's first control transfer keeps its
+//!   identity.
+//!
+//! Everything reports through [`Diagnostic`] (severity, analysis,
+//! machine, method/unit location, prose explanation). [`verify_unit`]
+//! checks one scheduled unit — this is what the `verify` cargo feature's
+//! debug-assert hooks in `wts-core` and `wts-jit` call — and
+//! [`verify_program`] sweeps a whole program under a policy and scope,
+//! which `repro verify` runs over a generated corpus × every registry
+//! machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use wts_ir::{Inst, Opcode, Reg};
+//! use wts_machine::MachineConfig;
+//! use wts_sched::ListScheduler;
+//! use wts_verify::verify_unit;
+//!
+//! let machine = MachineConfig::ppc7410();
+//! let insts = vec![
+//!     Inst::new(Opcode::Lwz).def(Reg::gpr(1)).mem(wts_ir::MemRef::unknown(wts_ir::MemSpace::Stack)),
+//!     Inst::new(Opcode::Add).def(Reg::gpr(2)).use_(Reg::gpr(1)).use_(Reg::gpr(1)),
+//! ];
+//! let outcome = ListScheduler::new(&machine).schedule_insts(&insts);
+//! assert!(verify_unit(&machine, &insts, false, &outcome).is_empty());
+//! ```
+
+mod deps;
+mod diag;
+mod pipeline;
+mod spec;
+mod timing;
+
+pub use deps::{check_dependences, oracle_edges};
+pub use diag::{render, Analysis, Diagnostic, Severity, UnitCtx};
+pub use pipeline::{verify_program, verify_unit, verify_unit_in, VerifyReport};
+pub use spec::check_speculation;
+pub use timing::{check_timing, dependence_lower_bound, resimulate, IssueEvent};

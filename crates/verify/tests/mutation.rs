@@ -1,0 +1,164 @@
+//! Mutation testing: verifying the verifier.
+//!
+//! Each test seeds one known-bad mutation into an otherwise healthy
+//! pipeline artifact and asserts the checker reports it — and that the
+//! unmutated twin stays clean, so a catch can't be a false positive the
+//! clean corpus would also trip. The four defect classes are the ones
+//! the analyses exist for:
+//!
+//! 1. a dropped dependence edge (graph unsound),
+//! 2. two scheduled instructions swapped (order illegal),
+//! 3. a shrunk latency (cost bookkeeping drifts from the machine model),
+//! 4. a store hoisted above a side exit (speculation unsafe).
+
+use wts_deps::DepGraph;
+use wts_ir::{Inst, MemRef, MemSpace, Opcode, Reg};
+use wts_machine::MachineConfig;
+use wts_sched::{ListScheduler, ScheduleOutcome};
+use wts_verify::{check_dependences, render, verify_unit, Analysis, Severity, UnitCtx};
+
+fn load(def: u16, slot: u32) -> Inst {
+    Inst::new(Opcode::Lwz).def(Reg::gpr(def)).mem(MemRef::slot(MemSpace::Stack, slot))
+}
+
+fn add(def: u16, a: u16) -> Inst {
+    Inst::new(Opcode::Add).def(Reg::gpr(def)).use_(Reg::gpr(a)).use_(Reg::gpr(a))
+}
+
+fn store(use_: u16, slot: u32) -> Inst {
+    Inst::new(Opcode::Stw).use_(Reg::gpr(use_)).mem(MemRef::slot(MemSpace::Stack, slot))
+}
+
+/// A block with register flow, memory traffic and a terminator: enough
+/// structure for every defect class to have somewhere to hide.
+fn healthy_block() -> Vec<Inst> {
+    vec![load(1, 0), add(2, 1), add(3, 9), store(2, 0), load(4, 4), add(5, 4), Inst::new(Opcode::Bc)]
+}
+
+fn errors_of(diags: &[wts_verify::Diagnostic], analysis: Analysis) -> usize {
+    diags.iter().filter(|d| d.severity == Severity::Error && d.analysis == analysis).count()
+}
+
+// ---------------------------------------------------------------- class 1
+
+#[test]
+fn class1_a_dropped_dependence_edge_is_caught() {
+    let insts = healthy_block();
+    // Mutant: the graph was built from a copy where inst 1 reads r9
+    // instead of r1, so the true edge 0 -> 1 vanishes.
+    let mut tampered = insts.clone();
+    tampered[1] = add(2, 9);
+    let broken = DepGraph::build(&tampered);
+
+    let ctx = UnitCtx::new("ppc7410");
+    let mut diags = Vec::new();
+    check_dependences(&ctx, &insts, false, &broken, &mut diags);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("missing true dependence edge 0 -> 1")),
+        "dropped edge must be caught:\n{}",
+        render(&diags)
+    );
+
+    // The unmutated twin is clean.
+    let mut clean = Vec::new();
+    check_dependences(&ctx, &insts, false, &DepGraph::build(&insts), &mut clean);
+    assert!(clean.is_empty(), "healthy graph misflagged:\n{}", render(&clean));
+}
+
+// ---------------------------------------------------------------- class 2
+
+#[test]
+fn class2_two_swapped_scheduled_insts_are_caught() {
+    let machine = MachineConfig::ppc7410();
+    let insts = healthy_block();
+    let outcome = ListScheduler::new(&machine).schedule_insts(&insts);
+    assert!(verify_unit(&machine, &insts, false, &outcome).is_empty(), "healthy schedule misflagged");
+
+    // Mutant: the load and its consumer trade places in the final order.
+    let mut swapped = outcome.clone();
+    let a = swapped.order.iter().position(|&i| i == 0).unwrap();
+    let b = swapped.order.iter().position(|&i| i == 1).unwrap();
+    swapped.order.swap(a, b);
+    let diags = verify_unit(&machine, &insts, false, &swapped);
+    assert!(
+        diags.iter().any(|d| d.message.contains("dependence 0 -> 1 violated by order")),
+        "swapped pair must be caught:\n{}",
+        render(&diags)
+    );
+    assert!(errors_of(&diags, Analysis::Timing) > 0);
+}
+
+// ---------------------------------------------------------------- class 3
+
+#[test]
+fn class3_a_shrunk_latency_is_caught() {
+    // Mutant machine: identical widths/window to ppc7410 but loads claim
+    // to finish in 1 cycle. An outcome produced against it carries cycle
+    // counts the real machine cannot reproduce.
+    let real = MachineConfig::ppc7410();
+    let shrunk = MachineConfig::builder("ppc7410-mutant").issue_width(2).window(8).latency(Opcode::Lwz, 1).build();
+    let insts = healthy_block();
+    let mutant_outcome = ListScheduler::new(&shrunk).schedule_insts(&insts);
+    let diags = verify_unit(&real, &insts, false, &mutant_outcome);
+    assert!(
+        diags.iter().any(|d| d.severity == Severity::Error
+            && d.analysis == Analysis::Timing
+            && d.message.contains("re-simulation takes")),
+        "shrunk latency must be caught:\n{}",
+        render(&diags)
+    );
+
+    // The same block scheduled against the real machine is clean.
+    let honest = ListScheduler::new(&real).schedule_insts(&insts);
+    assert!(verify_unit(&real, &insts, false, &honest).is_empty(), "honest outcome misflagged");
+}
+
+// ---------------------------------------------------------------- class 4
+
+#[test]
+fn class4_a_store_hoisted_above_a_side_exit_is_caught() {
+    let machine = MachineConfig::ppc7410();
+    // A two-block trace: [add, bc | store, bc]. The store belongs to the
+    // second block; hoisting it above the side exit at index 1 makes it
+    // execute on paths that leave the trace early.
+    let insts = vec![add(1, 9), Inst::new(Opcode::Bc), store(1, 0), Inst::new(Opcode::Bc)];
+    let honest = ListScheduler::new(&machine).schedule_superblock(&insts);
+    assert!(verify_unit(&machine, &insts, true, &honest).is_empty(), "healthy trace misflagged");
+
+    let hoisted = ScheduleOutcome { order: vec![0, 2, 1, 3], ..honest };
+    let diags = verify_unit(&machine, &insts, true, &hoisted);
+    assert!(
+        diags.iter().any(|d| d.severity == Severity::Error
+            && d.analysis == Analysis::Speculation
+            && d.message.contains("hoisted above the side exit")),
+        "hoisted store must be caught as a speculation error:\n{}",
+        render(&diags)
+    );
+}
+
+// Pure computation hoisted above a side exit is the speculative model's
+// *feature*; the mutation suite pins that it stays unflagged so the
+// speculation check cannot rot into "nothing may move".
+#[test]
+fn speculative_hoisting_of_pure_computation_stays_legal() {
+    let machine = MachineConfig::ppc7410();
+    let insts = vec![
+        Inst::new(Opcode::Fdiv).def(Reg::fpr(1)).use_(Reg::fpr(2)).use_(Reg::fpr(3)),
+        Inst::new(Opcode::Bc),
+        add(1, 9),
+        Inst::new(Opcode::Bc),
+    ];
+    // An explicitly hoisted order with honest cycle claims: the add
+    // moves above the side exit into the 33-cycle divide's shadow.
+    let order = vec![0, 2, 1, 3];
+    let permuted: Vec<Inst> = order.iter().map(|&i| insts[i]).collect();
+    let hoisted = ScheduleOutcome {
+        order,
+        cycles_before: wts_verify::resimulate(&machine, &insts).0,
+        cycles_after: wts_verify::resimulate(&machine, &permuted).0,
+    };
+    let diags = verify_unit(&machine, &insts, true, &hoisted);
+    assert!(diags.is_empty(), "{}", render(&diags));
+}

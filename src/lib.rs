@@ -21,6 +21,9 @@
 //!   filter training and evaluation, unified behind the
 //!   [`Experiment`](filters::Experiment) pipeline (crate `wts-core`);
 //! * [`jit`] — synthetic benchmark suites and the JIT compile session;
+//! * [`verify`] — the independent static checker: dependence soundness,
+//!   timing legality and speculation safety (crate `wts-verify`, with
+//!   debug-assert pipeline hooks behind the `verify` cargo feature);
 //! * [`experiments`] — regeneration of every table and figure.
 //!
 //! # Quick start
@@ -54,6 +57,7 @@ pub use wts_jit as jit;
 pub use wts_machine as machine;
 pub use wts_ripper as ripper;
 pub use wts_sched as sched;
+pub use wts_verify as verify;
 
 /// Commonly used items, importable with one `use`.
 pub mod prelude {
@@ -71,4 +75,5 @@ pub mod prelude {
     };
     pub use wts_ripper::{Dataset, RipperConfig, RuleSet};
     pub use wts_sched::{ListScheduler, SchedulePolicy};
+    pub use wts_verify::{verify_program, verify_unit, Diagnostic, VerifyReport};
 }

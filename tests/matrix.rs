@@ -201,6 +201,46 @@ fn calibration_smoke_policies_bracketed_by_the_oracle_on_every_machine() {
     assert!(eb_wins >= 1, "expected-benefit must reach the fixed-threshold baseline on at least one machine");
 }
 
+/// The CI-enabled `repro verify` smoke test: at realistic scale, the
+/// independent static checker (dependence oracle, timing re-simulation,
+/// speculation safety) reports zero diagnostics over the generated
+/// corpus on every registry machine × scheduling policy × scope — the
+/// standing invariant every future pipeline change inherits.
+#[test]
+#[ignore = "verify smoke test: realistic scale; CI runs it with -- --ignored"]
+fn verify_smoke_zero_diagnostics_at_scale() {
+    use schedfilter::verify::render;
+    let programs = generated_programs(0.05);
+    let policies = [
+        SchedulePolicy::CriticalPath,
+        SchedulePolicy::EarliestStart,
+        SchedulePolicy::CriticalPathOnly,
+        SchedulePolicy::Random(0x5EED),
+    ];
+    for machine in registry() {
+        for policy in policies {
+            for scope in [ScopeKind::Block, ScopeKind::Superblock(70)] {
+                let mut units = 0;
+                let mut changed = 0;
+                for program in &programs {
+                    let report = verify_program(program, &machine, policy, scope);
+                    units += report.units;
+                    changed += report.changed;
+                    assert!(
+                        report.is_clean(),
+                        "{} {policy} {scope} {}:\n{}",
+                        machine.name(),
+                        program.name(),
+                        render(&report.diagnostics)
+                    );
+                }
+                assert!(units > 100, "{}: corpus too small to mean anything", machine.name());
+                assert!(changed > 0, "{} {policy} {scope}: the sweep never saw a changed schedule", machine.name());
+            }
+        }
+    }
+}
+
 /// The CI-enabled matrix smoke test: a realistic-scale sweep, checking
 /// the cross-machine signal the registry was built to expose — the slow
 /// in-order embedded core leaves more schedulable blocks than the wide
