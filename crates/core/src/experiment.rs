@@ -54,19 +54,22 @@ use crate::eval::{
 use crate::label::{build_dataset, LabelConfig};
 use crate::learner::{Learner, LearnerKind};
 use crate::matrix::PortfolioEntry;
+use crate::store::{FilterKey, FilterStore};
 use crate::trace::{collect_trace_with, TimingMode, TraceOptions, TraceRecord};
 use crate::train::{train_loocv_sharded, TrainConfig};
 use crate::{Filter, LearnedFilter};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use wts_ir::{Program, ScopeKind};
 use wts_machine::{EstimatorKind, MachineConfig};
 use wts_ripper::{geometric_mean, ConfusionMatrix, Dataset, RipperConfig};
 use wts_sched::SchedulePolicy;
 
 /// Name-sorted `(benchmark, filter)` pairs from one LOOCV training run.
-pub type LoocvFilters = Rc<Vec<(String, LearnedFilter)>>;
+/// `Arc`'d so a fold set published in the [`FilterStore`] can be shared
+/// across threads (a serving retrainer, the sharded matrix).
+pub type LoocvFilters = Arc<Vec<(String, LearnedFilter)>>;
 
 /// Configuration of the whole trace→label→train→evaluate pipeline.
 ///
@@ -267,11 +270,25 @@ impl Experiment {
     }
 
     /// Packages already-collected per-program traces as an
-    /// [`ExperimentRun`] under this configuration. The matrix runner
-    /// shards trace collection itself (over machines×methods) and hands
-    /// the reassembled pieces here; the shared `Rc` lets every
-    /// per-machine run borrow one corpus instead of deep-copying it.
+    /// [`ExperimentRun`] under this configuration, backed by a fresh
+    /// private [`FilterStore`]. The matrix runner shards trace
+    /// collection itself (over machines×methods) and hands the
+    /// reassembled pieces here; the shared `Rc` lets every per-machine
+    /// run borrow one corpus instead of deep-copying it.
     pub(crate) fn run_precomputed(&self, programs: Rc<Vec<Program>>, traces: Vec<Vec<TraceRecord>>) -> ExperimentRun {
+        self.run_precomputed_in(FilterStore::shared(), programs, traces)
+    }
+
+    /// [`run_precomputed`](Experiment::run_precomputed) against a caller
+    /// supplied store. Runs sharing one store must differ in at least
+    /// one [`FilterKey`] component — the matrix qualifies because every
+    /// per-machine run keys by its own machine name.
+    pub(crate) fn run_precomputed_in(
+        &self,
+        store: Arc<FilterStore>,
+        programs: Rc<Vec<Program>>,
+        traces: Vec<Vec<TraceRecord>>,
+    ) -> ExperimentRun {
         debug_assert_eq!(programs.len(), traces.len(), "one trace vector per program");
         let names: Vec<String> = programs.iter().map(|p| p.name().to_string()).collect();
         let all_traces: Vec<TraceRecord> = traces.iter().flat_map(|t| t.iter().cloned()).collect();
@@ -279,12 +296,12 @@ impl Experiment {
             learner: self.learner.clone(),
             scope: self.scope,
             threads: self.train_threads,
+            machine_name: self.machine.name().to_string(),
             names,
             programs,
             traces,
             all_traces,
-            loocv_cache: RefCell::new(BTreeMap::new()),
-            factory_cache: RefCell::new(BTreeMap::new()),
+            store,
         }
     }
 }
@@ -325,17 +342,20 @@ impl std::error::Error for CorpusError {
 }
 
 /// The output of the trace stage plus lazily computed label / train /
-/// evaluate stages, with leave-one-out filters cached per threshold.
+/// evaluate stages. Trained filters live in the run's [`FilterStore`]
+/// — keyed per `(machine, learner, scope, threshold)` — rather than in
+/// private caches, so the same filters the tables report are the ones
+/// a JIT session or a serving daemon deploys.
 pub struct ExperimentRun {
     learner: LearnerKind,
     scope: ScopeKind,
     threads: usize,
+    machine_name: String,
     names: Vec<String>,
     programs: Rc<Vec<Program>>,
     traces: Vec<Vec<TraceRecord>>,
     all_traces: Vec<TraceRecord>,
-    loocv_cache: RefCell<BTreeMap<(String, u32), LoocvFilters>>,
-    factory_cache: RefCell<BTreeMap<(String, u32), LearnedFilter>>,
+    store: Arc<FilterStore>,
 }
 
 impl ExperimentRun {
@@ -419,16 +439,12 @@ impl ExperimentRun {
     /// [`loocv_filters`](ExperimentRun::loocv_filters) under an explicit
     /// backend — the portfolio path: the traced corpus is shared, only
     /// the training stage re-runs, and each `(learner, threshold)` pair
-    /// is cached independently.
+    /// occupies its own [`FilterStore`] fold slot.
     pub fn loocv_filters_for(&self, t: u32, learner: &LearnerKind) -> LoocvFilters {
-        let key = (learner.cache_key(), t);
-        if let Some(hit) = self.loocv_cache.borrow().get(&key) {
-            return Rc::clone(hit);
-        }
         let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone(), scope: self.scope };
-        let filters = Rc::new(train_loocv_sharded(&self.all_traces, &config, self.threads));
-        self.loocv_cache.borrow_mut().insert(key, Rc::clone(&filters));
-        filters
+        self.store.loocv_or_train(self.filter_key(t, learner), || {
+            train_loocv_sharded(&self.all_traces, &config, self.threads)
+        })
     }
 
     /// The filter trained for (i.e. *excluding*) the named benchmark.
@@ -447,23 +463,42 @@ impl ExperimentRun {
 
     /// Stage 3 ("at the factory", §3): one filter trained on the whole
     /// corpus at threshold `t` under the run's configured backend,
-    /// cached across artifacts like the LOOCV filters (the
-    /// cross-machine transfer table queries it repeatedly).
+    /// published in the run's [`FilterStore`] (the cross-machine
+    /// transfer table queries it repeatedly; a retrainer may later
+    /// [`swap`](FilterStore::swap) the same slot).
     pub fn factory_filter(&self, t: u32) -> LearnedFilter {
         self.factory_filter_for(t, &self.learner)
     }
 
     /// [`factory_filter`](ExperimentRun::factory_filter) under an
-    /// explicit backend, cached per `(learner, threshold)`.
+    /// explicit backend, published per `(machine, learner, scope,
+    /// threshold)`.
     pub fn factory_filter_for(&self, t: u32, learner: &LearnerKind) -> LearnedFilter {
-        let key = (learner.cache_key(), t);
-        if let Some(hit) = self.factory_cache.borrow().get(&key) {
-            return hit.clone();
-        }
         let config = TrainConfig { label: LabelConfig::new(t), learner: learner.clone(), scope: self.scope };
-        let filter = crate::train_filter(&self.all_traces, &config);
-        self.factory_cache.borrow_mut().insert(key, filter.clone());
-        filter
+        self.store
+            .deployed_or_train(self.filter_key(t, learner), || crate::train_filter(&self.all_traces, &config))
+            .source()
+            .clone()
+    }
+
+    /// The machine name this run's filters are keyed under.
+    pub fn machine_name(&self) -> &str {
+        &self.machine_name
+    }
+
+    /// The [`FilterKey`] this run files threshold-`t` filters of
+    /// `learner` under: its machine, the backend's canonical tag, and
+    /// the run's scope.
+    pub fn filter_key(&self, t: u32, learner: &LearnerKind) -> FilterKey {
+        FilterKey::new(&self.machine_name, learner, self.scope, t)
+    }
+
+    /// The run's backing [`FilterStore`]. Each run gets a private store
+    /// by default; the cross-machine matrix shares one across its
+    /// per-machine runs, and a serving daemon can deploy (and hot-swap)
+    /// straight out of it.
+    pub fn store(&self) -> &Arc<FilterStore> {
+        &self.store
     }
 
     /// One learner's full portfolio row on this run: aggregate LOOCV
@@ -629,9 +664,25 @@ mod tests {
         let r = run();
         let a = r.loocv_filters(0);
         let b = r.loocv_filters(0);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         let names: Vec<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn factory_filters_are_published_in_the_store() {
+        let r = run();
+        let f = r.factory_filter(0);
+        let key = r.filter_key(0, r.learner());
+        assert_eq!(key.machine(), "ppc7410");
+        let snap = r.store().get(&key).expect("factory filter published");
+        assert_eq!(snap.epoch(), 1, "first publication of this key");
+        assert_eq!(*snap.source(), f);
+        assert_eq!(*snap.compiled(), f.compile(), "snapshot carries the lowered engine");
+        // A second request is a store hit, not a retrain.
+        let again = r.factory_filter(0);
+        assert_eq!(again, f);
+        assert_eq!(r.store().epoch(&key), Some(1), "cache hits do not advance the epoch");
     }
 
     #[test]

@@ -441,15 +441,45 @@ pub fn write_trace_binary(records: &[TraceRecord]) -> Result<Vec<u8>, TraceWrite
     Ok(out)
 }
 
-/// Bounds-checked reader over the binary layout; every failed read names
-/// the section that was cut short.
-struct BinCursor<'a> {
+/// Bounds-checked little-endian reader over a binary layout; every
+/// failed read names the section that was cut short.
+///
+/// This is the decode half of the `schedfilter-trace-bin-v1` idiom —
+/// length prefixes validated before use, truncation reported at the
+/// offset where the claim broke down — shared by the trace reader and
+/// the `wts-serve` wire protocol. The fixed-width accessors all route
+/// through [`take_array`](BinCursor::take_array), so the bounds check
+/// happens exactly once per read and the slice-to-array conversion is
+/// infallible by construction.
+#[derive(Debug)]
+pub struct BinCursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> BinCursor<'a> {
-    fn take(&mut self, len: usize, section: &'static str) -> Result<&'a [u8], BinaryTraceError> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BinCursor<'a> {
+        BinCursor { bytes, pos: 0 }
+    }
+
+    /// The current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads the next `len` bytes as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] naming `section` when
+    /// fewer than `len` bytes remain (or `len` overflows the offset).
+    pub fn take(&mut self, len: usize, section: &'static str) -> Result<&'a [u8], BinaryTraceError> {
         let end = self
             .pos
             .checked_add(len)
@@ -460,23 +490,87 @@ impl<'a> BinCursor<'a> {
         Ok(slice)
     }
 
-    fn u16(&mut self, section: &'static str) -> Result<u16, BinaryTraceError> {
-        Ok(u16::from_le_bytes(self.take(2, section)?.try_into().unwrap()))
+    /// Reads the next `N` bytes as a fixed-size array — one bounds
+    /// check, no fallible slice conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] naming `section` when
+    /// fewer than `N` bytes remain.
+    pub fn take_array<const N: usize>(&mut self, section: &'static str) -> Result<[u8; N], BinaryTraceError> {
+        let end = self
+            .pos
+            .checked_add(N)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(BinaryTraceError::Truncated { section, offset: self.pos })?;
+        let mut array = [0u8; N];
+        array.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(array)
     }
 
-    fn u32(&mut self, section: &'static str) -> Result<u32, BinaryTraceError> {
-        Ok(u32::from_le_bytes(self.take(4, section)?.try_into().unwrap()))
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] when the input is spent.
+    pub fn u8(&mut self, section: &'static str) -> Result<u8, BinaryTraceError> {
+        Ok(self.take_array::<1>(section)?[0])
     }
 
-    fn u64(&mut self, section: &'static str) -> Result<u64, BinaryTraceError> {
-        Ok(u64::from_le_bytes(self.take(8, section)?.try_into().unwrap()))
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] when fewer than 2 bytes remain.
+    pub fn u16(&mut self, section: &'static str) -> Result<u16, BinaryTraceError> {
+        Ok(u16::from_le_bytes(self.take_array(section)?))
     }
 
-    fn f64(&mut self, section: &'static str) -> Result<f64, BinaryTraceError> {
-        Ok(f64::from_le_bytes(self.take(8, section)?.try_into().unwrap()))
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self, section: &'static str) -> Result<u32, BinaryTraceError> {
+        Ok(u32::from_le_bytes(self.take_array(section)?))
     }
 
-    fn str(&mut self, len: usize, section: &'static str) -> Result<&'a str, BinaryTraceError> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self, section: &'static str) -> Result<u64, BinaryTraceError> {
+        Ok(u64::from_le_bytes(self.take_array(section)?))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] when fewer than 8 bytes remain.
+    pub fn i64(&mut self, section: &'static str) -> Result<i64, BinaryTraceError> {
+        Ok(i64::from_le_bytes(self.take_array(section)?))
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] when fewer than 8 bytes remain.
+    pub fn f64(&mut self, section: &'static str) -> Result<f64, BinaryTraceError> {
+        Ok(f64::from_le_bytes(self.take_array(section)?))
+    }
+
+    /// Reads `len` bytes as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Truncated`] when fewer than `len`
+    /// bytes remain, and [`BinaryTraceError::HostileHeader`] when the
+    /// bytes are not valid UTF-8.
+    pub fn str(&mut self, len: usize, section: &'static str) -> Result<&'a str, BinaryTraceError> {
         std::str::from_utf8(self.take(len, section)?)
             .map_err(|_| BinaryTraceError::HostileHeader { section, detail: "name is not valid UTF-8".to_string() })
     }
@@ -497,7 +591,8 @@ pub fn read_trace_binary(bytes: &[u8]) -> Result<Vec<TraceRecord>, BinaryTraceEr
     if bytes.len() < BIN_MAGIC.len() || &bytes[..BIN_MAGIC.len()] != BIN_MAGIC {
         return Err(BinaryTraceError::BadMagic);
     }
-    let mut cur = BinCursor { bytes, pos: BIN_MAGIC.len() };
+    let mut cur = BinCursor::new(bytes);
+    cur.take(BIN_MAGIC.len(), "magic")?;
 
     let feature_count = cur.u32("feature table")? as usize;
     if feature_count != FeatureKind::COUNT {

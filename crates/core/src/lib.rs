@@ -69,6 +69,7 @@ mod learner;
 mod matrix;
 pub mod parallel;
 mod policy;
+mod store;
 #[doc(hidden)]
 pub mod testutil;
 mod trace;
@@ -82,16 +83,18 @@ pub use eval::{
 pub use experiment::{CorpusError, Experiment, ExperimentRun, LoocvFilters};
 pub use filter::{AlwaysSchedule, Filter, LearnedFilter, NeverSchedule, SizeThresholdFilter};
 pub use io::{
-    read_trace, read_trace_auto, read_trace_binary, write_trace, write_trace_binary, BinaryTraceError, ParseTraceError,
-    TraceReadError, TraceWriteError,
+    read_trace, read_trace_auto, read_trace_binary, write_trace, write_trace_binary, BinCursor, BinaryTraceError,
+    ParseTraceError, TraceReadError, TraceWriteError,
 };
 pub use label::{build_dataset, LabelConfig};
 pub use learner::{Learner, LearnerKind};
 pub use matrix::{CalibrationRow, ExperimentMatrix, MachinePortfolio, MatrixRun, PortfolioEntry};
 pub use policy::{BenefitModel, DecisionPolicy, UnitEconomics};
+pub use store::{FilterKey, FilterSnapshot, FilterStore};
 pub use trace::{
     collect_method_trace, collect_trace, collect_trace_with, collect_trace_with_policy, collect_trace_with_providers,
-    filtered_schedule_pass, filtered_schedule_pass_with, FilteredPass, TimingMode, TraceOptions, TraceRecord,
+    filtered_schedule_pass, filtered_schedule_pass_with, FilteredPass, ServedUnit, TimingMode, TraceOptions,
+    TraceRecord, UnitServer,
 };
 pub use train::{train_filter, train_loocv, train_loocv_sharded, TrainConfig};
 // The scope axis: formation lives in `wts_ir`, the pipeline threads it.

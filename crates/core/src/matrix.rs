@@ -151,8 +151,11 @@ impl ExperimentMatrix {
         // Tasks were emitted machine-major, then program, then method;
         // consuming the flattened pieces in the same order reassembles
         // each machine's per-program traces positionally. Every run
-        // shares one Rc'd corpus rather than deep-copying it per machine.
+        // shares one Rc'd corpus rather than deep-copying it per machine,
+        // and one FilterStore — per-machine keys cannot collide because
+        // every run keys by its own machine name.
         let shared: std::rc::Rc<Vec<Program>> = std::rc::Rc::new(programs.to_vec());
+        let store = crate::FilterStore::shared();
         let mut pieces = shards.into_iter().flatten();
         let runs: Vec<ExperimentRun> = self
             .machines
@@ -168,25 +171,39 @@ impl ExperimentMatrix {
                         t
                     })
                     .collect();
-                self.template.clone().with_machine(machine.clone()).run_precomputed(shared.clone(), traces)
+                self.template.clone().with_machine(machine.clone()).run_precomputed_in(
+                    std::sync::Arc::clone(&store),
+                    shared.clone(),
+                    traces,
+                )
             })
             .collect();
-        MatrixRun { machines: self.machines.clone(), runs, scope: self.template.scope() }
+        MatrixRun { machines: self.machines.clone(), runs, scope: self.template.scope(), store }
     }
 }
 
 /// The completed sweep: one [`ExperimentRun`] per machine, plus the
-/// cross-machine comparisons built on top of them.
+/// cross-machine comparisons built on top of them. All per-machine
+/// filters live in one shared [`FilterStore`](crate::FilterStore),
+/// keyed by machine name.
 pub struct MatrixRun {
     machines: Vec<MachineConfig>,
     runs: Vec<ExperimentRun>,
     scope: wts_ir::ScopeKind,
+    store: std::sync::Arc<crate::FilterStore>,
 }
 
 impl MatrixRun {
     /// The machines, in run order.
     pub fn machines(&self) -> &[MachineConfig] {
         &self.machines
+    }
+
+    /// The store every per-machine run publishes its filters into —
+    /// the deployment surface a serving daemon or JIT session shares
+    /// with the sweep.
+    pub fn store(&self) -> &std::sync::Arc<crate::FilterStore> {
+        &self.store
     }
 
     /// The scheduling scope every run in this sweep was traced at.
@@ -491,6 +508,22 @@ mod tests {
             assert_eq!(counts.len(), 3);
             assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "LS shrinks with t: {counts:?}");
         }
+    }
+
+    #[test]
+    fn per_machine_runs_share_one_store_keyed_by_machine() {
+        let m = deterministic().run(&suite());
+        for run in m.runs() {
+            assert!(std::sync::Arc::ptr_eq(run.store(), m.store()), "every run publishes into the matrix store");
+        }
+        let _ = m.factory_filters(0);
+        let keys = m.store().keys();
+        assert_eq!(keys.len(), m.machines().len(), "one deployed slot per machine");
+        let mut machines: Vec<&str> = keys.iter().map(|k| k.machine()).collect();
+        machines.sort_unstable();
+        let mut expect = m.machine_names();
+        expect.sort_unstable();
+        assert_eq!(machines, expect);
     }
 
     #[test]

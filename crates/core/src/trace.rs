@@ -563,8 +563,111 @@ struct PassUnit<'a> {
     exec_count: u64,
 }
 
+/// What serving one scope unit through [`UnitServer`] produced: the
+/// schedule/skip call, and — when scheduled — the permutation and the
+/// cheap-model cycle estimates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServedUnit {
+    /// Whether the filter + policy sent this unit to the scheduler.
+    pub decision: bool,
+    /// The new order as original instruction indices (empty when the
+    /// unit was skipped — the original order stands).
+    pub order: Vec<u32>,
+    /// Estimated cycles of the original order (0 when skipped).
+    pub cycles_before: u64,
+    /// Estimated cycles of the scheduled order (0 when skipped).
+    pub cycles_after: u64,
+}
+
+/// The deployed per-unit fast path, packaged for an external serving
+/// loop: one of these per worker thread reuses the scheduler scratch
+/// state across every unit it serves (nothing allocated per unit except
+/// the returned permutation), and the [`FilteredPass`] totals it
+/// accumulates are **bit-identical** to [`filtered_schedule_pass_with`]
+/// over the same units — both run the same timed
+/// extract → score → decide → schedule body.
+///
+/// # Examples
+///
+/// ```
+/// use wts_core::{filtered_schedule_pass, DecisionPolicy, Filter, FilteredPass, SizeThresholdFilter};
+/// use wts_core::{TraceOptions, UnitServer};
+/// use wts_machine::MachineConfig;
+///
+/// let program = &wts_core::testutil::learnable_suite(2)[0];
+/// let machine = MachineConfig::ppc7410();
+/// let filter = SizeThresholdFilter::new(4).compile();
+///
+/// let mut server = UnitServer::new(&machine, wts_sched::SchedulePolicy::CriticalPath);
+/// let mut totals = FilteredPass::default();
+/// for (_, block) in program.iter_blocks() {
+///     server.serve_block(block.insts(), block.exec_count(), &filter, &DecisionPolicy::HardThreshold, &mut totals);
+/// }
+///
+/// let direct = filtered_schedule_pass(program, &machine, &filter, &TraceOptions { threads: 1, ..Default::default() });
+/// assert_eq!(totals.scheduled_blocks, direct.scheduled_blocks);
+/// assert_eq!(totals.sched_work, direct.sched_work);
+/// ```
+pub struct UnitServer<'m> {
+    scheduler: ListScheduler<'m>,
+    ctx: SchedCtx<'m>,
+}
+
+impl<'m> UnitServer<'m> {
+    /// A per-worker server over `machine` with the given scheduler
+    /// policy.
+    pub fn new(machine: &'m MachineConfig, policy: SchedulePolicy) -> UnitServer<'m> {
+        UnitServer { scheduler: ListScheduler::with_policy(machine, policy), ctx: SchedCtx::new(machine) }
+    }
+
+    /// Serves one basic-block unit: runs the deployed fast path,
+    /// accumulates the pass totals, and returns the unit's outcome.
+    pub fn serve_block(
+        &mut self,
+        insts: &[Inst],
+        exec_count: u64,
+        filter: &CompiledFilter,
+        policy: &crate::DecisionPolicy,
+        totals: &mut FilteredPass,
+    ) -> ServedUnit {
+        let unit = PassUnit { insts, shape: TraceShape::block(), exec_count };
+        self.serve(&unit, filter, policy, totals)
+    }
+
+    /// Serves one formed superblock trace (the speculative scheduler
+    /// handles multi-block units exactly as the filtered pass does).
+    pub fn serve_superblock(
+        &mut self,
+        sb: &wts_ir::Superblock,
+        filter: &CompiledFilter,
+        policy: &crate::DecisionPolicy,
+        totals: &mut FilteredPass,
+    ) -> ServedUnit {
+        let shape = TraceShape::of_trace(&sb.insts, sb.width() as u32);
+        let unit = PassUnit { insts: &sb.insts, shape, exec_count: sb.exec_count };
+        self.serve(&unit, filter, policy, totals)
+    }
+
+    fn serve(
+        &mut self,
+        unit: &PassUnit<'_>,
+        filter: &CompiledFilter,
+        policy: &crate::DecisionPolicy,
+        totals: &mut FilteredPass,
+    ) -> ServedUnit {
+        let decision = filtered_unit(unit, &self.scheduler, &mut self.ctx, filter, policy, totals);
+        if !decision {
+            return ServedUnit::default();
+        }
+        let outcome = &self.ctx.outcome;
+        let order = outcome.order.iter().map(|&i| u32::try_from(i).expect("unit length fits u32")).collect();
+        ServedUnit { decision, order, cycles_before: outcome.cycles_before, cycles_after: outcome.cycles_after }
+    }
+}
+
 /// One scope unit of the deployed pass: timed extraction + decision +
-/// (maybe) scheduling, then untimed work bookkeeping.
+/// (maybe) scheduling, then untimed work bookkeeping. Returns the
+/// schedule/skip call (the caller may read the outcome out of `ctx`).
 fn filtered_unit<'m>(
     unit: &PassUnit<'_>,
     scheduler: &ListScheduler<'m>,
@@ -572,7 +675,7 @@ fn filtered_unit<'m>(
     filter: &CompiledFilter,
     policy: &crate::DecisionPolicy,
     totals: &mut FilteredPass,
-) {
+) -> bool {
     let insts = unit.insts;
     let speculative = unit.shape.width > 1;
     let extraction_work = filter.extraction_work(insts.len() as u64);
@@ -619,6 +722,7 @@ fn filtered_unit<'m>(
         totals.scheduled_blocks += 1;
         totals.sched_work += sched_work_proxy(insts.len(), ctx.scratch.last_edge_count());
     }
+    decision
 }
 
 #[cfg(test)]
@@ -913,6 +1017,72 @@ mod tests {
                 (filtered.total_blocks, filtered.scheduled_blocks, filtered.sched_work, filtered.extraction_work),
                 "{threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn unit_server_totals_are_bit_identical_to_the_direct_pass() {
+        let machine = MachineConfig::ppc7410();
+        let compiled = crate::SizeThresholdFilter::new(3).compile();
+        let policy = crate::DecisionPolicy::HardThreshold;
+        let opts = TraceOptions { timing: TimingMode::Deterministic, ..Default::default() };
+        for p in crate::testutil::mergeable_suite(3) {
+            // Block scope: one served unit per basic block.
+            let direct = filtered_schedule_pass_with(&p, &machine, &compiled, &policy, &opts);
+            let mut server = UnitServer::new(&machine, opts.policy);
+            let mut totals = FilteredPass::default();
+            for (_, block) in p.iter_blocks() {
+                server.serve_block(block.insts(), block.exec_count(), &compiled, &policy, &mut totals);
+            }
+            assert_eq!(
+                (totals.total_blocks, totals.scheduled_blocks, totals.conditions_evaluated),
+                (direct.total_blocks, direct.scheduled_blocks, direct.conditions_evaluated),
+                "{}",
+                p.name()
+            );
+            assert_eq!((totals.extraction_work, totals.sched_work), (direct.extraction_work, direct.sched_work));
+
+            // Superblock scope: one served unit per formed trace.
+            let sb_opts = TraceOptions { scope: ScopeKind::Superblock(70), ..opts };
+            let direct = filtered_schedule_pass_with(&p, &machine, &compiled, &policy, &sb_opts);
+            let mut totals = FilteredPass::default();
+            for method in p.methods() {
+                for sb in form_superblocks(method, 70) {
+                    server.serve_superblock(&sb, &compiled, &policy, &mut totals);
+                }
+            }
+            assert_eq!(
+                (totals.total_blocks, totals.scheduled_blocks, totals.extraction_work, totals.sched_work),
+                (direct.total_blocks, direct.scheduled_blocks, direct.extraction_work, direct.sched_work),
+                "{} at superblock scope",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn served_units_carry_a_valid_permutation_or_nothing() {
+        let machine = MachineConfig::ppc7410();
+        let compiled = crate::SizeThresholdFilter::new(3).compile();
+        let policy = crate::DecisionPolicy::HardThreshold;
+        let mut server = UnitServer::new(&machine, SchedulePolicy::CriticalPath);
+        let mut totals = FilteredPass::default();
+        let p = program();
+        let mut served = Vec::new();
+        for (_, block) in p.iter_blocks() {
+            served.push((block.insts().len(), server.serve_block(block.insts(), 1, &compiled, &policy, &mut totals)));
+        }
+        assert!(served.iter().any(|(_, u)| u.decision) && served.iter().any(|(_, u)| !u.decision));
+        for (len, unit) in &served {
+            if unit.decision {
+                let mut order = unit.order.clone();
+                order.sort_unstable();
+                assert_eq!(order, (0..*len as u32).collect::<Vec<_>>(), "a permutation of the unit");
+                assert!(unit.cycles_after <= unit.cycles_before, "CPS never worsens the estimate");
+                assert!(unit.cycles_before > 0);
+            } else {
+                assert_eq!(*unit, ServedUnit::default(), "skipped units report nothing");
+            }
         }
     }
 

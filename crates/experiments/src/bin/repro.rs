@@ -5,7 +5,7 @@
 //!
 //! ARTIFACTs: table1 table2 table3 table4 table5 table6 table7
 //!            fig1 fig2 fig3 fig4
-//!            calibrate learners machines policies factory
+//!            calibrate learners machines policies factory serve
 //!            superblocks superblock adaptive selftrain matrix portfolio
 //!            all          (default: everything above)
 //! ```
@@ -13,11 +13,17 @@
 //! `superblocks` is the per-benchmark gain table; `superblock` is the
 //! cross-machine *scope* scenario — the full pipeline per registry
 //! machine at block and superblock scope side by side.
+//!
+//! `serve` (like `factory`, not part of `all`) runs the serving-layer
+//! load generator: a live `wts-serve` instance under concurrent
+//! clients with online retraining hot-swapping the filter.
 
 use std::process::ExitCode;
-use wts_experiments::{table1, table2, table7, Experiments, CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE};
+use wts_experiments::{
+    table1, table2, table7, Experiments, ServeLoad, CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE,
+};
 
-const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|superblocks|superblock|adaptive|selftrain|matrix|portfolio|verify|all]...";
+const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|serve|superblocks|superblock|adaptive|selftrain|matrix|portfolio|verify|all]...";
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
@@ -74,7 +80,7 @@ fn main() -> ExitCode {
         artifacts = all.iter().map(|s| s.to_string()).collect();
     }
     for a in &artifacts {
-        if !all.contains(&a.as_str()) && a != "factory" {
+        if !all.contains(&a.as_str()) && a != "factory" && a != "serve" {
             eprintln!("unknown artifact: {a}\n{USAGE}");
             return ExitCode::FAILURE;
         }
@@ -150,6 +156,10 @@ fn main() -> ExitCode {
                         println!("{}", e.calibration(m, 0, CALIBRATION_OPERATING_POINT));
                     }
                     "factory" => println!("{}", e.factory_filter(20)),
+                    "serve" => {
+                        eprintln!("# serving the jvm98 suite under concurrent load with online retraining...");
+                        println!("{}", e.serve(ServeLoad::default()));
+                    }
                     _ => unreachable!("validated above"),
                 }
             }

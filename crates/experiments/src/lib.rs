@@ -19,12 +19,14 @@
 mod extensions;
 mod figures;
 mod matrix;
+mod serve;
 mod statics;
 mod table;
 mod tables;
 mod verify;
 
 pub use matrix::{CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE};
+pub use serve::ServeLoad;
 pub use statics::{table1, table2, table7};
 pub use table::Table;
 
@@ -97,7 +99,7 @@ fn suite_programs(suite: &Suite) -> Vec<wts_ir::Program> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn harness() -> Experiments {
         Experiments::new(0.02)
@@ -117,7 +119,7 @@ mod tests {
         let e = harness();
         let a = e.run(SuiteKind::Jvm98).loocv_filters(0);
         let b = e.run(SuiteKind::Jvm98).loocv_filters(0);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 7);
     }
 

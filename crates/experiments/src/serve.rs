@@ -1,0 +1,138 @@
+//! The serving-layer load generator: spin up a `wts-serve` instance
+//! over a traced suite, hammer it from concurrent clients while the
+//! retrainer hot-swaps filters underneath, and tabulate what happened.
+
+use crate::table::Table;
+use crate::{Experiments, SuiteKind};
+use std::time::Instant;
+use wts_core::LearnerKind;
+use wts_serve::{Response, ServeClient, ServeConfig, Server};
+
+/// How one load run is shaped.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLoad {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Batches each client sends (round-robin over the suite's
+    /// benchmarks, one benchmark's methods per batch).
+    pub rounds: usize,
+    /// Worker threads in the serving instance.
+    pub workers: usize,
+    /// Job-queue bound (a full queue sheds batches with a busy frame).
+    pub queue_depth: usize,
+    /// Retrain cadence in observed records (0 leaves the seed filter in
+    /// place for the whole run).
+    pub retrain_every: usize,
+}
+
+impl Default for ServeLoad {
+    fn default() -> ServeLoad {
+        ServeLoad { clients: 4, rounds: 8, workers: 2, queue_depth: 64, retrain_every: 512 }
+    }
+}
+
+impl Experiments {
+    /// Runs the serving-layer load scenario over the jvm98 suite: the
+    /// suite's own trace corpus seeds the epoch-1 filter, `clients`
+    /// connections stream method batches concurrently, and the
+    /// retrainer folds served observations back into hot-swapped
+    /// filters while the load is running.
+    ///
+    /// Every batch is answered (shed batches retry with backoff), and
+    /// the drain accounting is printed so a reader can check nothing
+    /// was lost: absorbed records equal served units.
+    pub fn serve(&self, load: ServeLoad) -> Table {
+        let run = self.run(SuiteKind::Jvm98);
+        let mut config = ServeConfig::new(self.machine().clone(), run.all_traces().to_vec());
+        // The stump retrains in microseconds, so the cadence — not the
+        // learner — dominates how often the epoch advances under load.
+        config.learner = LearnerKind::Stump;
+        config.workers = load.workers;
+        config.queue_depth = load.queue_depth;
+        config.retrain_every = load.retrain_every;
+        let handle = Server::bind("127.0.0.1:0", config).expect("bind the load-generator server");
+        let addr = handle.local_addr();
+
+        let programs = run.programs();
+        let started = Instant::now();
+        let per_client: Vec<(u64, u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..load.clients)
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut client = ServeClient::connect(addr).expect("connect load client");
+                        let (mut units, mut first_epoch, mut last_epoch) = (0u64, 0u64, 0u64);
+                        for r in 0..load.rounds {
+                            let program = &programs[(c + r) % programs.len()];
+                            let batch_id = (c * load.rounds + r) as u64;
+                            let resp = client
+                                .request_with_retry(batch_id, program.name(), program.methods(), 12)
+                                .expect("serve a load batch");
+                            let Response::Batch(batch) = resp else { panic!("retry exhausted: {resp:?}") };
+                            units += batch.totals.total_blocks as u64;
+                            if first_epoch == 0 {
+                                first_epoch = batch.epoch;
+                            }
+                            last_epoch = batch.epoch;
+                        }
+                        (units, first_epoch, last_epoch)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("load client panicked")).collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let report = handle.shutdown();
+
+        let units: u64 = per_client.iter().map(|&(u, _, _)| u).sum();
+        let first_epoch = per_client.iter().map(|&(_, f, _)| f).min().unwrap_or(0);
+        let last_epoch = per_client.iter().map(|&(_, _, l)| l).max().unwrap_or(0);
+        let mut t = Table::new(
+            format!(
+                "Serving layer under load ({} clients x {} batches, {} workers, retrain every {} records)",
+                load.clients, load.rounds, load.workers, load.retrain_every
+            ),
+            ["metric", "value"].map(String::from).to_vec(),
+        );
+        let stats = report.stats;
+        let blocks_per_sec = if elapsed > 0.0 { units as f64 / elapsed } else { 0.0 };
+        for (metric, value) in [
+            ("batches served", stats.batches_served.to_string()),
+            ("batches shed (busy)", stats.batches_shed.to_string()),
+            ("units served", stats.units_served.to_string()),
+            ("units scheduled", stats.units_scheduled.to_string()),
+            ("blocks/sec (client-observed)", format!("{blocks_per_sec:.0}")),
+            ("epoch span observed", format!("{first_epoch}..{last_epoch}")),
+            ("retrain folds", report.retrain.retrains.to_string()),
+            ("records absorbed", report.retrain.records_absorbed.to_string()),
+            ("drain lossless", (report.retrain.records_absorbed == stats.units_served).to_string()),
+        ] {
+            t.push_row(vec![metric.to_string(), value]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_run_is_lossless_and_swaps_under_load() {
+        let e = Experiments::new(0.02);
+        let load = ServeLoad { clients: 3, rounds: 4, workers: 2, queue_depth: 8, retrain_every: 64 };
+        let t = e.serve(load);
+        let cell = |name: &str| {
+            (0..t.row_count())
+                .find(|&r| t.cell(r, 0) == name)
+                .map(|r| t.cell(r, 1).to_string())
+                .expect("metric row present")
+        };
+        assert_eq!(cell("drain lossless"), "true");
+        assert_eq!(cell("batches served"), (load.clients * load.rounds).to_string());
+        let span = cell("epoch span observed");
+        let (first, last) = span.split_once("..").expect("a..b");
+        assert!(first.parse::<u64>().expect("first") >= 1);
+        assert!(last.parse::<u64>().expect("last") >= first.parse::<u64>().expect("first"));
+        assert_eq!(cell("records absorbed"), cell("units served"));
+    }
+}

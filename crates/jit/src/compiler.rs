@@ -13,8 +13,11 @@
 //! session weighs each block's calibrated probability and hotness
 //! against the compile spend instead.
 
+use std::sync::Arc;
 use std::time::Instant;
-use wts_core::{CompiledFilter, DecisionPolicy, Filter, UnitEconomics};
+use wts_core::{
+    CompiledFilter, DecisionPolicy, Filter, FilterKey, FilterSnapshot, FilterStore, LearnedFilter, UnitEconomics,
+};
 use wts_features::FeatureVector;
 use wts_ir::Program;
 use wts_machine::{CostModel, MachineConfig, PipelineSim};
@@ -52,25 +55,28 @@ impl CompileStats {
     }
 }
 
-/// A JIT compile session: holds the machine and scheduling policy, and
-/// compiles programs under a given filter.
+/// A JIT compile session: holds the machine, scheduling policy and a
+/// [`FilterStore`], and compiles programs under a given filter — passed
+/// explicitly, or deployed (and hot-swappable) in the store.
 #[derive(Debug, Clone)]
 pub struct CompileSession<'m> {
     machine: &'m MachineConfig,
     policy: SchedulePolicy,
     decision: DecisionPolicy,
+    store: Arc<FilterStore>,
 }
 
 impl<'m> CompileSession<'m> {
-    /// A session with the default CPS scheduler and the hard-threshold
-    /// decision policy (the paper's operating point).
+    /// A session with the default CPS scheduler, the hard-threshold
+    /// decision policy (the paper's operating point) and a fresh private
+    /// [`FilterStore`].
     pub fn new(machine: &'m MachineConfig) -> CompileSession<'m> {
-        CompileSession { machine, policy: SchedulePolicy::CriticalPath, decision: DecisionPolicy::HardThreshold }
+        CompileSession::with_policy(machine, SchedulePolicy::CriticalPath)
     }
 
     /// A session with an explicit scheduling policy.
     pub fn with_policy(machine: &'m MachineConfig, policy: SchedulePolicy) -> CompileSession<'m> {
-        CompileSession { machine, policy, decision: DecisionPolicy::HardThreshold }
+        CompileSession { machine, policy, decision: DecisionPolicy::HardThreshold, store: FilterStore::shared() }
     }
 
     /// Selects how the session turns filter scores into schedule/skip
@@ -82,6 +88,15 @@ impl<'m> CompileSession<'m> {
         self
     }
 
+    /// Re-seats the session on a shared [`FilterStore`] — typically the
+    /// store an [`ExperimentRun`](wts_core::ExperimentRun) or a serving
+    /// daemon publishes into, so filters trained there deploy here
+    /// without copying.
+    pub fn with_store(mut self, store: Arc<FilterStore>) -> CompileSession<'m> {
+        self.store = store;
+        self
+    }
+
     /// The target machine.
     pub fn machine(&self) -> &MachineConfig {
         self.machine
@@ -90,6 +105,20 @@ impl<'m> CompileSession<'m> {
     /// The session's decision policy.
     pub fn decision_policy(&self) -> &DecisionPolicy {
         &self.decision
+    }
+
+    /// The session's filter store.
+    pub fn store(&self) -> &Arc<FilterStore> {
+        &self.store
+    }
+
+    /// Publishes (or hot-swaps) `filter` under `key` in the session's
+    /// store and returns the new epoch-tagged snapshot. Compiles in
+    /// flight against the previous snapshot finish under it; the next
+    /// [`compile_stored`](CompileSession::compile_stored) sees the new
+    /// epoch.
+    pub fn deploy(&self, key: FilterKey, filter: LearnedFilter) -> Arc<FilterSnapshot> {
+        self.store.swap(key, filter)
     }
 
     /// Compiles `program` under `filter`: every block gets features
@@ -181,6 +210,35 @@ impl<'m> CompileSession<'m> {
         }
     }
 
+    /// Compiles `program` under the filter deployed at `key` in the
+    /// session's store, returning the program, the stats and the epoch
+    /// of the snapshot the whole compile ran against (one snapshot is
+    /// loaded up front, so a concurrent hot-swap never splits a
+    /// compile across filter versions). Returns `None` when nothing is
+    /// deployed under `key`.
+    pub fn compile_stored(
+        &self,
+        program: &Program,
+        key: &FilterKey,
+        threads: usize,
+    ) -> Option<(Program, CompileStats, u64)> {
+        let snapshot = self.store.get(key)?;
+        let (out, stats) = self.compile_snapshot(program, &snapshot, threads);
+        Some((out, stats, snapshot.epoch()))
+    }
+
+    /// Compiles `program` under an explicit store snapshot — the
+    /// serving path: the caller pins one epoch for a whole batch and
+    /// reports it alongside the schedules.
+    pub fn compile_snapshot(
+        &self,
+        program: &Program,
+        snapshot: &FilterSnapshot,
+        threads: usize,
+    ) -> (Program, CompileStats) {
+        self.compile_engine(program, snapshot.compiled(), |_| true, threads)
+    }
+
     fn compile_where(
         &self,
         program: &Program,
@@ -188,8 +246,20 @@ impl<'m> CompileSession<'m> {
         optimize_method: impl Fn(&wts_ir::Method) -> bool + Sync,
         threads: usize,
     ) -> (Program, CompileStats) {
-        // Lower the filter once; every shard shares the flat table.
+        // Lower the filter once; every shard shares the flat table. The
+        // store path arrives pre-lowered (the snapshot carries its
+        // engine) and joins at `compile_engine`.
         let engine = filter.compile();
+        self.compile_engine(program, &engine, optimize_method, threads)
+    }
+
+    fn compile_engine(
+        &self,
+        program: &Program,
+        engine: &CompiledFilter,
+        optimize_method: impl Fn(&wts_ir::Method) -> bool + Sync,
+        threads: usize,
+    ) -> (Program, CompileStats) {
         // Methods shard into contiguous chunks; each worker clones and
         // compiles its chunk, and the chunks are reassembled in method
         // order, so the result is identical whatever the thread count.
@@ -208,7 +278,7 @@ impl<'m> CompileSession<'m> {
                     &mut outcome,
                     &mut permute_buf,
                     method,
-                    &engine,
+                    engine,
                     optimize,
                     &mut stats,
                 );
@@ -378,6 +448,40 @@ mod tests {
         let (unchanged, n_stats) = none.compile(p, &AlwaysSchedule);
         assert_eq!(&unchanged, p);
         assert_eq!(n_stats.scheduled_blocks, 0);
+    }
+
+    #[test]
+    fn stored_compile_matches_the_direct_path_and_reports_the_epoch() {
+        let m = machine();
+        let suite = Suite::specjvm98(0.02);
+        let p = suite.benchmarks()[0].program();
+        let session = CompileSession::new(&m);
+        // Train a real filter and deploy it in the session's store.
+        let run =
+            wts_core::Experiment::new(m.clone()).with_timing(wts_core::TimingMode::Deterministic).run(vec![p.clone()]);
+        let filter = wts_core::train_filter(run.all_traces(), &run.train_config(0));
+        let key = run.filter_key(0, run.learner());
+        assert!(session.compile_stored(p, &key, 1).is_none(), "nothing deployed yet");
+        session.deploy(key.clone(), filter.clone());
+        let (stored, stored_stats, epoch) = session.compile_stored(p, &key, 1).expect("deployed");
+        assert_eq!(epoch, 1);
+        let (direct, direct_stats) = session.compile(p, &filter);
+        assert_eq!(stored, direct, "store-deployed compile must match the explicit-filter path");
+        assert_eq!(stored_stats.scheduled_blocks, direct_stats.scheduled_blocks);
+        // Hot-swapping bumps the epoch the next compile reports.
+        session.deploy(key.clone(), filter);
+        let (_, _, epoch2) = session.compile_stored(p, &key, 1).expect("still deployed");
+        assert_eq!(epoch2, 2);
+    }
+
+    #[test]
+    fn sessions_share_a_store_when_re_seated() {
+        let m = machine();
+        let store = FilterStore::shared();
+        let a = CompileSession::new(&m).with_store(Arc::clone(&store));
+        let b = CompileSession::new(&m).with_store(Arc::clone(&store));
+        assert!(Arc::ptr_eq(a.store(), b.store()));
+        assert!(!Arc::ptr_eq(CompileSession::new(&m).store(), a.store()), "default store is private");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! The online retraining loop: served methods come in, observed trace
+//! records accumulate, and every `retrain_every` records the learner
+//! re-runs and hot-swaps the deployed filter.
+//!
+//! Observation happens *off* the hot path: the workers schedule against
+//! the compiled snapshot with no instrumentation, and this thread
+//! re-runs the full instrumented collector
+//! ([`collect_method_trace`]) over the same methods to produce the
+//! labeled records — exactly the ones the offline pipeline would have
+//! collected, so an online-retrained filter and an offline-trained one
+//! see the same training distribution.
+
+use crate::server::ServeConfig;
+use std::sync::mpsc::Receiver;
+use wts_core::{collect_method_trace, train_filter, FilterKey, FilterStore, TraceRecord};
+use wts_ir::Method;
+
+/// What the retraining thread did over the instance's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetrainReport {
+    /// Observed trace records absorbed into the training corpus — one
+    /// per served scope unit, so a lossless drain means this equals the
+    /// server's `units_served`.
+    pub records_absorbed: u64,
+    /// Completed fold-and-swap cycles (including the final drain fold).
+    pub retrains: u64,
+    /// Epoch of the last filter this thread published (0 when it never
+    /// swapped).
+    pub last_epoch: u64,
+}
+
+/// Runs until every sender hangs up, then performs a final fold if any
+/// records are pending and returns the tally.
+pub(crate) fn retrain_loop(
+    rx: &Receiver<(String, Vec<Method>)>,
+    store: &FilterStore,
+    key: &FilterKey,
+    config: &ServeConfig,
+) -> RetrainReport {
+    let options = config.options;
+    let train_config = config.train_config();
+    let mut corpus: Vec<TraceRecord> = config.seed_traces.clone();
+    let mut pending = 0usize;
+    let mut report = RetrainReport::default();
+    while let Ok((benchmark, methods)) = rx.recv() {
+        for method in &methods {
+            let records = collect_method_trace(&benchmark, method, &config.machine, &options);
+            report.records_absorbed += records.len() as u64;
+            pending += records.len();
+            corpus.extend(records);
+        }
+        if config.retrain_every > 0 && pending >= config.retrain_every {
+            fold(store, key, &train_config, &corpus, &mut report);
+            pending = 0;
+        }
+    }
+    // The senders are gone: the queue is fully drained. Records that
+    // arrived since the last fold still deserve to influence the filter
+    // a restarted instance would seed from.
+    if config.retrain_every > 0 && pending > 0 {
+        fold(store, key, &train_config, &corpus, &mut report);
+    }
+    report
+}
+
+fn fold(
+    store: &FilterStore,
+    key: &FilterKey,
+    train_config: &wts_core::TrainConfig,
+    corpus: &[TraceRecord],
+    report: &mut RetrainReport,
+) {
+    let filter = train_filter(corpus, train_config);
+    report.last_epoch = store.swap(key.clone(), filter).epoch();
+    report.retrains += 1;
+}

@@ -21,6 +21,9 @@
 //!   filter training and evaluation, unified behind the
 //!   [`Experiment`](filters::Experiment) pipeline (crate `wts-core`);
 //! * [`jit`] — synthetic benchmark suites and the JIT compile session;
+//! * [`serve`] — the hot-swappable filter service: wire protocol, TCP
+//!   server, client and online retrainer over the shared
+//!   [`FilterStore`](filters::FilterStore) (crate `wts-serve`);
 //! * [`verify`] — the independent static checker: dependence soundness,
 //!   timing legality and speculation safety (crate `wts-verify`, with
 //!   debug-assert pipeline hooks behind the `verify` cargo feature);
@@ -57,6 +60,7 @@ pub use wts_jit as jit;
 pub use wts_machine as machine;
 pub use wts_ripper as ripper;
 pub use wts_sched as sched;
+pub use wts_serve as serve;
 pub use wts_verify as verify;
 
 /// Commonly used items, importable with one `use`.
@@ -75,5 +79,6 @@ pub mod prelude {
     };
     pub use wts_ripper::{Dataset, RipperConfig, RuleSet};
     pub use wts_sched::{ListScheduler, SchedulePolicy};
+    pub use wts_serve::{ServeClient, ServeConfig, Server};
     pub use wts_verify::{verify_program, verify_unit, Diagnostic, VerifyReport};
 }

@@ -1,0 +1,271 @@
+//! Integration bar for the serving layer: the server is the deployed
+//! pass behind a socket — bit-identical totals, lossless drains, and
+//! hot swaps that never split a batch across epochs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use wts_core::{
+    collect_trace_with, filtered_schedule_pass_with, train_filter, DecisionPolicy, LearnerKind, ScopeKind, TimingMode,
+    TraceOptions, TraceRecord,
+};
+use wts_ir::Program;
+use wts_machine::MachineConfig;
+use wts_serve::{BatchResult, Response, ServeClient, ServeConfig, Server, ServerHandle};
+
+fn options() -> TraceOptions {
+    TraceOptions { timing: TimingMode::Deterministic, ..TraceOptions::default() }
+}
+
+fn corpus(programs: &[Program], machine: &MachineConfig, opts: &TraceOptions) -> Vec<TraceRecord> {
+    programs.iter().flat_map(|p| collect_trace_with(p, machine, opts)).collect()
+}
+
+/// A stump-learner config over the given corpus: retraining is
+/// microseconds, so tests control cadence, not training cost.
+fn stump_config(machine: &MachineConfig, seed: Vec<TraceRecord>, retrain_every: usize) -> ServeConfig {
+    let mut config = ServeConfig::new(machine.clone(), seed);
+    config.learner = LearnerKind::Stump;
+    config.retrain_every = retrain_every;
+    config
+}
+
+fn expect_batch(resp: Response) -> BatchResult {
+    match resp {
+        Response::Batch(batch) => batch,
+        other => panic!("expected a batch result, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_schedules_bit_identical_to_direct_pass() {
+    let machine = MachineConfig::ppc7410();
+    let programs = wts_core::testutil::learnable_suite(3);
+    for scope in [ScopeKind::Block, ScopeKind::Superblock(70)] {
+        let opts = TraceOptions { scope, ..options() };
+        let mut config = stump_config(&machine, corpus(&programs, &machine, &opts), 0);
+        config.options = opts;
+        let handle = Server::bind("127.0.0.1:0", config).expect("bind");
+        let snapshot = handle.store().get(handle.key()).expect("seed filter deployed");
+
+        let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+        for (i, program) in programs.iter().enumerate() {
+            let batch = expect_batch(client.request(i as u64, program.name(), program.methods()).expect("request"));
+            let direct = filtered_schedule_pass_with(
+                program,
+                &machine,
+                snapshot.compiled(),
+                &DecisionPolicy::HardThreshold,
+                &opts,
+            );
+            assert_eq!(batch.epoch, snapshot.epoch());
+            assert_eq!(
+                (batch.totals.total_blocks, batch.totals.scheduled_blocks, batch.totals.conditions_evaluated),
+                (direct.total_blocks, direct.scheduled_blocks, direct.conditions_evaluated),
+                "{}/{scope:?}",
+                program.name()
+            );
+            assert_eq!(
+                (batch.totals.extraction_work, batch.totals.sched_work),
+                (direct.extraction_work, direct.sched_work),
+                "{}/{scope:?}",
+                program.name()
+            );
+            assert_eq!(batch.units.len(), direct.total_blocks, "one served unit per scope unit");
+            assert_eq!(batch.units.iter().filter(|u| u.decision).count(), direct.scheduled_blocks);
+            for unit in batch.units.iter().filter(|u| u.decision) {
+                let mut order = unit.order.clone();
+                order.sort_unstable();
+                assert_eq!(order, (0..unit.order.len() as u32).collect::<Vec<_>>(), "a permutation came back");
+                assert!(unit.cycles_after <= unit.cycles_before);
+            }
+        }
+        let report = handle.shutdown();
+        assert_eq!(report.stats.batches_served, programs.len() as u64);
+        assert_eq!(report.retrain.retrains, 0, "retraining was disabled");
+    }
+}
+
+#[test]
+fn graceful_shutdown_loses_no_trace_records() {
+    let machine = MachineConfig::ppc7410();
+    let programs = wts_core::testutil::learnable_suite(3);
+    let opts = options();
+    let seed = corpus(&programs, &machine, &opts);
+    let handle = Server::bind("127.0.0.1:0", stump_config(&machine, seed, 40)).expect("bind");
+
+    let clients = 3usize;
+    let served: u64 = std::thread::scope(|s| {
+        let addr = handle.local_addr();
+        let programs = &programs;
+        (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let mut units = 0u64;
+                    for (i, program) in programs.iter().enumerate() {
+                        let id = (c * programs.len() + i) as u64;
+                        let batch = expect_batch(
+                            client.request_with_retry(id, program.name(), program.methods(), 10).expect("request"),
+                        );
+                        assert_eq!(batch.batch_id, id);
+                        units += batch.totals.total_blocks as u64;
+                    }
+                    units
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .sum()
+    });
+
+    let report = handle.shutdown();
+    let expected: u64 = programs.iter().map(|p| p.block_count() as u64).sum::<u64>() * clients as u64;
+    // Nothing lost: every unit the clients saw served was absorbed by
+    // the retrainer. Nothing double-counted: the absorbed total is
+    // exactly the block population, not a multiple of it.
+    assert_eq!(served, expected, "clients saw every unit");
+    assert_eq!(report.stats.units_served, expected);
+    assert_eq!(report.retrain.records_absorbed, expected, "drain absorbed exactly the served units");
+    assert_eq!(report.stats.batches_served, (clients * programs.len()) as u64);
+    assert!(report.retrain.retrains >= 1, "the cadence fired under this load");
+    assert_eq!(report.retrain.last_epoch, 1 + report.retrain.retrains, "every fold advanced the epoch once");
+}
+
+#[test]
+fn hot_swap_under_load_answers_every_batch_from_one_epoch() {
+    let machine = MachineConfig::ppc7410();
+    let programs = wts_core::testutil::learnable_suite(3);
+    let opts = options();
+    let seed = corpus(&programs, &machine, &opts);
+    let swap_filter = train_filter(&seed, &wts_core::TrainConfig::with_learner(10, LearnerKind::Stump));
+    let handle = Server::bind("127.0.0.1:0", stump_config(&machine, seed, 25)).expect("bind");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let epochs: Vec<u64> = std::thread::scope(|s| {
+        // A deployer thread hammers explicit swaps while the retrainer
+        // also swaps on its own cadence.
+        let deployer = {
+            let store = Arc::clone(handle.store());
+            let key = handle.key().clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    store.swap(key.clone(), swap_filter.clone());
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let addr = handle.local_addr();
+        let programs = &programs;
+        let observed: Vec<u64> = (0..3usize)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let mut epochs = Vec::new();
+                    for round in 0..5usize {
+                        for (i, program) in programs.iter().enumerate() {
+                            let id = (c * 1000 + round * 10 + i) as u64;
+                            let batch = expect_batch(
+                                client.request_with_retry(id, program.name(), program.methods(), 10).expect("request"),
+                            );
+                            // Never a partial batch: the whole program
+                            // was served, by exactly one epoch.
+                            assert_eq!(batch.totals.total_blocks, program.block_count());
+                            assert_eq!(batch.units.len(), program.block_count());
+                            epochs.push(batch.epoch);
+                        }
+                    }
+                    epochs
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().expect("client panicked"))
+            .collect();
+        stop.store(true, Ordering::Release);
+        deployer.join().expect("deployer panicked");
+        observed
+    });
+
+    let final_epoch = handle.epoch();
+    let report = handle.shutdown();
+    assert_eq!(epochs.len(), 3 * 5 * programs.len());
+    let distinct: std::collections::BTreeSet<u64> = epochs.iter().copied().collect();
+    assert!(distinct.len() >= 2, "swaps landed while serving: {distinct:?}");
+    assert!(epochs.iter().all(|&e| e >= 1 && e <= final_epoch), "every epoch is a published one");
+    // The retrainer's final fold may bump past what clients observed,
+    // but the drain still accounts for every record.
+    assert_eq!(report.retrain.records_absorbed, report.stats.units_served);
+}
+
+/// The full loop at realistic scale: a specjvm98-sized corpus served by
+/// a worker fleet under concurrent clients with online retraining. With
+/// `--features verify` (debug builds) every schedule the workers emit
+/// is also checked by wts-verify inside the serving fast path.
+#[test]
+#[ignore = "serve smoke test: realistic scale; CI runs it with -- --ignored"]
+fn serve_smoke_realistic_scale() {
+    let machine = MachineConfig::ppc7410();
+    let suite = wts_jit::Suite::specjvm98(0.25);
+    let programs: Vec<Program> = suite.benchmarks().iter().map(|b| b.program().clone()).collect();
+    let opts = options();
+    let seed = corpus(&programs, &machine, &opts);
+    assert!(seed.len() > 1000, "realistic scale means a real corpus, got {}", seed.len());
+    let mut config = stump_config(&machine, seed, 2000);
+    config.workers = 4;
+    let handle = Server::bind("127.0.0.1:0", config).expect("bind");
+
+    let served: u64 = std::thread::scope(|s| {
+        let addr = handle.local_addr();
+        let programs = &programs;
+        (0..4usize)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let mut units = 0u64;
+                    for round in 0..2usize {
+                        for (i, program) in programs.iter().enumerate() {
+                            let id = (c * 1000 + round * 100 + i) as u64;
+                            let batch = expect_batch(
+                                client.request_with_retry(id, program.name(), program.methods(), 12).expect("request"),
+                            );
+                            assert_eq!(batch.totals.total_blocks, program.block_count());
+                            units += batch.totals.total_blocks as u64;
+                        }
+                    }
+                    units
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .sum()
+    });
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.units_served, served);
+    assert_eq!(report.retrain.records_absorbed, served, "lossless at scale");
+    assert!(report.retrain.retrains >= 1, "the corpus is large enough to trigger folds");
+    assert_eq!(report.stats.protocol_errors, 0);
+}
+
+/// `ServerHandle` is self-describing enough to monitor externally.
+#[test]
+fn handle_reports_address_key_and_stats() {
+    let machine = MachineConfig::ppc7410();
+    let programs = wts_core::testutil::learnable_suite(2);
+    let opts = options();
+    let handle: ServerHandle =
+        Server::bind("127.0.0.1:0", stump_config(&machine, corpus(&programs, &machine, &opts), 0)).expect("bind");
+    assert_ne!(handle.local_addr().port(), 0, "the OS assigned a real port");
+    assert_eq!(handle.key().machine(), "ppc7410");
+    assert_eq!(handle.key().threshold(), 0);
+    assert_eq!(handle.epoch(), 1, "the seed filter is live");
+    let stats = handle.stats();
+    assert_eq!((stats.connections, stats.batches_served), (0, 0));
+    // Empty seeds are rejected up front, not at first request.
+    let err = Server::bind("127.0.0.1:0", stump_config(&machine, Vec::new(), 0)).expect_err("empty seed");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    handle.shutdown();
+}
