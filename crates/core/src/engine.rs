@@ -123,36 +123,124 @@ impl FilterScore {
     }
 }
 
+/// Why a rule set cannot be lowered into a [`CompiledFilter`]: the
+/// lint's error classes enforced at construction time, so a deployed
+/// table is coherent *by construction* rather than by later audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompiledFilterError {
+    /// A condition references an attribute outside the feature
+    /// vocabulary (Table 1 plus the trace-shape features).
+    UnknownAttribute {
+        /// Rule index in firing order.
+        rule: usize,
+        /// The out-of-vocabulary attribute index.
+        attr: usize,
+    },
+    /// A condition threshold is NaN or infinite: comparisons against it
+    /// are vacuous or always-false and the table no longer means what
+    /// the source rules said.
+    NonFiniteThreshold {
+        /// Rule index in firing order.
+        rule: usize,
+        /// The condition's attribute index.
+        attr: usize,
+        /// The offending threshold.
+        threshold: f64,
+    },
+    /// A calibrated score is not a probability in `[0, 1]` (`None` names
+    /// the default row).
+    ScoreOutOfRange {
+        /// Rule index, or `None` for the default row.
+        rule: Option<usize>,
+        /// The offending score.
+        score: f64,
+    },
+}
+
+impl fmt::Display for CompiledFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompiledFilterError::UnknownAttribute { rule, attr } => {
+                write!(f, "rule {rule} attribute {attr} is not a known feature")
+            }
+            CompiledFilterError::NonFiniteThreshold { rule, attr, threshold } => {
+                write!(f, "rule {rule} condition on attribute {attr} has a non-finite threshold {threshold}")
+            }
+            CompiledFilterError::ScoreOutOfRange { rule: Some(k), score } => {
+                write!(f, "rule {k} calibrated score {score} is outside [0, 1]")
+            }
+            CompiledFilterError::ScoreOutOfRange { rule: None, score } => {
+                write!(f, "default calibrated score {score} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompiledFilterError {}
+
+/// Rejects lowered parts the lint would flag as errors: unknown
+/// attributes, non-finite thresholds, non-probability scores.
+fn validate_table(
+    conds: &[CompiledCond],
+    rule_ends: &[u32],
+    scores: &[f64],
+    default_score: f64,
+) -> Result<(), CompiledFilterError> {
+    let rule_of = |i: usize| rule_ends.iter().position(|&end| i < end as usize).unwrap_or(rule_ends.len());
+    for (i, c) in conds.iter().enumerate() {
+        let attr = c.attr as usize;
+        if attr >= FeatureKind::COUNT {
+            return Err(CompiledFilterError::UnknownAttribute { rule: rule_of(i), attr });
+        }
+        if !c.threshold.is_finite() {
+            return Err(CompiledFilterError::NonFiniteThreshold { rule: rule_of(i), attr, threshold: c.threshold });
+        }
+    }
+    for (k, &s) in scores.iter().enumerate() {
+        if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+            return Err(CompiledFilterError::ScoreOutOfRange { rule: Some(k), score: s });
+        }
+    }
+    if !default_score.is_finite() || !(0.0..=1.0).contains(&default_score) {
+        return Err(CompiledFilterError::ScoreOutOfRange { rule: None, score: default_score });
+    }
+    Ok(())
+}
+
 impl CompiledFilter {
     /// Lowers an induced rule set. The demand mask is derived from the
     /// attributes the rules actually reference.
     ///
     /// # Panics
     ///
-    /// Panics if a rule references an attribute outside the feature
-    /// vocabulary (Table 1 plus the trace-shape features).
+    /// Panics on any [`CompiledFilterError`] — see
+    /// [`try_from_rule_set`](CompiledFilter::try_from_rule_set) for the
+    /// non-panicking form.
     pub fn from_rule_set(rules: &RuleSet, name: impl Into<String>) -> CompiledFilter {
+        CompiledFilter::try_from_rule_set(rules, name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Lowers an induced rule set, rejecting incoherent tables with a
+    /// named error: unknown attributes, non-finite thresholds and
+    /// out-of-`[0, 1]` calibrated scores are construction-time failures,
+    /// not latent artifacts for the model lint to find in production.
+    pub fn try_from_rule_set(rules: &RuleSet, name: impl Into<String>) -> Result<CompiledFilter, CompiledFilterError> {
         let mut conds = Vec::with_capacity(rules.condition_count());
         let mut rule_ends = Vec::with_capacity(rules.len());
         let mut scores = Vec::with_capacity(rules.len());
         for (k, rule) in rules.rules().iter().enumerate() {
             for c in rule.conditions() {
-                conds.push(CompiledCond { attr: c.attr as u32, op: c.op, threshold: c.threshold });
+                let attr = u32::try_from(c.attr)
+                    .map_err(|_| CompiledFilterError::UnknownAttribute { rule: k, attr: c.attr })?;
+                conds.push(CompiledCond { attr, op: c.op, threshold: c.threshold });
             }
-            rule_ends.push(conds.len() as u32);
+            rule_ends.push(u32::try_from(conds.len()).expect("condition count fits u32"));
             scores.push(rules.rule_confidence(k));
         }
-        let demand = FeatureMask::of(rules.referenced_attrs().into_iter().map(|a| {
-            FeatureKind::from_index(a).unwrap_or_else(|| panic!("rule attribute {a} is not a known feature"))
-        }));
-        CompiledFilter {
-            name: name.into(),
-            conds,
-            rule_ends,
-            scores,
-            default_score: rules.default_confidence(),
-            demand,
-        }
+        let default_score = rules.default_confidence();
+        validate_table(&conds, &rule_ends, &scores, default_score)?;
+        let demand = FeatureMask::of(rules.referenced_attrs().into_iter().filter_map(FeatureKind::from_index));
+        Ok(CompiledFilter { name: name.into(), conds, rule_ends, scores, default_score, demand })
     }
 
     /// The fixed LS strategy: a single empty rule that always fires,
@@ -188,7 +276,7 @@ impl CompiledFilter {
         CompiledFilter {
             name: format!("size>={min_len}"),
             conds: vec![CompiledCond {
-                attr: FeatureKind::BbLen.index() as u32,
+                attr: u32::try_from(FeatureKind::BbLen.index()).expect("feature indices fit u32"),
                 op: Op::Ge,
                 threshold: min_len as f64,
             }],
@@ -213,6 +301,33 @@ impl CompiledFilter {
     /// Total number of lowered conditions (model size).
     pub fn condition_count(&self) -> usize {
         self.conds.len()
+    }
+
+    /// The conditions of rule `k` as `(attr, op, threshold)` triples —
+    /// read-only introspection for the model lint, which rebuilds the
+    /// table in its own plain-data shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn rule_conditions(&self, k: usize) -> impl Iterator<Item = (usize, Op, f64)> + '_ {
+        let start = if k == 0 { 0 } else { self.rule_ends[k - 1] as usize };
+        let end = self.rule_ends[k] as usize;
+        self.conds[start..end].iter().map(|c| (c.attr as usize, c.op, c.threshold))
+    }
+
+    /// The calibrated score emitted when rule `k` fires first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn rule_score(&self, k: usize) -> f64 {
+        self.scores[k]
+    }
+
+    /// The calibrated score emitted when no rule fires.
+    pub fn default_score(&self) -> f64 {
+        self.default_score
     }
 
     /// The decision for one feature vector (dense Table 1 layout).
@@ -253,7 +368,7 @@ impl CompiledFilter {
     /// `decision()` equals `classify_batch`'s row `i` for every thread
     /// count.
     pub fn score_batch(&self, batch: &FeatureBatch, threads: usize) -> Vec<FilterScore> {
-        let rows: Vec<u32> = (0..batch.len() as u32).collect();
+        let rows: Vec<u32> = (0..u32::try_from(batch.len()).expect("batch sizes fit u32")).collect();
         let shards = crate::parallel::shard_map(&rows, threads, |slice| {
             slice
                 .iter()
@@ -294,7 +409,7 @@ impl CompiledFilter {
                 }
             }
             if fired {
-                return (Some(k as u32), evaluated);
+                return (Some(u32::try_from(k).expect("rule indices fit u32")), evaluated);
             }
             start = end;
         }
@@ -325,7 +440,7 @@ impl CompiledFilter {
     /// [`shard_map`](crate::parallel::shard_map). Output order matches
     /// the batch; the result is identical for every thread count.
     pub fn classify_batch(&self, batch: &FeatureBatch, threads: usize) -> Vec<bool> {
-        let rows: Vec<u32> = (0..batch.len() as u32).collect();
+        let rows: Vec<u32> = (0..u32::try_from(batch.len()).expect("batch sizes fit u32")).collect();
         let shards = crate::parallel::shard_map(&rows, threads, |slice| {
             slice.iter().map(|&row| self.decide_row(batch, row as usize)).collect::<Vec<bool>>()
         });
@@ -619,6 +734,96 @@ mod tests {
             RuleStats::default(),
         );
         CompiledFilter::from_rule_set(&rs, "bad");
+    }
+
+    #[test]
+    fn try_from_rule_set_names_the_unknown_attribute() {
+        let rs = RuleSet::new(
+            vec!["a".into()],
+            "p",
+            "n",
+            vec![Rule::new(), Rule::from_conditions(vec![Condition { attr: 40, op: Op::Ge, threshold: 0.0 }])],
+            vec![],
+            RuleStats::default(),
+        );
+        let err = CompiledFilter::try_from_rule_set(&rs, "bad").unwrap_err();
+        assert_eq!(err, CompiledFilterError::UnknownAttribute { rule: 1, attr: 40 });
+        assert!(err.to_string().contains("not a known feature"));
+    }
+
+    #[test]
+    fn non_finite_thresholds_are_rejected_at_lowering_time() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let rs = RuleSet::new(
+                FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect(),
+                "list",
+                "orig",
+                vec![
+                    Rule::from_conditions(vec![Condition {
+                        attr: FeatureKind::BbLen.index(),
+                        op: Op::Ge,
+                        threshold: 7.0,
+                    }]),
+                    Rule::from_conditions(vec![Condition {
+                        attr: FeatureKind::Loads.index(),
+                        op: Op::Le,
+                        threshold: bad,
+                    }]),
+                ],
+                vec![],
+                RuleStats::default(),
+            );
+            match CompiledFilter::try_from_rule_set(&rs, "bad") {
+                Err(CompiledFilterError::NonFiniteThreshold { rule: 1, attr, threshold }) => {
+                    assert_eq!(attr, FeatureKind::Loads.index());
+                    assert!(!threshold.is_finite());
+                }
+                other => panic!("expected NonFiniteThreshold, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite threshold")]
+    fn from_rule_set_panics_on_non_finite_thresholds() {
+        let rs = RuleSet::new(
+            vec!["bbLen".into()],
+            "p",
+            "n",
+            vec![Rule::from_conditions(vec![Condition { attr: 0, op: Op::Ge, threshold: f64::NAN }])],
+            vec![],
+            RuleStats::default(),
+        );
+        CompiledFilter::from_rule_set(&rs, "bad");
+    }
+
+    #[test]
+    fn score_validation_rejects_non_probabilities() {
+        // RuleSet confidences are Laplace-smoothed and always land in
+        // (0, 1); the validator is exercised on raw lowered parts.
+        let conds = vec![CompiledCond { attr: 0, op: Op::Ge, threshold: 7.0 }];
+        let ends = vec![1u32];
+        assert_eq!(
+            validate_table(&conds, &ends, &[1.5], 0.1),
+            Err(CompiledFilterError::ScoreOutOfRange { rule: Some(0), score: 1.5 })
+        );
+        assert!(validate_table(&conds, &ends, &[0.9], f64::NAN).unwrap_err().to_string().contains("default"));
+        assert_eq!(validate_table(&conds, &ends, &[0.9], 0.1), Ok(()));
+        let err = CompiledFilterError::ScoreOutOfRange { rule: None, score: -0.5 };
+        assert!(err.to_string().contains("default calibrated score -0.5"));
+    }
+
+    #[test]
+    fn introspection_accessors_expose_the_lowered_table() {
+        let rs = statted_rule_set();
+        let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
+        let r0: Vec<(usize, Op, f64)> = compiled.rule_conditions(0).collect();
+        assert_eq!(r0, vec![(FeatureKind::BbLen.index(), Op::Ge, 7.0), (FeatureKind::Loads.index(), Op::Ge, 0.3),]);
+        let r1: Vec<(usize, Op, f64)> = compiled.rule_conditions(1).collect();
+        assert_eq!(r1, vec![(FeatureKind::Calls.index(), Op::Le, 0.1)]);
+        assert!((compiled.rule_score(0) - rs.rule_confidence(0)).abs() < 1e-12);
+        assert!((compiled.rule_score(1) - rs.rule_confidence(1)).abs() < 1e-12);
+        assert!((compiled.default_score() - rs.default_confidence()).abs() < 1e-12);
     }
 
     #[test]

@@ -241,7 +241,7 @@ pub fn sched_time_policy(traces: &[TraceRecord], filter: &dyn Filter, policy: &D
         let unit =
             UnitEconomics { insts, exec_count: r.exec_count, filter_work: conditions, extraction_work: feature_work };
         let decision = policy.decide(score, &unit);
-        let filter_ns = t0.elapsed().as_nanos() as u64;
+        let filter_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
         out.always_ns += r.sched_ns;
         out.always_work += r.sched_work;

@@ -396,7 +396,7 @@ pub fn write_trace_binary(records: &[TraceRecord]) -> Result<Vec<u8>, TraceWrite
         .map(|r| {
             *index_of.entry(r.benchmark.as_str()).or_insert_with(|| {
                 names.push(r.benchmark.as_str());
-                (names.len() - 1) as u32
+                u32::try_from(names.len() - 1).expect("benchmark counts fit u32")
             })
         })
         .collect();
@@ -404,15 +404,15 @@ pub fn write_trace_binary(records: &[TraceRecord]) -> Result<Vec<u8>, TraceWrite
     let mut out =
         Vec::with_capacity(64 + names.iter().map(|n| n.len() + 4).sum::<usize>() + records.len() * BIN_RECORD_BYTES);
     out.extend_from_slice(BIN_MAGIC);
-    out.extend_from_slice(&(FeatureKind::COUNT as u32).to_le_bytes());
+    out.extend_from_slice(&u32::try_from(FeatureKind::COUNT).expect("the vocabulary fits u32").to_le_bytes());
     for k in FeatureKind::ALL {
         let name = k.rule_name();
-        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(&u16::try_from(name.len()).expect("feature names fit u16").to_le_bytes());
         out.extend_from_slice(name.as_bytes());
     }
-    out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    out.extend_from_slice(&u32::try_from(names.len()).expect("benchmark counts fit u32").to_le_bytes());
     for name in &names {
-        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(&u32::try_from(name.len()).expect("benchmark names fit u32").to_le_bytes());
         out.extend_from_slice(name.as_bytes());
     }
     out.extend_from_slice(&(records.len() as u64).to_le_bytes());
@@ -621,11 +621,14 @@ pub fn read_trace_binary(bytes: &[u8]) -> Result<Vec<TraceRecord>, BinaryTraceEr
 
     let record_count = cur.u64("record count")?;
     let body = bytes.len() - cur.pos;
-    let needed =
-        (record_count as usize).checked_mul(BIN_RECORD_BYTES).ok_or_else(|| BinaryTraceError::HostileHeader {
+    // A hostile count that does not even fit the address space is the
+    // same header lie as one whose byte total overflows it.
+    let needed = usize::try_from(record_count).ok().and_then(|c| c.checked_mul(BIN_RECORD_BYTES)).ok_or_else(|| {
+        BinaryTraceError::HostileHeader {
             section: "record count",
             detail: format!("record count {record_count} overflows the address space"),
-        })?;
+        }
+    })?;
     if body < needed {
         return Err(BinaryTraceError::Truncated { section: "records", offset: cur.pos + body });
     }
@@ -636,8 +639,9 @@ pub fn read_trace_binary(bytes: &[u8]) -> Result<Vec<TraceRecord>, BinaryTraceEr
         });
     }
 
-    let mut out = Vec::with_capacity(record_count as usize);
-    for index in 0..record_count as usize {
+    let record_count = needed / BIN_RECORD_BYTES;
+    let mut out = Vec::with_capacity(record_count);
+    for index in 0..record_count {
         let bi = cur.u32("records")? as usize;
         let benchmark = benchmarks.get(bi).ok_or_else(|| BinaryTraceError::BadRecord {
             index,

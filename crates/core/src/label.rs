@@ -52,7 +52,7 @@ impl LabelConfig {
 pub fn build_dataset(traces: &[TraceRecord], config: LabelConfig) -> (Dataset, BTreeMap<String, u32>) {
     let mut groups: BTreeMap<String, u32> = BTreeMap::new();
     for r in traces {
-        let next = groups.len() as u32;
+        let next = u32::try_from(groups.len()).expect("benchmark counts fit u32");
         groups.entry(r.benchmark.clone()).or_insert(next);
     }
     let attr_names: Vec<String> = FeatureKind::ALL.iter().map(|k| k.rule_name().to_string()).collect();

@@ -151,7 +151,7 @@ mod tests {
         for i in 0..120 {
             let x = (i % 40) as f64 / 40.0;
             let y = (i % 7) as f64 / 7.0;
-            d.push(vec![x, y], x >= 0.4, (i % 3) as u32);
+            d.push(vec![x, y], x >= 0.4, u32::try_from(i % 3).expect("a residue mod 3 fits u32"));
         }
         d
     }

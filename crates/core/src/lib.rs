@@ -75,7 +75,7 @@ pub mod testutil;
 mod trace;
 mod train;
 
-pub use engine::{CompiledFilter, FeatureBatch, FilterScore};
+pub use engine::{CompiledFilter, CompiledFilterError, FeatureBatch, FilterScore};
 pub use eval::{
     app_time_ratio, classification_matrix, oracle_times, predicted_time_ratio, runtime_classification,
     sched_time_policy, sched_time_ratio, ClassCounts, EvalTimes,

@@ -236,6 +236,8 @@ impl FilterStore {
         }
         let source = train();
         let compiled = source.compile();
+        #[cfg(all(feature = "verify", debug_assertions))]
+        verify_snapshot_model(&key, &source, &compiled);
         let mut slots = self.deployed.write().expect("filter store poisoned");
         if let Some(raced) = slots.get(&key) {
             return Arc::clone(raced);
@@ -254,8 +256,17 @@ impl FilterStore {
     /// snapshot keep it alive through their own `Arc`.
     pub fn swap(&self, key: FilterKey, filter: LearnedFilter) -> Arc<FilterSnapshot> {
         let compiled = filter.compile();
+        #[cfg(all(feature = "verify", debug_assertions))]
+        verify_snapshot_model(&key, &filter, &compiled);
         let mut slots = self.deployed.write().expect("filter store poisoned");
         let epoch = slots.get(&key).map_or(1, |old| old.epoch + 1);
+        #[cfg(all(feature = "verify", debug_assertions))]
+        if let Some(old) = slots.get(&key) {
+            // The published sequence must be strictly monotone — the
+            // invariant `check_store_protocol` proves over the modeled
+            // protocol, asserted here on the live one.
+            assert!(epoch > old.epoch, "epoch regressed on swap of {key}: {epoch} after {}", old.epoch);
+        }
         let snap = Arc::new(FilterSnapshot { key: key.clone(), epoch, source: filter, compiled });
         slots.insert(key, Arc::clone(&snap));
         snap
@@ -297,6 +308,16 @@ impl FilterStore {
     pub fn keys(&self) -> Vec<FilterKey> {
         self.deployed.read().expect("filter store poisoned").keys().cloned().collect()
     }
+}
+
+/// The `verify`-feature debug hook on every store publication: the
+/// snapshot's model must pass the `wts-verify` lint before any reader
+/// can observe it, so an incoherent artifact never reaches traffic.
+#[cfg(all(feature = "verify", debug_assertions))]
+fn verify_snapshot_model(key: &FilterKey, source: &LearnedFilter, compiled: &CompiledFilter) {
+    let table = wts_verify::ModelTable::from_rule_set(source.rules(), compiled.demand(), key.to_string());
+    let diags = wts_verify::lint_model(&table);
+    assert!(diags.is_empty(), "filter published under {key} failed the model lint:\n{}", wts_verify::render(&diags));
 }
 
 impl Default for FilterStore {

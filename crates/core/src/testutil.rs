@@ -27,17 +27,18 @@ pub fn mergeable_suite(methods: u32) -> Vec<Program> {
                     let mut b = BasicBlock::new(bi);
                     if hot {
                         for k in 0..4u32 {
+                            let kr = u16::try_from(k).expect("unroll counts fit u16");
                             b.push(
                                 Inst::new(Opcode::Lwz)
-                                    .def(Reg::gpr(10 + k as u16))
+                                    .def(Reg::gpr(10 + kr))
                                     .use_(Reg::gpr(3))
                                     .mem(MemRef::slot(MemSpace::Heap, 4 * bi + k)),
                             );
                             b.push(
                                 Inst::new(Opcode::Add)
-                                    .def(Reg::gpr(20 + k as u16))
-                                    .use_(Reg::gpr(10 + k as u16))
-                                    .use_(Reg::gpr(10 + k as u16)),
+                                    .def(Reg::gpr(20 + kr))
+                                    .use_(Reg::gpr(10 + kr))
+                                    .use_(Reg::gpr(10 + kr)),
                             );
                         }
                     } else {
@@ -80,17 +81,18 @@ pub fn learnable_suite(methods: u32) -> Vec<Program> {
                     let mut b = BasicBlock::new(bi);
                     if (mi + bi) % 2 == 0 {
                         for k in 0..6u32 {
+                            let kr = u16::try_from(k).expect("unroll counts fit u16");
                             b.push(
                                 Inst::new(Opcode::Lwz)
-                                    .def(Reg::gpr(10 + k as u16))
+                                    .def(Reg::gpr(10 + kr))
                                     .use_(Reg::gpr(3))
                                     .mem(MemRef::slot(MemSpace::Heap, k + bi)),
                             );
                             b.push(
                                 Inst::new(Opcode::Add)
-                                    .def(Reg::gpr(20 + k as u16))
-                                    .use_(Reg::gpr(10 + k as u16))
-                                    .use_(Reg::gpr(10 + k as u16)),
+                                    .def(Reg::gpr(20 + kr))
+                                    .use_(Reg::gpr(10 + kr))
+                                    .use_(Reg::gpr(10 + kr)),
                             );
                         }
                     } else {

@@ -308,7 +308,7 @@ fn trace_method<'m>(
             for sb in form_superblocks(method, ratio) {
                 let unit = ScopeUnit {
                     insts: &sb.insts,
-                    shape: TraceShape::of_trace(&sb.insts, sb.width() as u32),
+                    shape: TraceShape::of_trace(&sb.insts, u32::try_from(sb.width()).expect("trace widths fit u32")),
                     block: BlockId(sb.entry_id()),
                     exec_count: sb.exec_count,
                 };
@@ -354,7 +354,7 @@ fn trace_unit<'m>(
 ) {
     let t0 = Instant::now();
     let features = FeatureVector::from_insts_shaped(unit.insts, unit.shape, FeatureMask::ALL);
-    let feature_ns = t0.elapsed().as_nanos() as u64;
+    let feature_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
     let t1 = Instant::now();
     if unit.speculative() {
@@ -362,7 +362,7 @@ fn trace_unit<'m>(
     } else {
         scheduler.schedule_insts_into(unit.insts, &mut ctx.scratch, &mut ctx.outcome);
     }
-    let sched_ns = t1.elapsed().as_nanos() as u64;
+    let sched_ns = u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let outcome = &ctx.outcome;
 
     // With the `verify` feature, every unit this pass schedules is
@@ -540,7 +540,8 @@ pub fn filtered_schedule_pass_with(
                 }
                 ScopeKind::Superblock(ratio) => {
                     for sb in form_superblocks(method, ratio) {
-                        let shape = TraceShape::of_trace(&sb.insts, sb.width() as u32);
+                        let shape =
+                            TraceShape::of_trace(&sb.insts, u32::try_from(sb.width()).expect("trace widths fit u32"));
                         let unit = PassUnit { insts: &sb.insts, shape, exec_count: sb.exec_count };
                         filtered_unit(&unit, &scheduler, &mut ctx, filter, policy, &mut totals);
                     }
@@ -643,7 +644,7 @@ impl<'m> UnitServer<'m> {
         policy: &crate::DecisionPolicy,
         totals: &mut FilteredPass,
     ) -> ServedUnit {
-        let shape = TraceShape::of_trace(&sb.insts, sb.width() as u32);
+        let shape = TraceShape::of_trace(&sb.insts, u32::try_from(sb.width()).expect("trace widths fit u32"));
         let unit = PassUnit { insts: &sb.insts, shape, exec_count: sb.exec_count };
         self.serve(&unit, filter, policy, totals)
     }
@@ -699,7 +700,7 @@ fn filtered_unit<'m>(
         }
         std::hint::black_box(&ctx.outcome);
     }
-    totals.pass_ns += t0.elapsed().as_nanos() as u64;
+    totals.pass_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
     // Verify outside the timed window so the feature doesn't skew the
     // deployment-cost accounting it is checking.
@@ -1077,7 +1078,11 @@ mod tests {
             if unit.decision {
                 let mut order = unit.order.clone();
                 order.sort_unstable();
-                assert_eq!(order, (0..*len as u32).collect::<Vec<_>>(), "a permutation of the unit");
+                assert_eq!(
+                    order,
+                    (0..u32::try_from(*len).expect("unit sizes fit u32")).collect::<Vec<_>>(),
+                    "a permutation of the unit"
+                );
                 assert!(unit.cycles_after <= unit.cycles_before, "CPS never worsens the estimate");
                 assert!(unit.cycles_before > 0);
             } else {

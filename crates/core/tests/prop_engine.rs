@@ -55,7 +55,7 @@ fn arb_labeled_dataset() -> impl Strategy<Value = Dataset> {
         for (i, v) in vectors.iter().enumerate() {
             let noisy = flip && i % 7 == 0;
             let label = (v.as_slice()[FeatureKind::BbLen.index()] >= cut as f64) != noisy;
-            d.push(v.as_slice().to_vec(), label, (i % 3) as u32);
+            d.push(v.as_slice().to_vec(), label, u32::try_from(i % 3).expect("a residue mod 3 fits u32"));
         }
         d
     })
@@ -131,17 +131,19 @@ proptest! {
         // fully extracted ones: the mask covers everything the table reads.
         let compiled = CompiledFilter::from_rule_set(&rs, "L/N");
         for (i, len) in lens.iter().enumerate() {
-            let mut b = BasicBlock::new(i as u32);
+            let mut b = BasicBlock::new(u32::try_from(i).expect("generated block counts fit u32"));
             for k in 0..*len {
+                let kr = u16::try_from(k).expect("generated block lengths fit u16");
+                let slot = u32::try_from(k).expect("generated block lengths fit u32");
                 if k % 3 == 0 {
                     b.push(
                         Inst::new(Opcode::Lwz)
-                            .def(Reg::gpr(1 + k as u16))
+                            .def(Reg::gpr(1 + kr))
                             .use_(Reg::gpr(9))
-                            .mem(MemRef::slot(MemSpace::Heap, k as u32)),
+                            .mem(MemRef::slot(MemSpace::Heap, slot)),
                     );
                 } else {
-                    b.push(Inst::new(Opcode::Add).def(Reg::gpr(1 + k as u16)).use_(Reg::gpr(9)).use_(Reg::gpr(9)));
+                    b.push(Inst::new(Opcode::Add).def(Reg::gpr(1 + kr)).use_(Reg::gpr(9)).use_(Reg::gpr(9)));
                 }
             }
             let full = FeatureVector::extract(&b);

@@ -24,13 +24,12 @@ fn arb_block(len: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<u8>, u8)
 fn build_block(id: u32, exec: u64, body: &[u8], term: u8) -> BasicBlock {
     let mut b = BasicBlock::new(id);
     for (k, &code) in body.iter().enumerate() {
-        let r = 1 + (k as u16 % 20);
+        let r = 1 + u16::try_from(k % 20).expect("a residue mod 20 fits u16");
+        let slot = u32::try_from(k).expect("generated block lengths fit u32");
         let inst = match code {
             0 => Inst::new(Opcode::Add).def(Reg::gpr(r)).use_(Reg::gpr(r + 1)).use_(Reg::gpr(r + 2)),
-            1 => Inst::new(Opcode::Lwz).def(Reg::gpr(r)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, k as u32)),
-            2 => {
-                Inst::new(Opcode::Stw).use_(Reg::gpr(r)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, k as u32))
-            }
+            1 => Inst::new(Opcode::Lwz).def(Reg::gpr(r)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, slot)),
+            2 => Inst::new(Opcode::Stw).use_(Reg::gpr(r)).use_(Reg::gpr(30)).mem(MemRef::slot(MemSpace::Heap, slot)),
             3 => Inst::new(Opcode::Fadd).def(Reg::fpr(r)).use_(Reg::fpr(r + 1)).use_(Reg::fpr(r + 1)),
             _ => Inst::new(Opcode::Mullw).def(Reg::gpr(r)).use_(Reg::gpr(r + 1)).use_(Reg::gpr(r + 2)),
         };
@@ -56,7 +55,7 @@ fn arb_degenerate_program() -> impl Strategy<Value = Program> {
             let mut exec = 1u64;
             let mut block_id = 0u32;
             for (mi, (blocks, deltas)) in methods.into_iter().enumerate() {
-                let mut m = Method::new(mi as u32, format!("m{mi}"));
+                let mut m = Method::new(u32::try_from(mi).expect("method counts fit u32"), format!("m{mi}"));
                 for (bi, (body, term)) in blocks.iter().enumerate() {
                     exec += deltas[bi % deltas.len()];
                     m.push_block(build_block(block_id, exec, body, *term));

@@ -84,7 +84,7 @@ proptest! {
             prop_assert!(!seen.is_empty(), "readers observed at least one snapshot");
             for &(epoch, probe, decision) in seen {
                 prop_assert!(epoch >= 1 && epoch <= cuts.len() as u64, "epoch {} out of range", epoch);
-                let cut = cuts[(epoch - 1) as usize];
+                let cut = cuts[usize::try_from(epoch - 1).expect("epoch counts fit usize")];
                 prop_assert_eq!(
                     decision,
                     probe >= cut,

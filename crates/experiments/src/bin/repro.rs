@@ -7,6 +7,7 @@
 //!            fig1 fig2 fig3 fig4
 //!            calibrate learners machines policies factory serve
 //!            superblocks superblock adaptive selftrain matrix portfolio
+//!            verify lint
 //!            all          (default: everything above)
 //! ```
 //!
@@ -23,7 +24,7 @@ use wts_experiments::{
     table1, table2, table7, Experiments, ServeLoad, CALIBRATION_OPERATING_POINT, PORTFOLIO_TOLERANCE,
 };
 
-const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|serve|superblocks|superblock|adaptive|selftrain|matrix|portfolio|verify|all]...";
+const USAGE: &str = "usage: repro [--scale X] [table1..table7|fig1..fig4|calibrate|learners|machines|policies|factory|serve|superblocks|superblock|adaptive|selftrain|matrix|portfolio|verify|lint|all]...";
 
 fn main() -> ExitCode {
     let mut scale = 1.0f64;
@@ -75,6 +76,7 @@ fn main() -> ExitCode {
         "matrix",
         "portfolio",
         "verify",
+        "lint",
     ];
     if artifacts.iter().any(|a| a == "all") {
         artifacts = all.iter().map(|s| s.to_string()).collect();
@@ -124,6 +126,15 @@ fn main() -> ExitCode {
                     "verify" => {
                         eprintln!("# checking the pipeline on every registry machine x policy x scope...");
                         println!("{}", e.verify());
+                    }
+                    "lint" => {
+                        let m = matrix_run.get_or_insert_with(|| {
+                            eprintln!("# tracing the FP suite on every registry machine...");
+                            e.matrix()
+                        });
+                        eprintln!("# linting every machine x learner x scope filter and the protocol machines...");
+                        let sb = e.superblock_matrix();
+                        println!("{}", e.lint(m, &sb));
                     }
                     "superblock" => {
                         let m = matrix_run.get_or_insert_with(|| {

@@ -18,6 +18,7 @@
 
 mod extensions;
 mod figures;
+mod lint;
 mod matrix;
 mod serve;
 mod statics;

@@ -488,7 +488,11 @@ impl FeatureVector {
 
     /// The block size (`bbLen`) as an integer.
     pub fn bb_len(&self) -> usize {
-        self.values[FeatureKind::BbLen.index()] as usize
+        // Extraction stores bbLen as a non-negative whole instruction
+        // count, far below f64's exact-integer range.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let len = self.values[FeatureKind::BbLen.index()] as usize;
+        len
     }
 }
 
@@ -536,7 +540,11 @@ impl Binner {
     /// The bin of `v` (values are clamped to `[0, 1]` first).
     pub fn bin(&self, v: f64) -> u32 {
         let v = v.clamp(0.0, 1.0);
-        ((v * self.bins as f64) as u32).min(self.bins - 1)
+        // The clamp bounds the product to [0, bins], so the cast is
+        // non-negative and in range; the min handles v == 1.0.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let b = (v * f64::from(self.bins)) as u32;
+        b.min(self.bins - 1)
     }
 
     /// The midpoint of bin `b`, for mapping back to feature space.

@@ -267,7 +267,7 @@ impl ShallowTree {
     /// Panics if `data` is empty.
     pub fn fit(data: &Dataset, max_depth: usize, min_leaf: usize) -> ShallowTree {
         assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
-        let idx: Vec<u32> = (0..data.len() as u32).collect();
+        let idx: Vec<u32> = (0..u32::try_from(data.len()).expect("dataset sizes fit u32")).collect();
         ShallowTree { root: build(data, &idx, max_depth, min_leaf.max(1)) }
     }
 

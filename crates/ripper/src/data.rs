@@ -167,6 +167,12 @@ pub(crate) fn stratified_split(instances: &[Instance], grow_fraction: f64, seed:
     let mut grow = Vec::new();
     let mut prune = Vec::new();
     for class in [pos, neg] {
+        // `grow_fraction` is validated into (0, 1) by the caller, so the
+        // product is finite, non-negative and at most `class.len()`; the
+        // rounding must stay bit-identical to keep every trained filter
+        // reproducible, so the cast is kept and justified rather than
+        // rewritten in integer arithmetic.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let cut = ((class.len() as f64) * grow_fraction).round() as usize;
         grow.extend_from_slice(&class[..cut.min(class.len())]);
         prune.extend_from_slice(&class[cut.min(class.len())..]);
@@ -176,7 +182,7 @@ pub(crate) fn stratified_split(instances: &[Instance], grow_fraction: f64, seed:
 
 fn shuffle(v: &mut [usize], rng: &mut SplitMix64) {
     for i in (1..v.len()).rev() {
-        let j = (rng.next() % (i as u64 + 1)) as usize;
+        let j = usize::try_from(rng.next() % (i as u64 + 1)).expect("residue mod a usize fits usize");
         v.swap(i, j);
     }
 }

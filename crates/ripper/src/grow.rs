@@ -174,7 +174,7 @@ mod tests {
     }
 
     fn all_idx(d: &Dataset) -> Vec<u32> {
-        (0..d.len() as u32).collect()
+        (0..u32::try_from(d.len()).expect("dataset sizes fit u32")).collect()
     }
 
     #[test]

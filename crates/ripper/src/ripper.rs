@@ -50,8 +50,14 @@ struct Fit<'d> {
 }
 
 impl<'d> Fit<'d> {
+    /// Every instance index of the dataset, as the u32 indices the grow
+    /// and prune sets use.
+    fn all_indices(&self) -> Vec<u32> {
+        (0..u32::try_from(self.data.len()).expect("dataset sizes fit u32")).collect()
+    }
+
     fn run(&mut self) -> RuleSet {
-        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        let all = self.all_indices();
         if self.data.negatives() == 0 && self.data.positives() > 0 {
             // Degenerate single-class data: an always-true rule.
             return self.finish(vec![Rule::new()]);
@@ -74,7 +80,7 @@ impl<'d> Fit<'d> {
     /// Grows rules until MDL or error stopping, starting from `existing`
     /// (whose coverage has already been removed from `remaining`).
     fn irep_star(&mut self, remaining: &[u32], mut rules: Vec<Rule>) -> Vec<Rule> {
-        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        let all = self.all_indices();
         let mut remaining: Vec<u32> = remaining.to_vec();
         let mut min_dl = self.ruleset_dl(&rules, &all);
 
@@ -107,7 +113,7 @@ impl<'d> Fit<'d> {
     /// replacement and a greedily-extended revision, keeping the variant
     /// whose rule set has the smallest description length.
     fn optimize(&mut self, mut rules: Vec<Rule>) -> Vec<Rule> {
-        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        let all = self.all_indices();
         for i in 0..rules.len() {
             // Instances not claimed by earlier rules are what rule i sees.
             let pertinent: Vec<u32> = all
@@ -153,7 +159,7 @@ impl<'d> Fit<'d> {
 
     /// Removes rules whose deletion lowers the total description length.
     fn delete_harmful(&mut self, mut rules: Vec<Rule>) -> Vec<Rule> {
-        let all: Vec<u32> = (0..self.data.len() as u32).collect();
+        let all = self.all_indices();
         let mut i = 0;
         while i < rules.len() {
             let with = self.ruleset_dl(&rules, &all);
@@ -258,7 +264,7 @@ mod tests {
             if noise_every > 0 && i % noise_every == 0 {
                 y = !y;
             }
-            d.push(vec![x0, x1], y, (i % 4) as u32);
+            d.push(vec![x0, x1], y, u32::try_from(i % 4).expect("a residue mod 4 fits u32"));
         }
         d
     }

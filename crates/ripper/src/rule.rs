@@ -339,7 +339,11 @@ impl fmt::Display for RuleSet {
 /// [`parse_rule_set`]: crate::parse_rule_set
 fn trim_float(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e12 {
-        format!("{}", v as i64)
+        // Guarded lossless: v is a whole number with |v| < 1e12, well
+        // inside i64's exact range.
+        #[allow(clippy::cast_possible_truncation)]
+        let whole = v as i64;
+        format!("{whole}")
     } else {
         format!("{v}")
     }

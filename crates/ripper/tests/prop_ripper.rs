@@ -23,7 +23,7 @@ fn arb_threshold_dataset() -> impl Strategy<Value = (Dataset, f64)> {
             if noise_pct > 0 && i % 100 < noise_pct as usize {
                 y = !y;
             }
-            d.push(vec![x, junk], y, (i % 3) as u32);
+            d.push(vec![x, junk], y, u32::try_from(i % 3).expect("a residue mod 3 fits u32"));
         }
         (d, cut)
     })

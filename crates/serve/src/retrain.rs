@@ -12,7 +12,7 @@
 
 use crate::server::ServeConfig;
 use std::sync::mpsc::Receiver;
-use wts_core::{collect_method_trace, train_filter, FilterKey, FilterStore, TraceRecord};
+use wts_core::{collect_method_trace, train_filter, write_trace_binary, FilterKey, FilterStore, TraceRecord};
 use wts_ir::Method;
 
 /// What the retraining thread did over the instance's lifetime.
@@ -27,6 +27,10 @@ pub struct RetrainReport {
     /// Epoch of the last filter this thread published (0 when it never
     /// swapped).
     pub last_epoch: u64,
+    /// Corpus records written to `ServeConfig::persist_corpus` at
+    /// shutdown (seed traces plus absorbed observations). 0 when
+    /// persistence is not configured or the write failed.
+    pub records_persisted: u64,
 }
 
 /// Runs until every sender hangs up, then performs a final fold if any
@@ -60,7 +64,31 @@ pub(crate) fn retrain_loop(
     if config.retrain_every > 0 && pending > 0 {
         fold(store, key, &train_config, &corpus, &mut report);
     }
+    if let Some(path) = &config.persist_corpus {
+        report.records_persisted = persist(path, &corpus);
+    }
     report
+}
+
+/// Writes the corpus to `path` in the `schedfilter-trace-bin-v1`
+/// format. Persistence is best-effort: a failed encode or write is
+/// reported on stderr and the drain still completes, because losing a
+/// seed corpus must never turn a clean shutdown into a panic.
+fn persist(path: &std::path::Path, corpus: &[TraceRecord]) -> u64 {
+    let bytes = match write_trace_binary(corpus) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("wts-serve: failed to encode the retrain corpus for {}: {e}", path.display());
+            return 0;
+        }
+    };
+    match std::fs::write(path, bytes) {
+        Ok(()) => corpus.len() as u64,
+        Err(e) => {
+            eprintln!("wts-serve: failed to persist the retrain corpus to {}: {e}", path.display());
+            0
+        }
+    }
 }
 
 fn fold(

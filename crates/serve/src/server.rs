@@ -74,6 +74,12 @@ pub struct ServeConfig {
     /// The initial training corpus; the filter served at epoch 1 is
     /// trained from these before the listener opens.
     pub seed_traces: Vec<TraceRecord>,
+    /// When set, the retrainer writes its full corpus (seed traces plus
+    /// every absorbed observation) to this path in the
+    /// `schedfilter-trace-bin-v1` format as the last act of a graceful
+    /// shutdown, so a restarted instance can seed from exactly what this
+    /// one learned. `None` (the default) persists nothing.
+    pub persist_corpus: Option<std::path::PathBuf>,
 }
 
 impl ServeConfig {
@@ -92,6 +98,7 @@ impl ServeConfig {
             queue_depth: 64,
             retrain_every: 256,
             seed_traces,
+            persist_corpus: None,
         }
     }
 

@@ -43,11 +43,24 @@ pub enum Analysis {
     /// Superblock speculation safety: side-effecting instructions vs side
     /// exits, entry identity.
     Speculation,
+    /// Model-artifact coherence: shadowed/contradictory rules, non-finite
+    /// thresholds, out-of-range calibrated scores, demand-mask drift.
+    Model,
+    /// Serve/store protocol safety: epoch monotonicity, batch atomicity
+    /// across hot swaps, response uniqueness, drain losslessness.
+    Protocol,
 }
 
 impl Analysis {
     /// All analyses, in reporting order.
-    pub const ALL: [Analysis; 4] = [Analysis::Structure, Analysis::Dependence, Analysis::Timing, Analysis::Speculation];
+    pub const ALL: [Analysis; 6] = [
+        Analysis::Structure,
+        Analysis::Dependence,
+        Analysis::Timing,
+        Analysis::Speculation,
+        Analysis::Model,
+        Analysis::Protocol,
+    ];
 }
 
 impl fmt::Display for Analysis {
@@ -57,6 +70,8 @@ impl fmt::Display for Analysis {
             Analysis::Dependence => write!(f, "dependence"),
             Analysis::Timing => write!(f, "timing"),
             Analysis::Speculation => write!(f, "speculation"),
+            Analysis::Model => write!(f, "model"),
+            Analysis::Protocol => write!(f, "protocol"),
         }
     }
 }

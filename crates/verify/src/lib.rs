@@ -30,6 +30,23 @@
 //!   superblock trace, and the trace's first control transfer keeps its
 //!   identity.
 //!
+//! Two further analyses vet the *learned* side of the pipeline — the
+//! induced artifacts themselves and the machinery that hot-swaps them:
+//!
+//! - **Model coherence** ([`lint_model`], [`ModelTable`]): interval-domain
+//!   reachability over the feature space flags shadowed rules,
+//!   contradictory conjunctions and dead default rows; calibration checks
+//!   reject non-finite thresholds and out-of-`[0, 1]` scores; demand-mask
+//!   checks catch masks that diverge from what the condition table reads;
+//!   and [`prove_hard_threshold`] derives a domain-wide witness that
+//!   `decide ≡ score ≥ t` under a hard threshold.
+//! - **Protocol safety** ([`check_store_protocol`],
+//!   [`check_serve_protocol`]): the `FilterStore` epoch protocol and the
+//!   `wts-serve` frame exchange as typed state machines, explored by
+//!   bounded-exhaustive deterministic DFS over every interleaving —
+//!   proving epoch monotonicity, batch atomicity across hot swaps,
+//!   exactly-one-response per request id and drain losslessness.
+//!
 //! Everything reports through [`Diagnostic`] (severity, analysis,
 //! machine, method/unit location, prose explanation). [`verify_unit`]
 //! checks one scheduled unit — this is what the `verify` cargo feature's
@@ -57,12 +74,19 @@
 
 mod deps;
 mod diag;
+mod model;
 mod pipeline;
+mod proto;
 mod spec;
 mod timing;
 
 pub use deps::{check_dependences, oracle_edges};
 pub use diag::{render, Analysis, Diagnostic, Severity, UnitCtx};
+pub use model::{check_model, lint_model, prove_hard_threshold, LintCond, ModelTable, ThresholdProof};
 pub use pipeline::{verify_program, verify_unit, verify_unit_in, VerifyReport};
+pub use proto::{
+    check_serve_protocol, check_store_protocol, DrainModel, ProtoReport, ServeProtoConfig, ShedModel, SnapshotModel,
+    StoreProtoConfig, SwapModel,
+};
 pub use spec::check_speculation;
 pub use timing::{check_timing, dependence_lower_bound, resimulate, IssueEvent};

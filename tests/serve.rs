@@ -250,6 +250,43 @@ fn serve_smoke_realistic_scale() {
     assert_eq!(report.stats.protocol_errors, 0);
 }
 
+/// Graceful shutdown persists the retrainer's full corpus to the
+/// `schedfilter-trace-bin-v1` format, and it round-trips: the file
+/// reads back as exactly seed + absorbed records, ready to seed a
+/// restarted instance.
+#[test]
+fn shutdown_persists_the_retrain_corpus_round_trip() {
+    let machine = MachineConfig::ppc7410();
+    let programs = wts_core::testutil::learnable_suite(2);
+    let opts = options();
+    let seed = corpus(&programs, &machine, &opts);
+    let path = std::env::temp_dir().join(format!("wts-serve-corpus-{}.bin", std::process::id()));
+    let mut config = stump_config(&machine, seed.clone(), 40);
+    config.persist_corpus = Some(path.clone());
+    let handle = Server::bind("127.0.0.1:0", config).expect("bind");
+
+    let mut client = ServeClient::connect(handle.local_addr()).expect("connect");
+    for (i, program) in programs.iter().enumerate() {
+        expect_batch(client.request_with_retry(i as u64, program.name(), program.methods(), 10).expect("request"));
+    }
+    drop(client);
+    let report = handle.shutdown();
+
+    let expected = seed.len() as u64 + report.retrain.records_absorbed;
+    assert!(report.retrain.records_absorbed > 0, "the served batches were observed");
+    assert_eq!(report.retrain.records_persisted, expected, "seed + absorbed records persisted");
+    let bytes = std::fs::read(&path).expect("persisted corpus exists");
+    std::fs::remove_file(&path).ok();
+    let records = wts_core::read_trace_auto(&bytes).expect("round-trips through schedfilter-trace-bin-v1");
+    assert_eq!(records.len() as u64, expected);
+    assert_eq!(&records[..seed.len()], &seed[..], "the seed prefix survives bit-exactly");
+    // The persisted corpus is a working seed: a restarted instance
+    // trains its epoch-1 filter from it directly.
+    let restarted = Server::bind("127.0.0.1:0", stump_config(&machine, records, 0)).expect("rebind from corpus");
+    assert_eq!(restarted.epoch(), 1);
+    restarted.shutdown();
+}
+
 /// `ServerHandle` is self-describing enough to monitor externally.
 #[test]
 fn handle_reports_address_key_and_stats() {
